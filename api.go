@@ -1,0 +1,146 @@
+// Package repro is the public facade of the SHREC reproduction: a
+// cycle-level simulator of concurrent error detecting superscalar
+// microarchitectures, reproducing Smolens, Kim, Hoe & Falsafi, "Efficient
+// Resource Sharing in Concurrent Error Detecting Superscalar
+// Microarchitectures" (MICRO-37, 2004).
+//
+// The facade re-exports the pieces a downstream user needs: machine
+// configurations (SS1, SS2 with the paper's X/S/C/B factors, SHREC), the 25
+// synthetic SPEC2K-like workloads, the simulation driver, and the
+// experiment harness that regenerates every table and figure of the paper.
+//
+// Quick start:
+//
+//	res, err := repro.Simulate(repro.SHREC(), "swim", repro.DefaultOptions())
+//	fmt.Println(res.IPC())
+//
+// See examples/ for runnable programs and cmd/experiments for the full
+// reproduction.
+package repro
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Machine is a complete machine configuration (see config.Machine).
+type Machine = config.Machine
+
+// Factors select the paper's Table 2 resource knobs for SS2 machines.
+type Factors = config.Factors
+
+// Options controls simulation run lengths.
+type Options = sim.Options
+
+// Result is the outcome of one simulation run.
+type Result = sim.Result
+
+// Stats holds the detailed performance counters of a run.
+type Stats = core.Stats
+
+// Profile describes a synthetic workload.
+type Profile = trace.Profile
+
+// SS1 returns the paper's Table 1 baseline superscalar machine.
+func SS1() Machine { return config.SS1() }
+
+// SS2 returns the symmetric redundant machine with the given factors.
+func SS2(f Factors) Machine { return config.SS2(f) }
+
+// SHREC returns the paper's SHREC machine (Section 4).
+func SHREC() Machine { return config.SHREC() }
+
+// O3RS returns the Mendelson & Suri out-of-order reliable superscalar:
+// double execution from shared ISQ/ROB entries (the design the paper
+// approximates as SS2+C+B).
+func O3RS() Machine { return config.O3RS() }
+
+// DIVA returns the DIVA-style comparison machine (Section 4.1): asymmetric
+// checking like SHREC but with a dedicated checker pipeline, trading extra
+// hardware for freedom from functional-unit contention.
+func DIVA() Machine { return config.DIVA() }
+
+// AllFactorCombinations enumerates the sixteen Table 2 configurations.
+func AllFactorCombinations() []Factors { return config.AllFactorCombinations() }
+
+// DefaultOptions returns experiment-scale run lengths (500k warmup, 1M
+// measured instructions).
+func DefaultOptions() Options { return sim.DefaultOptions() }
+
+// QuickOptions returns short smoke-test run lengths.
+func QuickOptions() Options { return sim.QuickOptions() }
+
+// Workloads returns the 25 synthetic SPEC2K-like benchmark profiles.
+func Workloads() []Profile { return workload.All() }
+
+// IntegerWorkloads returns the 11 SPECint2K-like profiles.
+func IntegerWorkloads() []Profile { return workload.Integer() }
+
+// FloatingPointWorkloads returns the 14 SPECfp2K-like profiles.
+func FloatingPointWorkloads() []Profile { return workload.FloatingPoint() }
+
+// WorkloadByName looks up one profile ("swim", "gcc-166", ...).
+func WorkloadByName(name string) (Profile, error) { return workload.ByName(name) }
+
+// Simulate runs the named benchmark on machine m and returns its result.
+func Simulate(m Machine, benchmark string, opt Options) (Result, error) {
+	p, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(m, p, opt)
+}
+
+// SimulateProfile runs a custom workload profile on machine m.
+func SimulateProfile(m Machine, p Profile, opt Options) (Result, error) {
+	return sim.Run(m, p, opt)
+}
+
+// NewEngine builds a bare simulation engine for custom drivers (manual
+// warmup, fault injection studies, per-cycle inspection).
+func NewEngine(m Machine, p Profile) *core.Engine {
+	return core.New(m, trace.New(p))
+}
+
+// TraceSource is any instruction stream the engine can consume: a
+// synthetic trace.Generator or a replayed trace.Recording.
+type TraceSource = trace.Source
+
+// Recording is a captured instruction trace replayed cyclically.
+type Recording = trace.Recording
+
+// CaptureTrace records n correct-path and nWrong wrong-path instructions
+// of the named benchmark for later replay (see also trace.ReadRecording
+// and Recording.WriteTo for the binary format used by cmd/tracetool).
+func CaptureTrace(benchmark string, n, nWrong int) (*Recording, error) {
+	p, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Capture(trace.New(p), n, nWrong)
+}
+
+// NewEngineFromTrace builds an engine replaying a recorded trace.
+func NewEngineFromTrace(m Machine, r *Recording) *core.Engine {
+	return core.New(m, r)
+}
+
+// ExperimentNames lists the paper's reproducible tables and figures.
+func ExperimentNames() []string { return experiments.Names() }
+
+// RunExperiment regenerates one table or figure ("fig2", "table2",
+// "table3", "fig3", "fig4", "fig5", "fig7", "fig8") and returns its
+// rendered text.
+func RunExperiment(name string, opt Options) (string, error) {
+	return experiments.NewSuite(opt).Run(name)
+}
+
+// NewExperimentSuite returns a suite that caches simulation results across
+// experiments (the full reproduction shares most configurations).
+func NewExperimentSuite(opt Options) *experiments.Suite {
+	return experiments.NewSuite(opt)
+}

@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeMachines(t *testing.T) {
+	if SS1().Name != "SS1" || SHREC().Name != "SHREC" {
+		t.Fatal("machine constructors broken")
+	}
+	if SS2(Factors{S: true, C: true}).Name != "SS2+SC" {
+		t.Fatalf("SS2 factor naming: %s", SS2(Factors{S: true, C: true}).Name)
+	}
+	if len(AllFactorCombinations()) != 16 {
+		t.Fatal("factor enumeration broken")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(Workloads()) != 25 {
+		t.Fatalf("workloads = %d", len(Workloads()))
+	}
+	if len(IntegerWorkloads()) != 11 || len(FloatingPointWorkloads()) != 14 {
+		t.Fatal("class splits broken")
+	}
+	p, err := WorkloadByName("swim")
+	if err != nil || p.Name != "swim" {
+		t.Fatal("lookup broken")
+	}
+	if _, err := WorkloadByName("mcf"); err == nil {
+		t.Fatal("mcf must stay excluded")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	opt := QuickOptions()
+	opt.MeasureInstrs = 20000
+	opt.WarmupInstrs = 10000
+	res, err := Simulate(SHREC(), "gzip-graphic", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 || res.Machine != "SHREC" || res.Benchmark != "gzip-graphic" {
+		t.Fatalf("result = %+v", res)
+	}
+	if _, err := Simulate(SS1(), "not-a-benchmark", opt); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	p, _ := WorkloadByName("parser")
+	e := NewEngine(SS1(), p)
+	if err := e.Warmup(5000); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired < 5000 {
+		t.Fatal("engine run incomplete")
+	}
+}
+
+func TestFacadeExperimentNames(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 10 {
+		t.Fatalf("experiments = %v", names)
+	}
+	for _, want := range []string{"fig2", "table2", "table3", "fig5", "fig7", "fig8"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in short mode")
+	}
+	opt := Options{WarmupInstrs: 5000, MeasureInstrs: 10000}
+	out, err := RunExperiment("fig5", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Stagger") || !strings.Contains(out, "Integer Low") {
+		t.Fatalf("fig5 output malformed:\n%s", out)
+	}
+	if _, err := RunExperiment("fig99", opt); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeTraceCapture(t *testing.T) {
+	rec, err := CaptureTrace("parser", 5000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 5000 {
+		t.Fatalf("captured %d", rec.Len())
+	}
+	e := NewEngineFromTrace(SHREC(), rec)
+	st, err := e.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IPC() <= 0 {
+		t.Fatal("replay produced no progress")
+	}
+	if _, err := CaptureTrace("nope", 10, 0); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// benchmark simulates the experiment's machine configurations on
+// representative workloads for b.N instructions per machine, so ns/op is
+// simulation cost per (machine x instruction). Run the full-scale
+// reproduction with cmd/experiments; these benches exercise exactly the
+// same code paths at benchmark-friendly sizes.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/factorial"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchWorkloads picks a small representative subset: one low and one high
+// IPC benchmark per class.
+func benchWorkloads() []trace.Profile {
+	names := []string{"parser", "vortex-one", "swim", "apsi"}
+	out := make([]trace.Profile, 0, len(names))
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// runMachines simulates b.N instructions on every (machine, workload) pair.
+func runMachines(b *testing.B, machines ...config.Machine) {
+	b.Helper()
+	profiles := benchWorkloads()
+	var engines []*core.Engine
+	for _, m := range machines {
+		for _, p := range profiles {
+			engines = append(engines, core.New(m, trace.New(p)))
+		}
+	}
+	b.ResetTimer()
+	var cycles int64
+	var retired uint64
+	for _, e := range engines {
+		st, err := e.Run(uint64(b.N))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += st.Cycles
+		retired += st.Retired
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(retired)/float64(cycles), "IPC-agg")
+}
+
+// BenchmarkFigure2 exercises the SS1-versus-SS2 comparison.
+func BenchmarkFigure2(b *testing.B) {
+	runMachines(b, config.SS2(config.Factors{}), config.SS1())
+}
+
+// BenchmarkTable2 exercises all sixteen factor combinations.
+func BenchmarkTable2(b *testing.B) {
+	combos := config.AllFactorCombinations()
+	machines := make([]config.Machine, len(combos))
+	for i, f := range combos {
+		machines[i] = config.SS2(f)
+	}
+	runMachines(b, machines...)
+}
+
+// BenchmarkTable3 exercises the factorial analysis on top of the sixteen
+// configurations (the analysis itself is microscopic next to simulation).
+func BenchmarkTable3(b *testing.B) {
+	resp := make([]float64, 16)
+	for i := range resp {
+		resp[i] = 1 + float64(i)*0.1
+	}
+	factors := []string{"X", "S", "C", "B"}
+	for i := 0; i < b.N; i++ {
+		if _, err := factorial.Analyze(factors, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 exercises the C-factor study.
+func BenchmarkFigure3(b *testing.B) {
+	runMachines(b,
+		config.SS2(config.Factors{}),
+		config.SS2(config.Factors{C: true}),
+		config.SS1(),
+	)
+}
+
+// BenchmarkFigure4 exercises the S-factor study.
+func BenchmarkFigure4(b *testing.B) {
+	runMachines(b,
+		config.SS2(config.Factors{}),
+		config.SS2(config.Factors{S: true}),
+		config.SS1(),
+	)
+}
+
+// BenchmarkFigure5 exercises the stagger sweep.
+func BenchmarkFigure5(b *testing.B) {
+	base := config.SS2(config.Factors{S: true, C: true})
+	runMachines(b,
+		base.WithStagger(0),
+		base.WithStagger(256),
+		base.WithStagger(1024),
+		base.WithStagger(1<<20),
+	)
+}
+
+// BenchmarkFigure7 exercises the headline SHREC comparison.
+func BenchmarkFigure7(b *testing.B) {
+	runMachines(b,
+		config.SS2(config.Factors{}),
+		config.SHREC(),
+		config.SS2(config.Factors{S: true, C: true, B: true}),
+		config.SS1(),
+	)
+}
+
+// BenchmarkFigure8 exercises the X-scaling sweep.
+func BenchmarkFigure8(b *testing.B) {
+	var machines []config.Machine
+	for _, sc := range []float64{0.5, 1, 1.5, 2} {
+		machines = append(machines,
+			config.SHREC().WithXScale(sc),
+			config.SS2(config.Factors{}).WithXScale(sc))
+	}
+	runMachines(b, machines...)
+}
+
+// BenchmarkEnginePerMode reports raw simulation speed per execution model.
+func BenchmarkEnginePerMode(b *testing.B) {
+	p, _ := workload.ByName("twolf")
+	for _, m := range []config.Machine{config.SS1(), config.SS2(config.Factors{S: true}), config.SHREC()} {
+		b.Run(m.Name, func(b *testing.B) {
+			e := core.New(m, trace.New(p))
+			b.ResetTimer()
+			if _, err := e.Run(uint64(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSuiteCache measures the memoizing suite on tiny runs.
+func BenchmarkSuiteCache(b *testing.B) {
+	opt := sim.Options{WarmupInstrs: 1000, MeasureInstrs: 2000}
+	s := sim.NewSuite(opt)
+	p, _ := workload.ByName("gzip-graphic")
+	m := config.SS1()
+	if _, err := s.Get(m, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example-style sanity check keeping the bench file honest about what it
+// measures.
+func Example() {
+	opt := sim.Options{WarmupInstrs: 2000, MeasureInstrs: 4000}
+	res, err := Simulate(SS1(), "gzip-graphic", opt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.IPC() > 0)
+	// Output: true
+}

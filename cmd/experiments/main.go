@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run fig2,table2,...|all] [-n instrs] [-warmup instrs] [-par N] [-quick]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiments to run (fig2,table2,table3,fig3,fig4,fig5,fig7,fig8) or 'all'")
+		n       = flag.Uint64("n", 0, "measured instructions per run (default 1,000,000)")
+		warmup  = flag.Uint64("warmup", 0, "warmup instructions per run (default 200,000)")
+		par     = flag.Int("par", 0, "max parallel simulations (default GOMAXPROCS)")
+		quick   = flag.Bool("quick", false, "short runs (100k measured) for a fast smoke pass")
+	)
+	flag.Parse()
+
+	opt := sim.DefaultOptions()
+	if *quick {
+		opt = sim.QuickOptions()
+	}
+	if *n > 0 {
+		opt.MeasureInstrs = *n
+	}
+	if *warmup > 0 {
+		opt.WarmupInstrs = *warmup
+	}
+	opt.Parallelism = *par
+
+	names := experiments.Names()
+	if *runList != "all" {
+		names = strings.Split(*runList, ",")
+	}
+
+	suite := experiments.NewSuite(opt)
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		out, err := suite.Run(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestMachineFor(t *testing.T) {
+	cases := map[string]struct {
+		mode config.Mode
+		name string
+	}{
+		"ss1":      {config.ModeSS1, "SS1"},
+		"SS1":      {config.ModeSS1, "SS1"},
+		"ss2":      {config.ModeSS2, "SS2"},
+		"shrec":    {config.ModeSHREC, "SHREC"},
+		"diva":     {config.ModeSHREC, "DIVA"},
+		"o3rs":     {config.ModeO3RS, "O3RS"},
+		"ss2+s":    {config.ModeSS2, "SS2+S"},
+		"ss2+xscb": {config.ModeSS2, "SS2+XSCB"},
+	}
+	for in, want := range cases {
+		m, err := machineFor(in)
+		if err != nil {
+			t.Errorf("machineFor(%q): %v", in, err)
+			continue
+		}
+		if m.Mode != want.mode || m.Name != want.name {
+			t.Errorf("machineFor(%q) = %s/%v, want %s/%v", in, m.Name, m.Mode, want.name, want.mode)
+		}
+	}
+}
+
+func TestMachineForFactors(t *testing.T) {
+	m, err := machineFor("ss2+sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxStagger == 0 || m.ISQSize != 256 || m.ROBSize != 1024 {
+		t.Fatalf("factors not applied: %+v", m)
+	}
+	if m.IssueWidth != 8 || m.DecodeWidth != 8 {
+		t.Fatal("unrequested factors applied")
+	}
+}
+
+func TestMachineForErrors(t *testing.T) {
+	for _, bad := range []string{"", "ss3", "ss2+q", "checker"} {
+		if _, err := machineFor(bad); err == nil {
+			t.Errorf("machineFor(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command tracetool captures synthetic workload traces to files and
+// inspects or replays them, decoupling workload generation from timing
+// simulation (the usual trace-driven methodology of the paper's era).
+//
+//	tracetool capture -bench swim -n 500000 -o swim.trace
+//	tracetool info   swim.trace
+//	tracetool run    -machine shrec swim.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "capture":
+		capture(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracetool capture -bench <name> [-n instrs] [-wrong instrs] -o <file>
+  tracetool info <file>
+  tracetool run [-machine ss1|ss2|shrec|diva|o3rs] [-n instrs] <file>`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}
+
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	bench := fs.String("bench", "swim", "benchmark to capture")
+	n := fs.Int("n", 500_000, "correct-path instructions")
+	wrong := fs.Int("wrong", 50_000, "wrong-path instructions")
+	out := fs.String("o", "", "output file (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	rec, err := trace.Capture(trace.New(p), *n, *wrong)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	written, err := rec.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("captured %s: %d + %d instructions, %d bytes -> %s\n",
+		*bench, rec.Len(), rec.WrongLen(), written, *out)
+}
+
+func load(path string) *trace.Recording {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.ReadRecording(f)
+	if err != nil {
+		fatal(err)
+	}
+	return rec
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	rec := load(args[0])
+	var counts [isa.NumOpClasses]int
+	branches, taken := 0, 0
+	for i := 0; i < rec.Len(); i++ {
+		in := rec.Next()
+		counts[in.Class]++
+		if in.IsBranch() {
+			branches++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("%s: %d correct-path + %d wrong-path instructions\n",
+		args[0], rec.Len(), rec.WrongLen())
+	for c := 0; c < isa.NumOpClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %8d  (%.1f%%)\n", isa.OpClass(c), counts[c],
+			100*float64(counts[c])/float64(rec.Len()))
+	}
+	if branches > 0 {
+		fmt.Printf("  taken branch fraction: %.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	machine := fs.String("machine", "shrec", "machine model")
+	n := fs.Uint64("n", 0, "instructions to simulate (default: one full lap)")
+	warm := fs.Uint64("warmup", 100_000, "warmup instructions")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	rec := load(fs.Arg(0))
+	m, err := machineFor(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	count := *n
+	if count == 0 {
+		count = uint64(rec.Len())
+	}
+	e := core.New(m, rec)
+	if *warm > 0 {
+		if err := e.Warmup(*warm); err != nil {
+			fatal(err)
+		}
+	}
+	st, err := e.Run(count)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s: IPC %.3f over %d instructions (%d cycles)\n",
+		m.Name, fs.Arg(0), st.IPC(), st.Retired, st.Cycles)
+}
+
+func machineFor(name string) (config.Machine, error) {
+	switch name {
+	case "ss1":
+		return config.SS1(), nil
+	case "ss2":
+		return config.SS2(config.Factors{}), nil
+	case "shrec":
+		return config.SHREC(), nil
+	case "diva":
+		return config.DIVA(), nil
+	case "o3rs":
+		return config.O3RS(), nil
+	}
+	return config.Machine{}, fmt.Errorf("unknown machine %q", name)
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate one benchmark on the three execution models the
+// paper compares — the SS1 baseline, symmetric redundant SS2, and SHREC —
+// and print the redundant-execution performance penalty of each.
+//
+//	go run ./examples/quickstart [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	bench := "twolf"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	opt := repro.Options{WarmupInstrs: 300_000, MeasureInstrs: 500_000}
+	machines := []repro.Machine{
+		repro.SS1(),
+		repro.SS2(repro.Factors{}),
+		repro.SS2(repro.Factors{S: true, C: true}),
+		repro.SHREC(),
+	}
+
+	fmt.Printf("benchmark %s, %d measured instructions\n\n", bench, opt.MeasureInstrs)
+	var baseline float64
+	for _, m := range machines {
+		res, err := repro.Simulate(m, bench, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+			os.Exit(1)
+		}
+		ipc := res.IPC()
+		if m.Name == "SS1" {
+			baseline = ipc
+		}
+		penalty := 100 * (baseline - ipc) / baseline
+		fmt.Printf("  %-8s IPC %5.2f   penalty vs SS1 %5.1f%%   (mispredict %.1f%%, stagger %.0f)\n",
+			m.Name, ipc, penalty,
+			100*res.Stats.MispredictRate(), res.Stats.AvgStagger())
+	}
+	fmt.Println("\nSHREC recovers most of the redundant-execution penalty by checking")
+	fmt.Println("the R-thread in order with leftover issue slots and functional units.")
+}

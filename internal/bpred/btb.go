@@ -1,0 +1,104 @@
+package bpred
+
+// BTB is a set-associative branch target buffer with true-LRU replacement.
+// Table 1 provisions 2K entries, 4-way. A fetch that predicts a branch
+// taken but misses in the BTB cannot redirect in the same cycle and pays a
+// fetch bubble.
+type BTB struct {
+	sets     int
+	ways     int
+	setMask  uint64
+	setShift uint
+	tags     [][]uint64 // tag per way; 0 means invalid (tags are made nonzero)
+	targets  [][]uint64
+	lru      [][]uint8 // lower value = more recently used
+
+	lookups uint64
+	hits    uint64
+}
+
+// NewBTB builds a BTB with sets x ways entries. sets must be a power of two.
+func NewBTB(sets, ways int) *BTB {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("bpred: BTB sets must be a nonzero power of two")
+	}
+	if ways <= 0 {
+		panic("bpred: BTB ways must be positive")
+	}
+	shift := uint(0)
+	for 1<<shift < sets {
+		shift++
+	}
+	b := &BTB{sets: sets, ways: ways, setMask: uint64(sets - 1), setShift: shift}
+	b.tags = make([][]uint64, sets)
+	b.targets = make([][]uint64, sets)
+	b.lru = make([][]uint8, sets)
+	for i := 0; i < sets; i++ {
+		b.tags[i] = make([]uint64, ways)
+		b.targets[i] = make([]uint64, ways)
+		b.lru[i] = make([]uint8, ways)
+		for w := 0; w < ways; w++ {
+			b.lru[i][w] = uint8(w)
+		}
+	}
+	return b
+}
+
+func (b *BTB) split(pc uint64) (set uint64, tag uint64) {
+	idx := pcIndex(pc)
+	// Tag is made nonzero so the zero value marks an invalid way.
+	return idx & b.setMask, (idx >> b.setShift) | 1<<63
+}
+
+// Lookup returns the predicted target for pc and whether it hit.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.lookups++
+	set, tag := b.split(pc)
+	for w := 0; w < b.ways; w++ {
+		if b.tags[set][w] == tag {
+			b.hits++
+			b.touch(set, w)
+			return b.targets[set][w], true
+		}
+	}
+	return 0, false
+}
+
+// Insert records or updates the target for pc, evicting the LRU way on a
+// conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	set, tag := b.split(pc)
+	victim := 0
+	for w := 0; w < b.ways; w++ {
+		if b.tags[set][w] == tag {
+			b.targets[set][w] = target
+			b.touch(set, w)
+			return
+		}
+		if b.lru[set][w] > b.lru[set][victim] {
+			victim = w
+		}
+	}
+	b.tags[set][victim] = tag
+	b.targets[set][victim] = target
+	b.touch(set, victim)
+}
+
+// touch marks way w in set as most recently used.
+func (b *BTB) touch(set uint64, w int) {
+	old := b.lru[set][w]
+	for i := 0; i < b.ways; i++ {
+		if b.lru[set][i] < old {
+			b.lru[set][i]++
+		}
+	}
+	b.lru[set][w] = 0
+}
+
+// HitRate returns the fraction of lookups that hit, or 0 before any lookup.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}

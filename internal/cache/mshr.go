@@ -1,0 +1,106 @@
+package cache
+
+// MSHRFile models the miss status holding registers: each register tracks
+// one outstanding line miss and up to TargetsPerMSHR merged requests to
+// that line. A primary miss allocates a register; secondary misses to the
+// same line merge as targets. When the file (or a register's target list)
+// is full, the access must be retried later — the structural hazard the
+// paper's modified sim-outorder models.
+type MSHRFile struct {
+	entries int
+	targets int
+	lines   map[uint64]*mshrEntry
+
+	allocFail  uint64
+	targetFail uint64
+	primary    uint64
+	secondary  uint64
+}
+
+type mshrEntry struct {
+	readyAt int64
+	targets int
+}
+
+// NewMSHRFile builds a file of entries registers with targets merge slots
+// each.
+func NewMSHRFile(entries, targets int) *MSHRFile {
+	if entries <= 0 || targets <= 0 {
+		panic("cache: MSHR geometry must be positive")
+	}
+	return &MSHRFile{
+		entries: entries,
+		targets: targets,
+		lines:   make(map[uint64]*mshrEntry, entries),
+	}
+}
+
+// Result of an MSHR request.
+type MSHRResult uint8
+
+const (
+	// MSHRAllocated means a new register was allocated (primary miss).
+	MSHRAllocated MSHRResult = iota
+	// MSHRMerged means the request merged into an outstanding miss.
+	MSHRMerged
+	// MSHRFull means no register (or no target slot) was available; the
+	// requester must retry.
+	MSHRFull
+)
+
+// Request asks for line lineAddr at cycle now; if a register is allocated
+// the miss will complete at readyAt. For merged requests the returned ready
+// cycle is the outstanding miss's completion. The caller supplies readyAt
+// only for primary allocations (it is ignored when merging).
+func (m *MSHRFile) Request(lineAddr uint64, readyAt int64) (MSHRResult, int64) {
+	if e, ok := m.lines[lineAddr]; ok {
+		if e.targets >= m.targets {
+			m.targetFail++
+			return MSHRFull, 0
+		}
+		e.targets++
+		m.secondary++
+		return MSHRMerged, e.readyAt
+	}
+	if len(m.lines) >= m.entries {
+		m.allocFail++
+		return MSHRFull, 0
+	}
+	m.lines[lineAddr] = &mshrEntry{readyAt: readyAt, targets: 1}
+	m.primary++
+	return MSHRAllocated, readyAt
+}
+
+// Outstanding reports whether lineAddr has an in-flight miss and when it
+// completes.
+func (m *MSHRFile) Outstanding(lineAddr uint64) (int64, bool) {
+	e, ok := m.lines[lineAddr]
+	if !ok {
+		return 0, false
+	}
+	return e.readyAt, true
+}
+
+// Expire releases all registers whose miss completed at or before now. The
+// hierarchy calls this once per cycle.
+func (m *MSHRFile) Expire(now int64) {
+	for line, e := range m.lines {
+		if e.readyAt <= now {
+			delete(m.lines, line)
+		}
+	}
+}
+
+// InFlight returns the number of occupied registers.
+func (m *MSHRFile) InFlight() int { return len(m.lines) }
+
+// Stats returns primary misses, secondary (merged) misses, allocation
+// failures, and target-slot failures.
+func (m *MSHRFile) Stats() (primary, secondary, allocFail, targetFail uint64) {
+	return m.primary, m.secondary, m.allocFail, m.targetFail
+}
+
+// ResetStats zeroes the MSHR counters without touching in-flight state.
+func (m *MSHRFile) ResetStats() {
+	m.primary, m.secondary, m.allocFail, m.targetFail = 0, 0, 0, 0
+}

@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func prefetchingConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Prefetch.Enable = true
+	return cfg
+}
+
+func TestPrefetcherDetectsStride(t *testing.T) {
+	p := newPrefetcher(DefaultPrefetchConfig())
+	base := uint64(0x1000_0000)
+	var got []uint64
+	for i := uint64(0); i < 6; i++ {
+		got = p.observe(base + i*64)
+	}
+	if len(got) != 2 {
+		t.Fatalf("confirmed stride issued %d prefetches, want degree 2", len(got))
+	}
+	if got[0] != base+6*64 || got[1] != base+7*64 {
+		t.Fatalf("targets = %#x, %#x", got[0], got[1])
+	}
+}
+
+func TestPrefetcherIgnoresRandom(t *testing.T) {
+	p := newPrefetcher(DefaultPrefetchConfig())
+	r := rng.New(5)
+	issued := 0
+	for i := 0; i < 5000; i++ {
+		// Random line addresses over a wide range: jumps exceed the
+		// jitter window and never confirm a direction.
+		if len(p.observe(0x2000_0000+uint64(r.Intn(16<<20))&^63)) > 0 {
+			issued++
+		}
+	}
+	if rate := float64(issued) / 5000; rate > 0.05 {
+		t.Fatalf("random stream triggered %.1f%% prefetches", 100*rate)
+	}
+}
+
+func TestPrefetcherNegativeStride(t *testing.T) {
+	p := newPrefetcher(DefaultPrefetchConfig())
+	base := uint64(0x3000_0000)
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		got = p.observe(base - uint64(i)*128) // line-aligned descending
+	}
+	if len(got) == 0 {
+		t.Fatal("descending stride not detected")
+	}
+	if got[0] >= base {
+		t.Fatal("negative-stride prefetch went the wrong way")
+	}
+}
+
+func TestPrefetcherSeparatesStreams(t *testing.T) {
+	p := newPrefetcher(DefaultPrefetchConfig())
+	// Two interleaved streams in different 4KB regions must both confirm.
+	a, b := uint64(0x4000_0000), uint64(0x5000_0000)
+	var gotA, gotB []uint64
+	for i := uint64(0); i < 6; i++ {
+		gotA = p.observe(a + i*64)
+		gotB = p.observe(b + i*128)
+	}
+	if len(gotA) == 0 || len(gotB) == 0 {
+		t.Fatalf("interleaved streams not both detected: %d/%d", len(gotA), len(gotB))
+	}
+}
+
+func TestHierarchyPrefetchWarmsL2(t *testing.T) {
+	h := NewHierarchy(prefetchingConfig())
+	base := uint64(0x1000_0000)
+	// Stream through lines; after the stride confirms, later lines should
+	// be L2-resident before first touch.
+	for i := uint64(0); i < 20; i++ {
+		now := int64(i * 10)
+		h.BeginCycle(now)
+		h.Load(now, base+i*64)
+	}
+	issued, _ := h.PrefetchStats()
+	if issued == 0 {
+		t.Fatal("no prefetches issued on a pure stream")
+	}
+	if !h.L2().Probe(base + 21*64) {
+		t.Fatal("upcoming stream line not prefetched into L2")
+	}
+}
+
+func TestHierarchyPrefetchUsefulness(t *testing.T) {
+	h := NewHierarchy(prefetchingConfig())
+	base := uint64(0x2000_0000)
+	for i := uint64(0); i < 200; i++ {
+		now := int64(i * 200) // spaced out so fills complete
+		h.BeginCycle(now)
+		h.Load(now, base+i*64)
+	}
+	issued, useful := h.PrefetchStats()
+	if issued == 0 {
+		t.Fatal("no prefetches")
+	}
+	if useful == 0 {
+		t.Fatal("no prefetch was ever demanded on a pure stream")
+	}
+	if useful > issued {
+		t.Fatalf("useful %d > issued %d", useful, issued)
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	for i := uint64(0); i < 50; i++ {
+		now := int64(i * 10)
+		h.BeginCycle(now)
+		h.Load(now, 0x1000_0000+i*64)
+	}
+	if issued, _ := h.PrefetchStats(); issued != 0 {
+		t.Fatal("prefetcher ran while disabled")
+	}
+}
+
+func TestPrefetcherPanicsOnBadConfig(t *testing.T) {
+	for i, cfg := range []PrefetchConfig{
+		{Enable: true, TableEntries: 0, Degree: 2},
+		{Enable: true, TableEntries: 100, Degree: 2},
+		{Enable: true, TableEntries: 256, Degree: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			newPrefetcher(cfg)
+		}()
+	}
+}

@@ -1,0 +1,285 @@
+// Package config defines machine configurations: the SS1 baseline of the
+// paper's Table 1, the SS2 symmetric redundant machine with the X/S/C/B
+// factor combinations of Table 2, and the SHREC machine of Section 4.
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/fu"
+)
+
+// Mode selects the execution model.
+type Mode uint8
+
+const (
+	// ModeSS1 is conventional single-threaded execution (no redundancy).
+	ModeSS1 Mode = iota
+	// ModeSS2 is symmetric redundant execution: every instruction is
+	// duplicated at decode into M- and R-thread copies that each occupy
+	// pipeline resources; results are compared pairwise at retirement.
+	ModeSS2
+	// ModeSHREC is asymmetric redundant execution: the M-thread runs on
+	// the out-of-order pipeline and an in-order checker re-executes
+	// completed instructions with leftover issue slots and functional
+	// units before retirement.
+	ModeSHREC
+	// ModeO3RS is the Mendelson & Suri design the paper compares against:
+	// each instruction occupies a single ISQ and ROB entry but issues
+	// twice (in rapid succession) before the entry is released; the two
+	// results are compared at retirement. It relieves the C and B
+	// factors by construction but cannot stagger. The paper approximates
+	// it as SS2+C+B; this mode implements the real mechanism.
+	ModeO3RS
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSS1:
+		return "SS1"
+	case ModeSS2:
+		return "SS2"
+	case ModeSHREC:
+		return "SHREC"
+	case ModeO3RS:
+		return "O3RS"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Factors are the four knobs of the paper's factorial design (Section 3).
+// X, C, and B double the corresponding resources of an SS2 machine; S
+// enables an elastic stagger between the redundant threads with static
+// issue priority to the M-thread.
+type Factors struct {
+	X bool // double issue width and functional units
+	S bool // allow elastic stagger (default 256 instructions)
+	C bool // double ISQ and ROB capacity
+	B bool // double decode and retirement bandwidth
+}
+
+// String renders the enabled factors like the paper's Table 2 rows
+// ("X S C B", "- S - -", ...).
+func (f Factors) String() string {
+	mark := func(on bool, s string) string {
+		if on {
+			return s
+		}
+		return "-"
+	}
+	return strings.Join([]string{
+		mark(f.X, "X"), mark(f.S, "S"), mark(f.C, "C"), mark(f.B, "B"),
+	}, " ")
+}
+
+// AllFactorCombinations enumerates the sixteen Table 2 configurations in
+// the paper's row order (B varies fastest, then C, S, X).
+func AllFactorCombinations() []Factors {
+	out := make([]Factors, 0, 16)
+	for _, x := range []bool{false, true} {
+		for _, s := range []bool{false, true} {
+			for _, c := range []bool{false, true} {
+				for _, b := range []bool{false, true} {
+					out = append(out, Factors{X: x, S: s, C: c, B: b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DefaultStagger is the elastic stagger bound the paper uses for the
+// S-factor (up to 256 instructions).
+const DefaultStagger = 256
+
+// Machine is a complete machine configuration.
+type Machine struct {
+	// Name identifies the configuration in reports.
+	Name string
+	// Mode selects single-threaded, symmetric redundant, or SHREC
+	// execution.
+	Mode Mode
+
+	// DecodeWidth, IssueWidth, and RetireWidth are per-cycle bandwidths.
+	DecodeWidth, IssueWidth, RetireWidth int
+	// ISQSize, ROBSize, and LSQSize are structure capacities. In SS2 both
+	// thread copies share these structures.
+	ISQSize, ROBSize, LSQSize int
+
+	// FU configures the functional unit pool.
+	FU fu.Config
+	// Mem configures the cache hierarchy.
+	Mem cache.Config
+	// Bpred configures the branch predictor complex.
+	Bpred bpred.Config
+
+	// BTBMissPenalty is the fetch bubble when a predicted-taken branch
+	// misses in the BTB.
+	BTBMissPenalty int
+
+	// MaxStagger bounds how far the M-thread's dispatch may lead the
+	// R-thread's in SS2 (0 = lockstep duplication at decode). Ignored in
+	// other modes; SHREC staggers naturally up to the ROB size.
+	MaxStagger int
+
+	// CheckerWindow is the SHREC in-order issue window (Section 4.2:
+	// eight entries, with the ISQ reduced commensurately).
+	CheckerWindow int
+
+	// CheckerDedicatedFU gives the in-order checker its own functional
+	// unit pool and issue bandwidth instead of sharing the main
+	// pipeline's — the DIVA design of Section 4.1, which buys back the
+	// contention at a significant hardware cost (the paper notes the
+	// EV8's functional units occupy area comparable to 1MB of L2).
+	CheckerDedicatedFU bool
+
+	// FaultRate is the per-instruction probability of injecting a
+	// transient result corruption (0 disables injection). Used by the
+	// fault-injection example and recovery tests.
+	FaultRate float64
+	// FaultSeed seeds the fault injector.
+	FaultSeed uint64
+}
+
+// SS1 returns the paper's Table 1 baseline: an 8-wide out-of-order
+// superscalar with a 128-entry ISQ, 512-entry ROB, and 64-entry LSQ.
+func SS1() Machine {
+	return Machine{
+		Name:           "SS1",
+		Mode:           ModeSS1,
+		DecodeWidth:    8,
+		IssueWidth:     8,
+		RetireWidth:    8,
+		ISQSize:        128,
+		ROBSize:        512,
+		LSQSize:        64,
+		FU:             fu.DefaultConfig(),
+		Mem:            cache.DefaultConfig(),
+		Bpred:          bpred.DefaultConfig(),
+		BTBMissPenalty: 2,
+	}
+}
+
+// SS2 returns the symmetric redundant machine with the given factors
+// applied, as enumerated in Table 2. With no factors it is the plain SS2
+// of Section 2.2 (same resources as SS1, doubled workload).
+func SS2(f Factors) Machine {
+	m := SS1()
+	m.Mode = ModeSS2
+	m.Name = "SS2"
+	if f != (Factors{}) {
+		m.Name = "SS2+" + strings.ReplaceAll(strings.ReplaceAll(f.String(), " ", ""), "-", "")
+	}
+	if f.X {
+		m.IssueWidth *= 2
+		m.FU = m.FU.Double()
+		// sim-outorder treats cache ports as functional-unit resources, so
+		// the paper's X-factor (issue + FU bandwidth) scales them too.
+		m.Mem.MemPorts *= 2
+	}
+	if f.C {
+		m.ISQSize *= 2
+		m.ROBSize *= 2
+	}
+	if f.B {
+		m.DecodeWidth *= 2
+		m.RetireWidth *= 2
+	}
+	if f.S {
+		m.MaxStagger = DefaultStagger
+	}
+	return m
+}
+
+// SHREC returns the SHREC machine of Section 4: SS1 resources with the ISQ
+// reduced to 120 entries and an 8-entry in-order checker window sharing the
+// issue bandwidth and functional units.
+func SHREC() Machine {
+	m := SS1()
+	m.Mode = ModeSHREC
+	m.Name = "SHREC"
+	m.CheckerWindow = 8
+	m.ISQSize = 128 - 8
+	return m
+}
+
+// O3RS returns the out-of-order reliable superscalar of Mendelson & Suri:
+// SS1 resources with double execution from shared ISQ/ROB entries. The
+// paper's Table 2 approximates this design as SS2+C+B.
+func O3RS() Machine {
+	m := SS1()
+	m.Mode = ModeO3RS
+	m.Name = "O3RS"
+	return m
+}
+
+// DIVA returns the DIVA-style machine of Section 4.1: asymmetric
+// re-execution like SHREC, but the in-order checker owns a dedicated set
+// of functional units and issue bandwidth, so it never competes with the
+// out-of-order pipeline. The ISQ keeps its full 128 entries (the checker
+// is a physically separate pipeline). The paper expects DIVA to track SS1
+// closely.
+func DIVA() Machine {
+	m := SS1()
+	m.Mode = ModeSHREC
+	m.Name = "DIVA"
+	m.CheckerWindow = 8
+	m.CheckerDedicatedFU = true
+	return m
+}
+
+// WithXScale returns the machine with issue width and functional unit
+// counts scaled by f (Figure 8's 0.5X-2X sweep). Issue width is rounded to
+// the nearest integer with a floor of one.
+func (m Machine) WithXScale(f float64) Machine {
+	out := m
+	w := int(float64(m.IssueWidth)*f + 0.5)
+	if w < 1 {
+		w = 1
+	}
+	out.IssueWidth = w
+	out.FU = m.FU.Scale(f)
+	p := int(float64(m.Mem.MemPorts)*f + 0.5)
+	if p < 1 {
+		p = 1
+	}
+	out.Mem.MemPorts = p
+	out.Name = fmt.Sprintf("%s@%.1fX", m.Name, f)
+	return out
+}
+
+// WithStagger returns the machine with the given maximum stagger (Figure
+// 5's sweep).
+func (m Machine) WithStagger(n int) Machine {
+	out := m
+	out.MaxStagger = n
+	out.Name = fmt.Sprintf("%s(stagger=%d)", m.Name, n)
+	return out
+}
+
+// Validate reports structural configuration errors.
+func (m *Machine) Validate() error {
+	if m.DecodeWidth <= 0 || m.IssueWidth <= 0 || m.RetireWidth <= 0 {
+		return fmt.Errorf("%s: non-positive width", m.Name)
+	}
+	if m.ISQSize <= 0 || m.ROBSize <= 0 || m.LSQSize <= 0 {
+		return fmt.Errorf("%s: non-positive structure size", m.Name)
+	}
+	if m.Mode == ModeSHREC && m.CheckerWindow <= 0 {
+		return fmt.Errorf("%s: SHREC requires a checker window", m.Name)
+	}
+	if m.Mode != ModeSHREC && m.CheckerWindow != 0 {
+		return fmt.Errorf("%s: checker window outside SHREC mode", m.Name)
+	}
+	if m.MaxStagger < 0 {
+		return fmt.Errorf("%s: negative stagger", m.Name)
+	}
+	if m.FaultRate < 0 || m.FaultRate > 1 {
+		return fmt.Errorf("%s: fault rate out of [0,1]", m.Name)
+	}
+	return nil
+}

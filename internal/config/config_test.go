@@ -1,0 +1,219 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fu"
+)
+
+func TestSS1MatchesTable1(t *testing.T) {
+	m := SS1()
+	if m.Mode != ModeSS1 {
+		t.Fatal("wrong mode")
+	}
+	if m.ISQSize != 128 || m.ROBSize != 512 || m.LSQSize != 64 {
+		t.Fatalf("structures = %d/%d/%d", m.ISQSize, m.ROBSize, m.LSQSize)
+	}
+	if m.DecodeWidth != 8 || m.IssueWidth != 8 || m.RetireWidth != 8 {
+		t.Fatalf("widths = %d/%d/%d", m.DecodeWidth, m.IssueWidth, m.RetireWidth)
+	}
+	if m.FU.Counts[fu.IALU] != 8 {
+		t.Fatal("FU config not Table 1")
+	}
+	if m.Mem.MemLat != 200 || m.Mem.MSHREntries != 32 || m.Mem.MemPorts != 4 {
+		t.Fatal("memory config not Table 1")
+	}
+	if m.Bpred.MispredictPenalty != 7 {
+		t.Fatal("mispredict penalty not 7")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSS2Factors(t *testing.T) {
+	plain := SS2(Factors{})
+	if plain.Mode != ModeSS2 || plain.Name != "SS2" {
+		t.Fatalf("plain SS2 = %s", plain.Name)
+	}
+	if plain.ISQSize != 128 || plain.IssueWidth != 8 || plain.MaxStagger != 0 {
+		t.Fatal("plain SS2 must share SS1 resources")
+	}
+
+	x := SS2(Factors{X: true})
+	if x.IssueWidth != 16 || x.FU.Counts[fu.IALU] != 16 {
+		t.Fatal("X factor not applied")
+	}
+	if x.ISQSize != 128 {
+		t.Fatal("X factor leaked into capacity")
+	}
+
+	c := SS2(Factors{C: true})
+	if c.ISQSize != 256 || c.ROBSize != 1024 {
+		t.Fatal("C factor not applied")
+	}
+	if c.LSQSize != 64 {
+		t.Fatal("C factor must not change the LSQ")
+	}
+
+	b := SS2(Factors{B: true})
+	if b.DecodeWidth != 16 || b.RetireWidth != 16 {
+		t.Fatal("B factor not applied")
+	}
+	if b.IssueWidth != 8 {
+		t.Fatal("B factor leaked into issue width")
+	}
+
+	s := SS2(Factors{S: true})
+	if s.MaxStagger != DefaultStagger {
+		t.Fatal("S factor not applied")
+	}
+
+	all := SS2(Factors{X: true, S: true, C: true, B: true})
+	if all.IssueWidth != 16 || all.ISQSize != 256 || all.DecodeWidth != 16 || all.MaxStagger != 256 {
+		t.Fatal("combined factors not applied")
+	}
+	if !strings.Contains(all.Name, "XSCB") {
+		t.Fatalf("name = %s", all.Name)
+	}
+}
+
+func TestSHREC(t *testing.T) {
+	m := SHREC()
+	if m.Mode != ModeSHREC {
+		t.Fatal("wrong mode")
+	}
+	// Section 4.2: 8-entry in-order window, ISQ reduced to 120 so the
+	// total entries feeding issue selection stays 128.
+	if m.CheckerWindow != 8 || m.ISQSize != 120 {
+		t.Fatalf("checker=%d isq=%d", m.CheckerWindow, m.ISQSize)
+	}
+	if m.CheckerWindow+m.ISQSize != 128 {
+		t.Fatal("total issue-selection entries must remain 128")
+	}
+	if m.IssueWidth != 8 {
+		t.Fatal("SHREC must not add issue bandwidth")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllFactorCombinations(t *testing.T) {
+	combos := AllFactorCombinations()
+	if len(combos) != 16 {
+		t.Fatalf("combinations = %d", len(combos))
+	}
+	if combos[0] != (Factors{}) {
+		t.Fatal("first row must be plain SS2")
+	}
+	last := Factors{X: true, S: true, C: true, B: true}
+	if combos[15] != last {
+		t.Fatal("last row must be all factors")
+	}
+	seen := map[Factors]bool{}
+	for _, f := range combos {
+		if seen[f] {
+			t.Fatalf("duplicate combination %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestFactorsString(t *testing.T) {
+	if s := (Factors{}).String(); s != "- - - -" {
+		t.Fatalf("empty = %q", s)
+	}
+	if s := (Factors{X: true, C: true}).String(); s != "X - C -" {
+		t.Fatalf("XC = %q", s)
+	}
+}
+
+func TestWithXScale(t *testing.T) {
+	m := SS2(Factors{}).WithXScale(0.5)
+	if m.IssueWidth != 4 || m.FU.Counts[fu.IALU] != 4 {
+		t.Fatalf("0.5X: width=%d ialu=%d", m.IssueWidth, m.FU.Counts[fu.IALU])
+	}
+	m = SHREC().WithXScale(2)
+	if m.IssueWidth != 16 || m.FU.Counts[fu.FADD] != 4 {
+		t.Fatal("2X scaling wrong")
+	}
+	// Structure sizes untouched.
+	if m.ISQSize != 120 || m.ROBSize != 512 {
+		t.Fatal("X scaling leaked into capacities")
+	}
+}
+
+func TestWithStagger(t *testing.T) {
+	m := SS2(Factors{S: true, C: true}).WithStagger(1 << 20)
+	if m.MaxStagger != 1<<20 {
+		t.Fatal("stagger override failed")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeSS1.String() != "SS1" || ModeSS2.String() != "SS2" || ModeSHREC.String() != "SHREC" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := SS1()
+	bad.IssueWidth = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero issue width accepted")
+	}
+	bad = SHREC()
+	bad.CheckerWindow = 0
+	if bad.Validate() == nil {
+		t.Fatal("SHREC without checker accepted")
+	}
+	bad = SS1()
+	bad.CheckerWindow = 4
+	if bad.Validate() == nil {
+		t.Fatal("checker window outside SHREC accepted")
+	}
+	bad = SS1()
+	bad.FaultRate = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("fault rate > 1 accepted")
+	}
+}
+
+func TestXFactorScalesMemoryPorts(t *testing.T) {
+	// sim-outorder treats cache ports as FU resources, so X doubles them.
+	x := SS2(Factors{X: true})
+	if x.Mem.MemPorts != 8 {
+		t.Fatalf("X ports = %d, want 8", x.Mem.MemPorts)
+	}
+	if SS2(Factors{}).Mem.MemPorts != 4 {
+		t.Fatal("plain SS2 ports changed")
+	}
+	half := SS1().WithXScale(0.5)
+	if half.Mem.MemPorts != 2 {
+		t.Fatalf("0.5X ports = %d, want 2", half.Mem.MemPorts)
+	}
+	tiny := SS1().WithXScale(0.01)
+	if tiny.Mem.MemPorts != 1 {
+		t.Fatal("port floor violated")
+	}
+}
+
+func TestO3RSConfig(t *testing.T) {
+	m := O3RS()
+	if m.Mode != ModeO3RS || m.Name != "O3RS" {
+		t.Fatalf("O3RS = %s/%v", m.Name, m.Mode)
+	}
+	// Same physical resources as SS1: the sharing is the mechanism.
+	ss1 := SS1()
+	if m.ISQSize != ss1.ISQSize || m.ROBSize != ss1.ROBSize || m.IssueWidth != ss1.IssueWidth {
+		t.Fatal("O3RS must not change SS1 resources")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ModeO3RS.String() != "O3RS" {
+		t.Fatal("mode string")
+	}
+}

@@ -1,0 +1,19 @@
+package config
+
+import "testing"
+
+func TestDIVA(t *testing.T) {
+	m := DIVA()
+	if m.Mode != ModeSHREC || !m.CheckerDedicatedFU {
+		t.Fatal("DIVA misconfigured")
+	}
+	if m.ISQSize != 128 {
+		t.Fatalf("DIVA ISQ = %d, want full 128 (separate checker pipeline)", m.ISQSize)
+	}
+	if m.CheckerWindow != 8 {
+		t.Fatal("DIVA needs a checker window")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

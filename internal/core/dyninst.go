@@ -1,0 +1,180 @@
+// Package core implements the paper's cycle-level out-of-order pipeline in
+// its three execution models: SS1 (conventional single-threaded), SS2
+// (symmetric redundant execution with an optional elastic stagger), and
+// SHREC (asymmetric redundant execution with an in-order checker sharing
+// the functional units).
+//
+// The model is trace driven and structurally accurate in the same sense as
+// the modified sim-outorder the paper used: it tracks per-cycle issue
+// bandwidth, functional unit occupancy (including unpipelined divides),
+// ISQ/ROB/LSQ capacity, memory ports, MSHRs, bus contention, branch
+// prediction with wrong-path resource consumption, and in-order retirement
+// with pairwise result checking.
+package core
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Thread identifies the main (leading) or redundant (trailing) copy of an
+// instruction in redundant execution modes.
+type Thread uint8
+
+const (
+	// ThreadM is the main thread: it performs memory accesses and, in
+	// SHREC, runs on the out-of-order pipeline.
+	ThreadM Thread = iota
+	// ThreadR is the redundant copy: in SS2 it executes independently but
+	// reads load values from the LVQ; in SHREC it is replaced by the
+	// in-order checker.
+	ThreadR
+)
+
+// String returns "M" or "R".
+func (t Thread) String() string {
+	if t == ThreadM {
+		return "M"
+	}
+	return "R"
+}
+
+// notDone marks a completion time that has not been scheduled yet.
+const notDone = int64(math.MaxInt64)
+
+// depRef is a producer link captured at rename. The generation tag guards
+// against the producer's dyn record being recycled after retirement: a
+// mismatched generation means the producer has long since completed.
+type depRef struct {
+	d   *dyn
+	gen uint32
+}
+
+// ready reports whether the producer's result is available at cycle now.
+func (r depRef) ready(now int64) bool {
+	if r.d == nil || r.d.gen != r.gen {
+		return true
+	}
+	return r.d.issued && r.d.completeAt <= now
+}
+
+// dyn is one in-flight dynamic instruction (one thread copy).
+type dyn struct {
+	gen    uint32 // recycling generation
+	seq    uint64 // program-order index (shared by both copies of a pair)
+	inst   isa.Inst
+	thread Thread
+	// wrongPath marks instructions fetched past an unresolved mispredicted
+	// branch; they consume resources but are squashed at resolution.
+	wrongPath bool
+
+	dispatchedAt int64
+	dep1, dep2   depRef
+
+	issued     bool
+	completeAt int64 // result availability; notDone until issued
+
+	// checkIssued/checkedAt drive the SHREC checker (M-thread entries) or
+	// record pair verification (SS2).
+	checkIssued bool
+	checkedAt   int64
+
+	// pair links the two copies of an SS2 instruction.
+	pair *dyn
+
+	// issued2/complete2At/faulty2 track the second execution of an O3RS
+	// instruction (both executions share this record and its ISQ/ROB
+	// entry).
+	issued2     bool
+	complete2At int64
+	faulty2     bool
+
+	// prevWriter supports rename rollback on squash.
+	prevWriter depRef
+
+	// mispredict marks a correct-path branch whose prediction was wrong
+	// (direction or indirect target); resolution triggers a squash.
+	mispredict bool
+
+	// faulty marks an injected transient error in this copy's result;
+	// faultAt records the injection cycle for detection-latency stats.
+	faulty  bool
+	faultAt int64
+
+	// inLSQ marks M-thread memory ops occupying an LSQ entry.
+	inLSQ bool
+}
+
+// completed reports whether the instruction's result is available.
+func (d *dyn) completed(now int64) bool { return d.issued && d.completeAt <= now }
+
+// checked reports whether verification finished (SHREC).
+func (d *dyn) checked(now int64) bool { return d.checkedAt <= now }
+
+// depsReady reports whether both source operands are available.
+func (d *dyn) depsReady(now int64) bool {
+	return d.dep1.ready(now) && d.dep2.ready(now)
+}
+
+// fifo is a FIFO of in-flight instructions with an amortized head index
+// (used for the per-thread ROB views and the LSQ).
+type fifo struct {
+	buf  []*dyn
+	head int
+}
+
+func (q *fifo) push(d *dyn) { q.buf = append(q.buf, d) }
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) empty() bool { return q.len() == 0 }
+
+// front returns the oldest entry; it panics on an empty queue.
+func (q *fifo) front() *dyn { return q.buf[q.head] }
+
+// at returns the i-th oldest entry.
+func (q *fifo) at(i int) *dyn { return q.buf[q.head+i] }
+
+// pop removes and returns the oldest entry, compacting occasionally.
+func (q *fifo) pop() *dyn {
+	d := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head > 4096 && q.head*2 > len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return d
+}
+
+// clear drops all entries, invoking f on each (oldest first).
+func (q *fifo) clear(f func(*dyn)) {
+	for i := q.head; i < len(q.buf); i++ {
+		f(q.buf[i])
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// removeIf deletes entries matching pred, preserving order, and calls f on
+// each removed entry.
+func (q *fifo) removeIf(pred func(*dyn) bool, f func(*dyn)) {
+	w := q.head
+	for i := q.head; i < len(q.buf); i++ {
+		d := q.buf[i]
+		if pred(d) {
+			if f != nil {
+				f(d)
+			}
+			continue
+		}
+		q.buf[w] = d
+		w++
+	}
+	for i := w; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:w]
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/fu"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Engine simulates one machine configuration executing one workload.
+type Engine struct {
+	cfg  config.Machine
+	gen  trace.Source
+	pred *bpred.Combining
+	btb  *bpred.BTB
+	pool *fu.Pool
+	// checkerPool is the checker's dedicated unit pool in DIVA mode
+	// (nil when the checker shares the main pool, as in SHREC).
+	checkerPool *fu.Pool
+	mem         *cache.Hierarchy
+	frng        *rng.RNG // fault injection stream
+
+	now int64
+
+	// Per-thread ROB views. robM and robR share the configured ROB
+	// capacity; robR is unused outside SS2.
+	robM, robR fifo
+	// isqM/isqR are the issue-queue occupants in age order; entries leave
+	// at issue.
+	isqM, isqR []*dyn
+	// lsq holds M-thread memory operations from dispatch to retirement.
+	lsq fifo
+
+	// pendingR holds decoded-but-undispatched R-thread copies (SS2 with
+	// stagger). Its length is the current dispatch stagger.
+	pendingR fifo
+
+	// rename state: last writer of each architectural register, per thread.
+	lastWriter [2][isa.NumArchRegs]depRef
+
+	// fetch state
+	fetchSeq      uint64 // next correct-path sequence number
+	fetchResumeAt int64
+	lastFetchLine uint64
+	haveFetchLine bool
+	fetchBuf      *fetchedInst // one-deep decoupling buffer
+	replay        []isa.Inst   // re-fetch queue after a soft exception
+	wpBranch      *dyn         // unresolved mispredicted correct-path branch
+
+	// SHREC checker state: the number of check-issued but unretired
+	// entries counted from the ROB head. The oldest unchecked entry is at
+	// robM position checkCount. Retirement (which only retires checked
+	// entries) decrements it; wrong-path squashes never remove
+	// check-issued entries (the checker cannot pass an unresolved
+	// branch), so squashes leave it unchanged.
+	checkCount int
+
+	// freelist recycles dyn records.
+	freelist []*dyn
+
+	stats Stats
+}
+
+// fetchedInst is an instruction fetched (and branch-predicted) but not yet
+// dispatched, carried across cycles when dispatch stalls structurally.
+type fetchedInst struct {
+	inst      isa.Inst
+	seq       uint64
+	wrongPath bool
+
+	predDone   bool
+	mispredict bool
+	predTaken  bool
+	btbBubble  bool
+}
+
+// Stats aggregates the run's performance counters.
+type Stats struct {
+	Cycles  int64
+	Retired uint64 // correct-path instructions retired (per program, not per copy)
+
+	Fetched          uint64 // correct-path instructions fetched
+	WrongPathFetched uint64
+
+	CondBranches uint64
+	Mispredicts  uint64
+	BTBBubbles   uint64
+
+	Squashes       uint64
+	SoftExceptions uint64
+
+	FaultsInjected    uint64
+	FaultsDetected    uint64
+	SilentCorruptions uint64
+	// FaultDetectLatencySum accumulates cycles from injection to
+	// detection over detected faults (divide by FaultsDetected).
+	FaultDetectLatencySum uint64
+	// FaultsSquashed counts injected faults whose instruction was
+	// squashed by an unrelated soft exception before its own compare;
+	// the replayed execution is clean, so these are not escapes.
+	FaultsSquashed uint64
+
+	IssuedM, IssuedR, IssuedChecker uint64
+	LoadForwards                    uint64
+	RetireStoreStalls               uint64
+
+	// Occupancy accumulators (divide by Cycles for averages).
+	ROBOccSum, ISQOccSum, LSQOccSum, StaggerSum uint64
+
+	// MSHROccSum tracks outstanding data misses per cycle (MLP).
+	MSHROccSum uint64
+
+	// LoadIssueWaitSum accumulates dispatch-to-issue latency of M-thread
+	// correct-path loads (with LoadCount), diagnosing whether addresses
+	// arrive promptly.
+	LoadIssueWaitSum uint64
+	LoadCount        uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// CPI returns cycles per retired instruction.
+func (s Stats) CPI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Retired)
+}
+
+// MispredictRate returns mispredictions per conditional branch.
+func (s Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// AvgROBOcc returns the mean ROB occupancy.
+func (s Stats) AvgROBOcc() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ROBOccSum) / float64(s.Cycles)
+}
+
+// AvgFaultDetectLatency returns the mean injection-to-detection latency
+// in cycles over detected faults.
+func (s Stats) AvgFaultDetectLatency() float64 {
+	if s.FaultsDetected == 0 {
+		return 0
+	}
+	return float64(s.FaultDetectLatencySum) / float64(s.FaultsDetected)
+}
+
+// AvgStagger returns the mean dispatch stagger (SS2).
+func (s Stats) AvgStagger() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.StaggerSum) / float64(s.Cycles)
+}
+
+// New builds an engine for machine m consuming instructions from source g
+// (a synthetic trace.Generator or a replayed trace.Recording).
+func New(m config.Machine, g trace.Source) *Engine {
+	if err := m.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	e := &Engine{
+		cfg:  m,
+		gen:  g,
+		pred: bpred.NewCombining(m.Bpred),
+		btb:  bpred.NewBTB(m.Bpred.BTBSets, m.Bpred.BTBWays),
+		pool: fu.NewPool(m.FU),
+		mem:  cache.NewHierarchy(m.Mem),
+		frng: rng.New(m.FaultSeed ^ 0xfa117_5eed),
+	}
+	if m.CheckerDedicatedFU {
+		e.checkerPool = fu.NewPool(m.FU)
+	}
+	return e
+}
+
+// Config returns the engine's machine configuration.
+func (e *Engine) Config() config.Machine { return e.cfg }
+
+// Mem exposes the memory hierarchy for statistics.
+func (e *Engine) Mem() *cache.Hierarchy { return e.mem }
+
+// Pool exposes the functional unit pool for statistics.
+func (e *Engine) Pool() *fu.Pool { return e.pool }
+
+// Pred exposes the direction predictor for statistics.
+func (e *Engine) Pred() *bpred.Combining { return e.pred }
+
+// Stats returns the counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the performance counters while keeping all
+// microarchitectural state (caches, predictors, in-flight instructions)
+// warm. Call it after a warmup run so measurements exclude cold-start
+// effects, mirroring the paper's use of SimPoint regions from mid-execution.
+func (e *Engine) ResetStats() {
+	e.stats = Stats{}
+	e.mem.ResetStats()
+	e.pool.ResetStats()
+}
+
+// Warmup runs n instructions and then resets the counters.
+func (e *Engine) Warmup(n uint64) error {
+	if _, err := e.Run(n); err != nil {
+		return err
+	}
+	e.ResetStats()
+	return nil
+}
+
+// alloc obtains a recycled or fresh dyn record.
+func (e *Engine) alloc() *dyn {
+	if n := len(e.freelist); n > 0 {
+		d := e.freelist[n-1]
+		e.freelist = e.freelist[:n-1]
+		gen := d.gen + 1
+		*d = dyn{gen: gen, completeAt: notDone, checkedAt: notDone, complete2At: notDone}
+		return d
+	}
+	return &dyn{completeAt: notDone, checkedAt: notDone, complete2At: notDone}
+}
+
+// free returns a dyn record to the pool, bumping its generation so stale
+// depRefs recognize the recycling.
+func (e *Engine) free(d *dyn) {
+	d.gen++
+	e.freelist = append(e.freelist, d)
+}
+
+// Run simulates until n correct-path instructions have retired and returns
+// the statistics. It returns an error if the pipeline deadlocks (no
+// retirement progress for a long stretch), which indicates a model bug.
+func (e *Engine) Run(n uint64) (Stats, error) {
+	const stallLimit = 1_000_000
+	lastRetired := e.stats.Retired
+	lastProgress := e.now
+	for e.stats.Retired < n {
+		e.cycle()
+		if e.stats.Retired != lastRetired {
+			lastRetired = e.stats.Retired
+			lastProgress = e.now
+		} else if e.now-lastProgress > stallLimit {
+			return e.stats, fmt.Errorf("core: %s deadlocked at cycle %d (retired %d of %d)",
+				e.cfg.Name, e.now, e.stats.Retired, n)
+		}
+	}
+	return e.stats, nil
+}
+
+// cycle advances the machine by one clock.
+func (e *Engine) cycle() {
+	e.now++
+	e.stats.Cycles++
+	e.pool.BeginCycle(e.now)
+	e.mem.BeginCycle(e.now)
+
+	e.resolveBranch()
+	e.retire()
+	e.dispatch()
+	e.issue()
+
+	// Occupancy accounting.
+	e.stats.ROBOccSum += uint64(e.robM.len() + e.robR.len())
+	e.stats.ISQOccSum += uint64(len(e.isqM) + len(e.isqR))
+	e.stats.LSQOccSum += uint64(e.lsq.len())
+	e.stats.StaggerSum += uint64(e.pendingR.len())
+	e.stats.MSHROccSum += uint64(e.mem.MSHR().InFlight())
+}
+
+// resolveBranch squashes the wrong path once the active mispredicted branch
+// executes, and schedules the fetch redirect.
+func (e *Engine) resolveBranch() {
+	br := e.wpBranch
+	if br == nil || !br.completed(e.now) {
+		return
+	}
+	e.wpBranch = nil
+	e.squashWrongPath()
+	resume := br.completeAt + int64(e.cfg.Bpred.MispredictPenalty)
+	if resume < e.now {
+		resume = e.now
+	}
+	if resume > e.fetchResumeAt {
+		e.fetchResumeAt = resume
+	}
+	e.haveFetchLine = false
+	e.stats.Squashes++
+}
+
+// squashWrongPath removes every wrong-path instruction from the pipeline
+// and rolls back rename state.
+func (e *Engine) squashWrongPath() {
+	// Roll back rename state youngest-first so lastWriter ends up at the
+	// youngest surviving writer.
+	rollback := func(q *fifo) {
+		for i := len(q.buf) - 1; i >= q.head; i-- {
+			d := q.buf[i]
+			if !d.wrongPath {
+				break // wrong-path entries are a contiguous young suffix
+			}
+			if d.inst.Dest != isa.RegNone {
+				e.lastWriter[d.thread][d.inst.Dest] = d.prevWriter
+			}
+		}
+	}
+	rollback(&e.robM)
+	rollback(&e.robR)
+
+	wp := func(d *dyn) bool { return d.wrongPath }
+	e.robM.removeIf(wp, e.free)
+	e.robR.removeIf(wp, e.free)
+	e.lsq.removeIf(wp, nil)
+	e.pendingR.removeIf(wp, e.free)
+	e.isqM = filterISQ(e.isqM, wp)
+	e.isqR = filterISQ(e.isqR, wp)
+	if e.fetchBuf != nil && e.fetchBuf.wrongPath {
+		e.fetchBuf = nil
+	}
+}
+
+// filterISQ removes entries matching pred, preserving age order.
+func filterISQ(q []*dyn, pred func(*dyn) bool) []*dyn {
+	w := 0
+	for _, d := range q {
+		if !pred(d) {
+			q[w] = d
+			w++
+		}
+	}
+	for i := w; i < len(q); i++ {
+		q[i] = nil
+	}
+	return q[:w]
+}
+
+// softException squashes the entire pipeline after a detected fault and
+// replays from the faulting instruction. All in-flight correct-path
+// M-thread instructions (including the faulty one) are queued for re-fetch.
+func (e *Engine) softException() {
+	e.stats.SoftExceptions++
+
+	// Capture correct-path instructions in program order for replay,
+	// accounting in-flight faults that this squash wipes (their replays
+	// execute cleanly).
+	for i := e.robM.head; i < len(e.robM.buf); i++ {
+		d := e.robM.buf[i]
+		if !d.wrongPath {
+			e.replay = append(e.replay, d.inst)
+		}
+		if d.faulty || d.faulty2 {
+			e.stats.FaultsSquashed++
+		}
+	}
+	for i := e.robR.head; i < len(e.robR.buf); i++ {
+		if d := e.robR.buf[i]; d.faulty || d.faulty2 {
+			e.stats.FaultsSquashed++
+		}
+	}
+	if e.fetchBuf != nil && !e.fetchBuf.wrongPath {
+		e.replay = append(e.replay, e.fetchBuf.inst)
+	}
+	e.fetchBuf = nil
+
+	e.robM.clear(e.free)
+	e.robR.clear(e.free)
+	e.pendingR.clear(e.free)
+	e.lsq.clear(func(*dyn) {})
+	e.isqM = e.isqM[:0]
+	e.isqR = e.isqR[:0]
+	e.checkCount = 0
+	e.wpBranch = nil
+	for t := range e.lastWriter {
+		for r := range e.lastWriter[t] {
+			e.lastWriter[t][r] = depRef{}
+		}
+	}
+	e.fetchResumeAt = e.now + int64(e.cfg.Bpred.MispredictPenalty)
+	e.haveFetchLine = false
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFifoBasics(t *testing.T) {
+	var q fifo
+	if !q.empty() || q.len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	a, b := &dyn{seq: 1}, &dyn{seq: 2}
+	q.push(a)
+	q.push(b)
+	if q.len() != 2 || q.front() != a || q.at(1) != b {
+		t.Fatal("push/front/at broken")
+	}
+	if q.pop() != a || q.pop() != b {
+		t.Fatal("pop order broken")
+	}
+	if !q.empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order.
+func TestFifoOrderProperty(t *testing.T) {
+	f := func(ops []bool, seed uint64) bool {
+		var q fifo
+		r := rng.New(seed)
+		nextPush, nextPop := uint64(0), uint64(0)
+		for _, isPush := range ops {
+			if isPush || q.empty() {
+				q.push(&dyn{seq: nextPush})
+				nextPush++
+			} else {
+				d := q.pop()
+				if d.seq != nextPop {
+					return false
+				}
+				nextPop++
+			}
+			// Occasionally force extra pops to exercise compaction.
+			if r.Bool(0.3) && !q.empty() {
+				if q.pop().seq != nextPop {
+					return false
+				}
+				nextPop++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Compaction at large head offsets must preserve contents.
+func TestFifoCompaction(t *testing.T) {
+	var q fifo
+	const n = 20000
+	for i := 0; i < n; i++ {
+		q.push(&dyn{seq: uint64(i)})
+	}
+	for i := 0; i < n-10; i++ {
+		if got := q.pop().seq; got != uint64(i) {
+			t.Fatalf("pop %d returned seq %d", i, got)
+		}
+	}
+	// Push after compaction and drain the remainder.
+	q.push(&dyn{seq: n})
+	want := uint64(n - 10)
+	for !q.empty() {
+		if got := q.pop().seq; got != want {
+			t.Fatalf("post-compaction pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != n+1 {
+		t.Fatalf("drained to %d, want %d", want, n+1)
+	}
+}
+
+func TestFifoRemoveIf(t *testing.T) {
+	var q fifo
+	for i := 0; i < 10; i++ {
+		q.push(&dyn{seq: uint64(i), wrongPath: i%2 == 1})
+	}
+	var removed []uint64
+	q.removeIf(func(d *dyn) bool { return d.wrongPath },
+		func(d *dyn) { removed = append(removed, d.seq) })
+	if q.len() != 5 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for i := 0; i < q.len(); i++ {
+		if q.at(i).seq != uint64(2*i) {
+			t.Fatalf("survivor %d has seq %d", i, q.at(i).seq)
+		}
+	}
+	if len(removed) != 5 || removed[0] != 1 || removed[4] != 9 {
+		t.Fatalf("removed = %v", removed)
+	}
+}
+
+func TestFifoRemoveIfAfterPops(t *testing.T) {
+	var q fifo
+	for i := 0; i < 8; i++ {
+		q.push(&dyn{seq: uint64(i)})
+	}
+	q.pop()
+	q.pop()
+	q.removeIf(func(d *dyn) bool { return d.seq%2 == 0 }, nil)
+	// Remaining: 3, 5, 7.
+	if q.len() != 3 || q.front().seq != 3 || q.at(2).seq != 7 {
+		t.Fatalf("post-pop removeIf broken: len=%d", q.len())
+	}
+}
+
+func TestFifoClear(t *testing.T) {
+	var q fifo
+	for i := 0; i < 5; i++ {
+		q.push(&dyn{seq: uint64(i)})
+	}
+	q.pop()
+	var seen []uint64
+	q.clear(func(d *dyn) { seen = append(seen, d.seq) })
+	if !q.empty() {
+		t.Fatal("clear left entries")
+	}
+	if len(seen) != 4 || seen[0] != 1 || seen[3] != 4 {
+		t.Fatalf("clear visited %v", seen)
+	}
+}
+
+func TestDepRefReady(t *testing.T) {
+	d := &dyn{gen: 5, completeAt: 100}
+	ref := depRef{d: d, gen: 5}
+	if ref.ready(50) {
+		t.Fatal("unissued producer reported ready")
+	}
+	d.issued = true
+	if ref.ready(99) {
+		t.Fatal("ready before completion")
+	}
+	if !ref.ready(100) {
+		t.Fatal("not ready at completion")
+	}
+	// Recycled producer (generation bumped) counts as ready.
+	d.gen++
+	d.issued = false
+	if !ref.ready(0) {
+		t.Fatal("recycled producer must be treated as completed")
+	}
+	if !(depRef{}).ready(0) {
+		t.Fatal("nil producer must be ready")
+	}
+}
+
+func TestThreadString(t *testing.T) {
+	if ThreadM.String() != "M" || ThreadR.String() != "R" {
+		t.Fatal("thread strings wrong")
+	}
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// issue selects ready instructions from the issue queue(s) in age order, up
+// to the configured issue width, gated by functional unit and memory-system
+// availability. Priority rules follow the paper:
+//
+//   - SS1/SHREC: a single M-thread queue; in SHREC the in-order checker
+//     gets whatever issue slots and functional units remain.
+//   - SS2 lockstep (no stagger): the two threads compete fairly — entries
+//     are considered in global age order, interleaving the pairs.
+//   - SS2 with stagger: static priority to the M-thread; the R-thread uses
+//     the slack.
+func (e *Engine) issue() {
+	budget := e.cfg.IssueWidth
+	switch e.cfg.Mode {
+	case config.ModeSS2:
+		if e.cfg.MaxStagger > 0 {
+			e.isqM = e.issueFrom(e.isqM, &budget, &e.stats.IssuedM)
+			e.isqR = e.issueFrom(e.isqR, &budget, &e.stats.IssuedR)
+		} else {
+			e.issueMerged(&budget)
+		}
+	case config.ModeSHREC:
+		e.isqM = e.issueFrom(e.isqM, &budget, &e.stats.IssuedM)
+		e.checkerIssue(&budget)
+	case config.ModeO3RS:
+		e.issueO3RS(&budget)
+	default:
+		e.isqM = e.issueFrom(e.isqM, &budget, &e.stats.IssuedM)
+	}
+}
+
+// issueO3RS implements double execution from shared ISQ entries: an entry
+// issues its first execution like SS1 and stays resident; the second
+// execution (re-reading the same operands, loads re-checking against the
+// LVQ) may issue from the same cycle onward, and only then is the entry
+// released. Both executions consume issue slots and functional units.
+func (e *Engine) issueO3RS(budget *int) {
+	q := e.isqM
+	w := 0
+	for i, d := range q {
+		if *budget == 0 {
+			copy(q[w:], q[i:])
+			w += len(q) - i
+			break
+		}
+		if !d.issued {
+			if e.tryIssueOne(d) {
+				e.stats.IssuedM++
+				*budget--
+			}
+		}
+		if d.issued && !d.issued2 && *budget > 0 {
+			if e.tryIssueSecond(d) {
+				e.stats.IssuedR++
+				*budget--
+			}
+		}
+		if d.issued && d.issued2 {
+			continue // release the entry
+		}
+		q[w] = d
+		w++
+	}
+	for i := w; i < len(q); i++ {
+		q[i] = nil
+	}
+	e.isqM = q[:w]
+}
+
+// tryIssueSecond attempts the O3RS re-execution of an already-issued
+// instruction.
+func (e *Engine) tryIssueSecond(d *dyn) bool {
+	op := d.inst.Class
+	if d.inst.IsLoad() {
+		// The re-execution verifies address generation and compares the
+		// LVQ value, which requires the first access to have completed.
+		if !d.completed(e.now) {
+			return false
+		}
+		op = isa.OpLoad // address generation slot, no cache access
+	}
+	done, ok := e.pool.TryIssue(e.now, op)
+	if !ok {
+		return false
+	}
+	d.issued2 = true
+	d.complete2At = done
+	if e.cfg.FaultRate > 0 && !d.wrongPath && e.frng.Bool(e.cfg.FaultRate) {
+		d.faulty2 = true
+		if !d.faulty {
+			d.faultAt = e.now
+		}
+		e.stats.FaultsInjected++
+	}
+	return true
+}
+
+// issueFrom scans one queue in age order, issuing every ready entry until
+// the budget runs out. Issued entries are removed in place.
+func (e *Engine) issueFrom(q []*dyn, budget *int, counter *uint64) []*dyn {
+	if *budget == 0 || len(q) == 0 {
+		return q
+	}
+	w := 0
+	for i, d := range q {
+		if *budget == 0 {
+			// Keep the remainder untouched.
+			copy(q[w:], q[i:])
+			w += len(q) - i
+			break
+		}
+		if e.tryIssueOne(d) {
+			*counter++
+			*budget--
+			continue
+		}
+		q[w] = d
+		w++
+	}
+	for i := w; i < len(q); i++ {
+		q[i] = nil
+	}
+	return q[:w]
+}
+
+// issueMerged considers both thread queues in global (seq, thread) age
+// order — fair competition between the lockstep threads.
+func (e *Engine) issueMerged(budget *int) {
+	i, j := 0, 0
+	wM, wR := 0, 0
+	for (i < len(e.isqM) || j < len(e.isqR)) && *budget > 0 {
+		var d *dyn
+		takeM := j >= len(e.isqR)
+		if !takeM && i < len(e.isqM) {
+			m, r := e.isqM[i], e.isqR[j]
+			takeM = m.seq < r.seq || (m.seq == r.seq && m.thread == ThreadM)
+		}
+		if takeM {
+			d = e.isqM[i]
+			i++
+			if e.tryIssueOne(d) {
+				e.stats.IssuedM++
+				*budget--
+				continue
+			}
+			e.isqM[wM] = d
+			wM++
+		} else {
+			d = e.isqR[j]
+			j++
+			if e.tryIssueOne(d) {
+				e.stats.IssuedR++
+				*budget--
+				continue
+			}
+			e.isqR[wR] = d
+			wR++
+		}
+	}
+	// Preserve any unscanned tails.
+	wM += copy(e.isqM[wM:], e.isqM[i:])
+	wR += copy(e.isqR[wR:], e.isqR[j:])
+	for k := wM; k < len(e.isqM); k++ {
+		e.isqM[k] = nil
+	}
+	for k := wR; k < len(e.isqR); k++ {
+		e.isqR[k] = nil
+	}
+	e.isqM = e.isqM[:wM]
+	e.isqR = e.isqR[:wR]
+}
+
+// tryIssueOne attempts to issue one instruction, returning true on success.
+// On success the instruction's completion time is scheduled and fault
+// injection is applied.
+func (e *Engine) tryIssueOne(d *dyn) bool {
+	// Dispatch-to-issue takes at least one cycle.
+	if d.dispatchedAt >= e.now {
+		return false
+	}
+	if !d.depsReady(e.now) {
+		return false
+	}
+
+	var doneAt int64
+	switch {
+	case d.inst.IsLoad() && d.thread == ThreadR:
+		// SS2 R-thread load: no cache access; the value comes from the
+		// load-value queue once the M copy's access completed.
+		if !d.pair.completed(e.now) {
+			return false
+		}
+		done, ok := e.pool.TryIssue(e.now, isa.OpLoad)
+		if !ok {
+			return false
+		}
+		doneAt = done
+	case d.inst.IsLoad():
+		var ok bool
+		doneAt, ok = e.issueLoad(d)
+		if !ok {
+			return false
+		}
+	default:
+		// Stores perform address generation at issue; data is committed
+		// at retirement. Branches resolve on an IALU. FP/integer ops use
+		// their unit class.
+		done, ok := e.pool.TryIssue(e.now, d.inst.Class)
+		if !ok {
+			return false
+		}
+		doneAt = done
+	}
+
+	d.issued = true
+	d.completeAt = doneAt
+	if d.inst.IsLoad() && d.thread == ThreadM && !d.wrongPath {
+		e.stats.LoadIssueWaitSum += uint64(e.now - d.dispatchedAt)
+		e.stats.LoadCount++
+	}
+	e.injectFault(d)
+	return true
+}
+
+// issueLoad handles M-thread (and wrong-path) loads: store-to-load
+// forwarding from the LSQ when possible, otherwise a cache access gated by
+// memory ports and MSHRs.
+func (e *Engine) issueLoad(d *dyn) (int64, bool) {
+	if !d.wrongPath {
+		if st, found := e.youngerMatchingStore(d); found {
+			if !st.completed(e.now) {
+				// The producing store has not generated its data yet.
+				return 0, false
+			}
+			done, ok := e.pool.TryIssue(e.now, isa.OpLoad)
+			if !ok {
+				return 0, false
+			}
+			e.stats.LoadForwards++
+			return done + 1, true // one extra cycle for the LSQ bypass
+		}
+	}
+	// Cache path: require an address-generation unit and a memory port
+	// before committing the access.
+	if !e.pool.Available(e.now, isa.OpLoad) {
+		return 0, false
+	}
+	ready, ok := e.mem.Load(e.now, d.inst.Addr)
+	if !ok {
+		return 0, false
+	}
+	if _, ok := e.pool.TryIssue(e.now, isa.OpLoad); !ok {
+		// Unreachable: Available was checked above and nothing issued in
+		// between.
+		panic("core: functional unit vanished between Available and TryIssue")
+	}
+	return ready, true
+}
+
+// youngerMatchingStore returns the youngest older store in the LSQ whose
+// address granule matches the load's (perfect disambiguation from trace
+// addresses, as in sim-outorder).
+func (e *Engine) youngerMatchingStore(d *dyn) (*dyn, bool) {
+	granule := d.inst.Addr >> 3
+	for i := e.lsq.len() - 1; i >= 0; i-- {
+		st := e.lsq.at(i)
+		if st.seq >= d.seq || !st.inst.IsStore() {
+			continue
+		}
+		if st.inst.Addr>>3 == granule {
+			return st, true
+		}
+	}
+	return nil, false
+}
+
+// checkerIssue runs the in-order checker: it considers up to
+// CheckerWindow consecutive completed-but-unchecked instructions at the
+// ROB head and re-executes them. In SHREC the checker competes for the
+// main pipeline's leftover issue slots and functional units; in DIVA mode
+// (CheckerDedicatedFU) it has its own units and issue bandwidth. Issue is
+// strictly in order: the scan stops at the first instruction that is not
+// completed or cannot obtain a unit.
+func (e *Engine) checkerIssue(budget *int) {
+	pool := e.pool
+	if e.checkerPool != nil {
+		// DIVA: a dedicated checker pipeline with its own issue
+		// bandwidth, sized like the window.
+		pool = e.checkerPool
+		pool.BeginCycle(e.now)
+		dedicated := e.cfg.CheckerWindow
+		budget = &dedicated
+	}
+	for i := 0; i < e.cfg.CheckerWindow && *budget > 0; i++ {
+		pos := e.robM.head + e.checkCount
+		if pos >= len(e.robM.buf) {
+			return
+		}
+		d := e.robM.buf[pos]
+		if !d.completed(e.now) {
+			return
+		}
+		done, ok := pool.TryIssue(e.now, checkOp(d.inst.Class))
+		if !ok {
+			return
+		}
+		d.checkIssued = true
+		d.checkedAt = done
+		e.checkCount++
+		*budget--
+		e.stats.IssuedChecker++
+	}
+}
+
+// checkOp maps an instruction class to the operation the checker performs:
+// memory operations re-verify address generation (the load value itself is
+// compared against the result buffer), branches re-evaluate their
+// condition, and computation re-executes on its own unit class.
+func checkOp(c isa.OpClass) isa.OpClass {
+	switch c {
+	case isa.OpLoad, isa.OpStore, isa.OpBranch:
+		return isa.OpIALU
+	default:
+		return c
+	}
+}
+
+// injectFault corrupts the instruction's result with the configured
+// probability. Faults are injected only on correct-path instructions (a
+// wrong-path fault is architecturally invisible).
+func (e *Engine) injectFault(d *dyn) {
+	if e.cfg.FaultRate <= 0 || d.wrongPath {
+		return
+	}
+	if e.frng.Bool(e.cfg.FaultRate) {
+		d.faulty = true
+		d.faultAt = e.now
+		e.stats.FaultsInjected++
+	}
+}

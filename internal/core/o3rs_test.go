@@ -1,0 +1,95 @@
+package core
+
+import (
+	"repro/internal/trace"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+func TestO3RSRuns(t *testing.T) {
+	st := runOn(t, config.O3RS(), testWorkload(51), testInstrs)
+	if st.IPC() <= 0.05 || st.IPC() > 8 {
+		t.Fatalf("O3RS IPC = %.3f", st.IPC())
+	}
+	// Every retired instruction executed twice.
+	if st.IssuedR < st.Retired {
+		t.Fatalf("second executions %d < retired %d", st.IssuedR, st.Retired)
+	}
+	if st.IssuedM < st.Retired {
+		t.Fatalf("first executions %d < retired %d", st.IssuedM, st.Retired)
+	}
+}
+
+// O3RS shares ISQ/ROB entries, so it should beat plain SS2 (which halves
+// the window) on window-sensitive workloads, and lose to SS1 (it still
+// doubles issue/FU demand).
+func TestO3RSOrdering(t *testing.T) {
+	p := fpWorkload(53)
+	const warm = 60000
+	ss1 := warmRun(t, config.SS1(), p, warm, testInstrs).IPC()
+	ss2 := warmRun(t, config.SS2(config.Factors{}), p, warm, testInstrs).IPC()
+	o3rs := warmRun(t, config.O3RS(), p, warm, testInstrs).IPC()
+	if o3rs <= ss2 {
+		t.Fatalf("O3RS %.3f <= SS2 %.3f on a window-bound workload", o3rs, ss2)
+	}
+	if o3rs > ss1*1.02 {
+		t.Fatalf("O3RS %.3f exceeds SS1 %.3f", o3rs, ss1)
+	}
+}
+
+// The paper approximates O3RS as SS2+C+B. On real workloads the real
+// mechanism should land in the same neighborhood (within ~15%).
+func TestO3RSApproximationClaim(t *testing.T) {
+	for _, name := range []string{"swim", "parser"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const warm, n = 200_000, 120_000
+		o3rs := warmRun(t, config.O3RS(), p, warm, n).IPC()
+		approx := warmRun(t, config.SS2(config.Factors{C: true, B: true}), p, warm, n).IPC()
+		ratio := o3rs / approx
+		if ratio < 0.85 || ratio > 1.25 {
+			t.Errorf("%s: O3RS %.3f vs SS2+CB %.3f (ratio %.2f) — approximation claim violated",
+				name, o3rs, approx, ratio)
+		}
+	}
+}
+
+func TestO3RSFaultCoverage(t *testing.T) {
+	m := config.O3RS()
+	m.FaultRate = 1e-4
+	m.FaultSeed = 17
+	st := runOn(t, m, testWorkload(55), testInstrs)
+	if st.FaultsInjected == 0 {
+		t.Fatal("no faults injected")
+	}
+	if st.SilentCorruptions != 0 {
+		t.Fatal("O3RS let a fault escape")
+	}
+	if st.FaultsDetected != st.SoftExceptions {
+		t.Fatal("detection/recovery mismatch")
+	}
+	if st.Retired < testInstrs {
+		t.Fatal("recovery lost instructions")
+	}
+}
+
+// Invariant: an O3RS entry leaves the ISQ only after both executions, and
+// retirement requires both completions in program order.
+func TestO3RSIssueInvariants(t *testing.T) {
+	e := New(config.O3RS(), trace.New(testWorkload(57)))
+	for e.stats.Retired < 15000 {
+		e.cycle()
+		for _, d := range e.isqM {
+			if d.issued2 && d.issued {
+				t.Fatal("fully issued entry still resident in ISQ")
+			}
+			if d.issued2 && !d.issued {
+				t.Fatal("second execution before first")
+			}
+		}
+	}
+}

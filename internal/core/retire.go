@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// retire commits instructions in program order, up to the configured
+// retirement width per cycle.
+//
+//   - SS1 retires each completed instruction at the ROB head.
+//   - SS2 retires a pair per program instruction, comparing the redundant
+//     results: both copies must be completed, and together they consume
+//     two retirement slots (the B-factor contention).
+//   - SHREC retires an instruction only after the in-order checker has
+//     verified it.
+//
+// Stores commit to the data cache at retirement and need a memory port; a
+// busy port stalls retirement for the cycle. A detected fault raises a
+// soft exception: the pipeline squashes and execution replays from the
+// faulting instruction.
+func (e *Engine) retire() {
+	budget := e.cfg.RetireWidth
+	for budget > 0 {
+		switch e.cfg.Mode {
+		case config.ModeSS2:
+			if !e.retirePair(&budget) {
+				return
+			}
+		case config.ModeSHREC:
+			if !e.retireChecked(&budget) {
+				return
+			}
+		case config.ModeO3RS:
+			if !e.retireDouble(&budget) {
+				return
+			}
+		default:
+			if !e.retireSingle(&budget) {
+				return
+			}
+		}
+	}
+}
+
+// retireDouble retires one O3RS instruction: both executions must have
+// completed, and their results are compared in program order.
+func (e *Engine) retireDouble(budget *int) bool {
+	if e.robM.empty() {
+		return false
+	}
+	d := e.robM.front()
+	if !d.completed(e.now) || !d.issued2 || d.complete2At > e.now {
+		return false
+	}
+	if d.wrongPath {
+		panic(fmt.Sprintf("core: wrong-path instruction reached O3RS retirement (seq %d)", d.seq))
+	}
+	if d.faulty || d.faulty2 {
+		e.recordDetection(d, nil)
+		e.softException()
+		return false
+	}
+	if !e.commitStore(d) {
+		return false
+	}
+	e.finishRetire(d)
+	e.robM.pop()
+	e.free(d)
+	e.stats.Retired++
+	*budget--
+	return true
+}
+
+// retireSingle retires one SS1 instruction; it returns false when
+// retirement must stop for this cycle.
+func (e *Engine) retireSingle(budget *int) bool {
+	if e.robM.empty() {
+		return false
+	}
+	d := e.robM.front()
+	if !d.completed(e.now) {
+		return false
+	}
+	if d.wrongPath {
+		panic(fmt.Sprintf("core: wrong-path instruction reached retirement (seq %d)", d.seq))
+	}
+	if !e.commitStore(d) {
+		return false
+	}
+	if d.faulty {
+		// SS1 has no redundancy: the corruption escapes silently.
+		e.stats.SilentCorruptions++
+	}
+	e.finishRetire(d)
+	e.robM.pop()
+	e.free(d)
+	e.stats.Retired++
+	*budget--
+	return true
+}
+
+// retirePair retires one SS2 program instruction (both copies).
+func (e *Engine) retirePair(budget *int) bool {
+	if *budget < 2 {
+		return false
+	}
+	if e.robM.empty() || e.robR.empty() {
+		return false
+	}
+	m, r := e.robM.front(), e.robR.front()
+	if m.seq != r.seq {
+		panic(fmt.Sprintf("core: ROB heads desynchronized (M seq %d, R seq %d)", m.seq, r.seq))
+	}
+	if m.wrongPath {
+		panic(fmt.Sprintf("core: wrong-path pair reached retirement (seq %d)", m.seq))
+	}
+	if !m.completed(e.now) || !r.completed(e.now) {
+		return false
+	}
+	// Compare the redundant results in program order.
+	if m.faulty || r.faulty {
+		e.recordDetection(m, r)
+		e.softException()
+		return false
+	}
+	if !e.commitStore(m) {
+		return false
+	}
+	e.finishRetire(m)
+	e.robM.pop()
+	e.robR.pop()
+	e.free(m)
+	e.free(r)
+	e.stats.Retired++
+	*budget -= 2
+	return true
+}
+
+// retireChecked retires one SHREC instruction after verification.
+func (e *Engine) retireChecked(budget *int) bool {
+	if e.robM.empty() {
+		return false
+	}
+	d := e.robM.front()
+	if !d.completed(e.now) || !d.checkIssued || !d.checked(e.now) {
+		return false
+	}
+	if d.wrongPath {
+		panic(fmt.Sprintf("core: wrong-path instruction reached SHREC retirement (seq %d)", d.seq))
+	}
+	// The checker's recomputed result is compared against the result
+	// buffer; a mismatch means the main execution was corrupted.
+	if d.faulty {
+		e.recordDetection(d, nil)
+		e.softException()
+		return false
+	}
+	if !e.commitStore(d) {
+		return false
+	}
+	e.finishRetire(d)
+	e.robM.pop()
+	e.checkCount--
+	e.free(d)
+	e.stats.Retired++
+	*budget--
+	return true
+}
+
+// commitStore writes a retiring store to the data cache. It returns false
+// (stalling retirement) when no memory port or MSHR is available.
+func (e *Engine) commitStore(d *dyn) bool {
+	if !d.inst.IsStore() {
+		return true
+	}
+	if _, ok := e.mem.Store(e.now, d.inst.Addr); !ok {
+		e.stats.RetireStoreStalls++
+		return false
+	}
+	return true
+}
+
+// finishRetire performs in-order bookkeeping common to all modes: LSQ
+// release and branch predictor training.
+func (e *Engine) finishRetire(d *dyn) {
+	if d.inLSQ {
+		// Completed loads may already have been swept from the LSQ; any
+		// still-resident older loads are completed by in-order
+		// retirement, so drop them together with this entry.
+		for !e.lsq.empty() {
+			h := e.lsq.pop()
+			h.inLSQ = false
+			if h == d {
+				break
+			}
+			if !h.inst.IsLoad() {
+				panic("core: store left the LSQ out of order")
+			}
+		}
+	}
+	// Branch predictor and BTB training happen at fetch (see
+	// predictBranch); retirement has no predictor bookkeeping left.
+}
+
+// recordDetection accounts one detected fault and its injection-to-
+// detection latency. For SS2 pairs either copy may carry the fault.
+func (e *Engine) recordDetection(a, b *dyn) {
+	e.stats.FaultsDetected++
+	at := int64(-1)
+	if a != nil && (a.faulty || a.faulty2) {
+		at = a.faultAt
+	}
+	if b != nil && (b.faulty || b.faulty2) && (at < 0 || b.faultAt < at) {
+		at = b.faultAt
+	}
+	if at >= 0 && e.now >= at {
+		e.stats.FaultDetectLatencySum += uint64(e.now - at)
+	}
+	// Clear the flags so the imminent softException does not double-count
+	// this fault as squashed.
+	if a != nil {
+		a.faulty, a.faulty2 = false, false
+	}
+	if b != nil {
+		b.faulty, b.faulty2 = false, false
+	}
+}

@@ -1,0 +1,500 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Figure 2 (SS1 vs SS2), Table 2 (the sixteen factor
+// combinations), Table 3 (2-k factorial analysis), Figure 3 (C-factor),
+// Figure 4 (S-factor), Figure 5 (stagger sweep), Figure 7 (SHREC), and
+// Figure 8 (X-scaling).
+//
+// Each experiment renders a text table whose rows correspond to the
+// paper's data series. Simulations are cached in a sim.Suite, so
+// experiments that share configurations (most of them) reuse runs.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/factorial"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Suite evaluates experiments over the full workload set.
+type Suite struct {
+	sims     *sim.Suite
+	ints     []trace.Profile
+	fps      []trace.Profile
+	profiles []trace.Profile
+}
+
+// NewSuite builds an experiment suite with the given run options.
+func NewSuite(opt sim.Options) *Suite {
+	return &Suite{
+		sims:     sim.NewSuite(opt),
+		ints:     workload.Integer(),
+		fps:      workload.FloatingPoint(),
+		profiles: workload.All(),
+	}
+}
+
+// Sims exposes the underlying simulation cache.
+func (s *Suite) Sims() *sim.Suite { return s.sims }
+
+// Names lists the runnable experiments in paper order.
+func Names() []string {
+	return []string{"fig2", "table2", "table3", "fig3", "fig4", "fig5", "fig7", "fig8", "ablation", "o3rs"}
+}
+
+// Run dispatches one experiment by name.
+func (s *Suite) Run(name string) (string, error) {
+	switch name {
+	case "fig2":
+		return s.Figure2()
+	case "table2":
+		return s.Table2()
+	case "table3":
+		return s.Table3()
+	case "fig3":
+		return s.Figure3()
+	case "fig4":
+		return s.Figure4()
+	case "fig5":
+		return s.Figure5()
+	case "fig7":
+		return s.Figure7()
+	case "fig8":
+		return s.Figure8()
+	case "ablation":
+		return s.Ablation()
+	case "o3rs":
+		return s.O3RS()
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+}
+
+// perBenchmarkTable renders one of the paper's per-benchmark IPC bar charts
+// (Figures 2, 3, 4, 7) as a table: one row per benchmark plus the three
+// harmonic-mean aggregate rows, one column per machine.
+func (s *Suite) perBenchmarkTable(title string, machines []config.Machine, profiles []trace.Profile) (string, error) {
+	if err := s.sims.Batch(machines, profiles); err != nil {
+		return "", err
+	}
+	header := append([]string{"benchmark"}, machineNames(machines)...)
+	tb := stats.NewTable(title, header...)
+	for _, p := range profiles {
+		row := make([]float64, len(machines))
+		for i, m := range machines {
+			ipc, err := s.sims.IPC(m, p)
+			if err != nil {
+				return "", err
+			}
+			row[i] = ipc
+		}
+		label := p.Name
+		if p.HighIPC {
+			label += " [high]"
+		}
+		tb.AddRowf(label, "%.2f", row...)
+	}
+	tb.AddSeparator()
+	for _, agg := range []string{"Average", "Average (Low only)", "Average (High only)"} {
+		row := make([]float64, len(machines))
+		for i, m := range machines {
+			av, err := s.sims.Averages(m, profiles)
+			if err != nil {
+				return "", err
+			}
+			switch agg {
+			case "Average":
+				row[i] = av.All
+			case "Average (Low only)":
+				row[i] = av.Low
+			default:
+				row[i] = av.High
+			}
+		}
+		tb.AddRowf(agg, "%.2f", row...)
+	}
+	return tb.String(), nil
+}
+
+func machineNames(ms []config.Machine) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Figure2 reproduces the SS1-versus-SS2 IPC comparison.
+func (s *Suite) Figure2() (string, error) {
+	machines := []config.Machine{config.SS2(config.Factors{}), config.SS1()}
+	intTab, err := s.perBenchmarkTable("Figure 2(a): Integer IPC, SS2 vs SS1", machines, s.ints)
+	if err != nil {
+		return "", err
+	}
+	fpTab, err := s.perBenchmarkTable("Figure 2(b): Floating-point IPC, SS2 vs SS1", machines, s.fps)
+	if err != nil {
+		return "", err
+	}
+	summary, err := s.penaltySummary(config.SS1(), config.SS2(config.Factors{}))
+	if err != nil {
+		return "", err
+	}
+	return intTab + "\n" + fpTab + "\n" + summary, nil
+}
+
+// penaltySummary renders the headline "SS2 loses N% vs SS1" lines.
+func (s *Suite) penaltySummary(base, m config.Machine) (string, error) {
+	var b strings.Builder
+	for _, cls := range []struct {
+		name     string
+		profiles []trace.Profile
+	}{{"integer", s.ints}, {"floating-point", s.fps}} {
+		b1, err := s.sims.Averages(base, cls.profiles)
+		if err != nil {
+			return "", err
+		}
+		m1, err := s.sims.Averages(m, cls.profiles)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s penalty vs %s on %s: %.0f%%\n",
+			m.Name, base.Name, cls.name, stats.PctPenalty(b1.All, m1.All))
+	}
+	return b.String(), nil
+}
+
+// Table2 reproduces the sixteen-configuration factor study: percentage IPC
+// increase relative to plain SS2 for integer and floating-point benchmark
+// classes, overall and split by high/low IPC.
+func (s *Suite) Table2() (string, error) {
+	combos := config.AllFactorCombinations()
+	machines := make([]config.Machine, len(combos))
+	for i, f := range combos {
+		machines[i] = config.SS2(f)
+	}
+	if err := s.sims.Batch(machines, s.profiles); err != nil {
+		return "", err
+	}
+	base := machines[0] // plain SS2
+	baseInt, err := s.sims.Averages(base, s.ints)
+	if err != nil {
+		return "", err
+	}
+	baseFP, err := s.sims.Averages(base, s.fps)
+	if err != nil {
+		return "", err
+	}
+
+	tb := stats.NewTable("Table 2: % IPC increase relative to SS2",
+		"X S C B", "Int All", "Int High", "Int Low", "FP All", "FP High", "FP Low")
+	for i, m := range machines {
+		avInt, err := s.sims.Averages(m, s.ints)
+		if err != nil {
+			return "", err
+		}
+		avFP, err := s.sims.Averages(m, s.fps)
+		if err != nil {
+			return "", err
+		}
+		tb.AddRowf(combos[i].String(), "%.0f",
+			stats.PctChange(baseInt.All, avInt.All),
+			stats.PctChange(baseInt.High, avInt.High),
+			stats.PctChange(baseInt.Low, avInt.Low),
+			stats.PctChange(baseFP.All, avFP.All),
+			stats.PctChange(baseFP.High, avFP.High),
+			stats.PctChange(baseFP.Low, avFP.Low),
+		)
+	}
+	return tb.String(), nil
+}
+
+// classProfiles returns the paper's four benchmark classes.
+func (s *Suite) classProfiles() []struct {
+	name     string
+	profiles []trace.Profile
+} {
+	split := func(ps []trace.Profile, high bool) []trace.Profile {
+		var out []trace.Profile
+		for _, p := range ps {
+			if p.HighIPC == high {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return []struct {
+		name     string
+		profiles []trace.Profile
+	}{
+		{"Integer: High", split(s.ints, true)},
+		{"Integer: Low", split(s.ints, false)},
+		{"Floating-point: High", split(s.fps, true)},
+		{"Floating-point: Low", split(s.fps, false)},
+	}
+}
+
+// Table3 reproduces the 2-k factorial analysis: the main factors and
+// interactions whose CPI effect exceeds 3%, per benchmark class.
+func (s *Suite) Table3() (string, error) {
+	combos := config.AllFactorCombinations()
+	machines := make([]config.Machine, len(combos))
+	for i, f := range combos {
+		machines[i] = config.SS2(f)
+	}
+	if err := s.sims.Batch(machines, s.profiles); err != nil {
+		return "", err
+	}
+
+	factors := []string{"X", "S", "C", "B"}
+	tb := stats.NewTable("Table 3: significant factorial effects on CPI (>3% decrease shown)",
+		"class", "factor", "effect %")
+	for _, cls := range s.classProfiles() {
+		// Build the 16 responses indexed by factor bitmask.
+		resp := make([]float64, 16)
+		for i, f := range combos {
+			var mask uint
+			if f.X {
+				mask |= 1
+			}
+			if f.S {
+				mask |= 2
+			}
+			if f.C {
+				mask |= 4
+			}
+			if f.B {
+				mask |= 8
+			}
+			cpi, err := s.sims.MeanCPI(machines[i], cls.profiles)
+			if err != nil {
+				return "", err
+			}
+			resp[mask] = cpi
+		}
+		an, err := factorial.Analyze(factors, resp)
+		if err != nil {
+			return "", err
+		}
+		first := true
+		for _, eff := range an.Significant(3) {
+			label := ""
+			if first {
+				label = cls.name
+				first = false
+			}
+			tb.AddRow(label, eff.Name, fmt.Sprintf("%.1f", eff.PctDecrease))
+		}
+		tb.AddSeparator()
+	}
+	return tb.String(), nil
+}
+
+// Figure3 reproduces the C-factor study (SS2 with doubled ISQ/ROB ~ O3RS).
+func (s *Suite) Figure3() (string, error) {
+	machines := []config.Machine{
+		config.SS2(config.Factors{}),
+		config.SS2(config.Factors{C: true}),
+		config.SS1(),
+	}
+	intTab, err := s.perBenchmarkTable("Figure 3(a): Integer IPC, C-factor", machines, s.ints)
+	if err != nil {
+		return "", err
+	}
+	fpTab, err := s.perBenchmarkTable("Figure 3(b): Floating-point IPC, C-factor", machines, s.fps)
+	if err != nil {
+		return "", err
+	}
+	return intTab + "\n" + fpTab, nil
+}
+
+// Figure4 reproduces the S-factor study (SS2 with a 256-instruction
+// elastic stagger ~ SRT).
+func (s *Suite) Figure4() (string, error) {
+	machines := []config.Machine{
+		config.SS2(config.Factors{}),
+		config.SS2(config.Factors{S: true}),
+		config.SS1(),
+	}
+	intTab, err := s.perBenchmarkTable("Figure 4(a): Integer IPC, S-factor", machines, s.ints)
+	if err != nil {
+		return "", err
+	}
+	fpTab, err := s.perBenchmarkTable("Figure 4(b): Floating-point IPC, S-factor", machines, s.fps)
+	if err != nil {
+		return "", err
+	}
+	return intTab + "\n" + fpTab, nil
+}
+
+// Figure5 reproduces the stagger-degree sweep on SS2+S+C: maximum staggers
+// of 0, 256, 1K, and 1M instructions over the four benchmark classes.
+func (s *Suite) Figure5() (string, error) {
+	staggers := []int{0, 256, 1024, 1 << 20}
+	labels := []string{"0 Stagger", "256 Stagger", "1K Stagger", "1M Stagger"}
+	machines := make([]config.Machine, len(staggers))
+	for i, n := range staggers {
+		machines[i] = config.SS2(config.Factors{S: true, C: true}).WithStagger(n)
+	}
+	if err := s.sims.Batch(machines, s.profiles); err != nil {
+		return "", err
+	}
+	tb := stats.NewTable("Figure 5: IPC of SS2+S+C vs maximum stagger",
+		append([]string{"class"}, labels...)...)
+	for _, cls := range []struct {
+		name     string
+		profiles []trace.Profile
+		high     bool
+	}{
+		{"Integer Low", s.ints, false},
+		{"Integer High", s.ints, true},
+		{"Floating-point Low", s.fps, false},
+		{"Floating-point High", s.fps, true},
+	} {
+		row := make([]float64, len(machines))
+		for i, m := range machines {
+			av, err := s.sims.Averages(m, cls.profiles)
+			if err != nil {
+				return "", err
+			}
+			if cls.high {
+				row[i] = av.High
+			} else {
+				row[i] = av.Low
+			}
+		}
+		tb.AddRowf(cls.name, "%.2f", row...)
+	}
+	return tb.String(), nil
+}
+
+// Figure7 reproduces the headline SHREC comparison: SS2, SHREC, the
+// idealized SS2+S+C+B, and SS1.
+func (s *Suite) Figure7() (string, error) {
+	machines := []config.Machine{
+		config.SS2(config.Factors{}),
+		config.SHREC(),
+		config.SS2(config.Factors{S: true, C: true, B: true}),
+		config.SS1(),
+	}
+	intTab, err := s.perBenchmarkTable("Figure 7(a): Integer IPC, SHREC", machines, s.ints)
+	if err != nil {
+		return "", err
+	}
+	fpTab, err := s.perBenchmarkTable("Figure 7(b): Floating-point IPC, SHREC", machines, s.fps)
+	if err != nil {
+		return "", err
+	}
+	summary, err := s.penaltySummary(config.SS1(), config.SHREC())
+	if err != nil {
+		return "", err
+	}
+	return intTab + "\n" + fpTab + "\n" + summary, nil
+}
+
+// Figure8 reproduces the X-scaling sweep: IPC of SHREC and SS2 with 0.5X
+// to 2X issue bandwidth and functional units, per benchmark class.
+func (s *Suite) Figure8() (string, error) {
+	scales := []float64{0.5, 1, 1.5, 2}
+	type series struct {
+		label string
+		base  config.Machine
+		high  bool
+		fp    bool
+	}
+	all := []series{
+		{"SHREC - Int High", config.SHREC(), true, false},
+		{"SS2 - Int High", config.SS2(config.Factors{}), true, false},
+		{"SHREC - Int Low", config.SHREC(), false, false},
+		{"SS2 - Int Low", config.SS2(config.Factors{}), false, false},
+		{"SHREC - FP High", config.SHREC(), true, true},
+		{"SS2 - FP High", config.SS2(config.Factors{}), true, true},
+		{"SHREC - FP Low", config.SHREC(), false, true},
+		{"SS2 - FP Low", config.SS2(config.Factors{}), false, true},
+	}
+	var machines []config.Machine
+	for _, sc := range scales {
+		machines = append(machines,
+			config.SHREC().WithXScale(sc), config.SS2(config.Factors{}).WithXScale(sc))
+	}
+	if err := s.sims.Batch(machines, s.profiles); err != nil {
+		return "", err
+	}
+	tb := stats.NewTable("Figure 8: IPC vs issue/FU scaling (0.5X-2X)",
+		"series", "0.5X", "1X", "1.5X", "2X")
+	for _, sr := range all {
+		row := make([]float64, len(scales))
+		for i, sc := range scales {
+			m := sr.base.WithXScale(sc)
+			profiles := s.ints
+			if sr.fp {
+				profiles = s.fps
+			}
+			av, err := s.sims.Averages(m, profiles)
+			if err != nil {
+				return "", err
+			}
+			if sr.high {
+				row[i] = av.High
+			} else {
+				row[i] = av.Low
+			}
+		}
+		tb.AddRowf(sr.label, "%.2f", row...)
+	}
+	return tb.String(), nil
+}
+
+// ss1Machine, ss2Machine, and shrecMachine are tiny helpers for tests.
+func ss1Machine() config.Machine   { return config.SS1() }
+func ss2Machine() config.Machine   { return config.SS2(config.Factors{}) }
+func shrecMachine() config.Machine { return config.SHREC() }
+
+// Ablation is an extension beyond the paper's figures: it compares SS1,
+// SHREC (shared functional units), DIVA (dedicated checker pipeline,
+// Section 4.1), and SS2+X+C (which the paper's Table 2 notes approximates
+// both SS1 and DIVA). It quantifies exactly what SHREC's unit sharing
+// costs and confirms the paper's claim that DIVA tracks SS1.
+func (s *Suite) Ablation() (string, error) {
+	machines := []config.Machine{
+		config.SS1(),
+		config.DIVA(),
+		config.SHREC(),
+		config.SS2(config.Factors{X: true, C: true}),
+	}
+	intTab, err := s.perBenchmarkTable("Ablation (extension): shared vs dedicated checker units, integer", machines, s.ints)
+	if err != nil {
+		return "", err
+	}
+	fpTab, err := s.perBenchmarkTable("Ablation (extension): shared vs dedicated checker units, floating-point", machines, s.fps)
+	if err != nil {
+		return "", err
+	}
+	return intTab + "\n" + fpTab, nil
+}
+
+// O3RS is an extension beyond the paper's figures: it runs the real
+// Mendelson & Suri double-execution mechanism next to the SS2+C+B
+// configuration the paper uses to approximate it (Table 2's note), plus
+// the SS2 and SS1 anchors. If the approximation is sound, the O3RS and
+// SS2+CB columns should track each other.
+func (s *Suite) O3RS() (string, error) {
+	machines := []config.Machine{
+		config.SS2(config.Factors{}),
+		config.O3RS(),
+		config.SS2(config.Factors{C: true, B: true}),
+		config.SS1(),
+	}
+	intTab, err := s.perBenchmarkTable("O3RS validation (extension): real mechanism vs SS2+CB approximation, integer", machines, s.ints)
+	if err != nil {
+		return "", err
+	}
+	fpTab, err := s.perBenchmarkTable("O3RS validation (extension): real mechanism vs SS2+CB approximation, floating-point", machines, s.fps)
+	if err != nil {
+		return "", err
+	}
+	return intTab + "\n" + fpTab, nil
+}

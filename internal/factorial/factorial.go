@@ -1,0 +1,145 @@
+// Package factorial implements the 2^k full factorial analysis of
+// Box, Hunter & Hunter ("Statistics for Experimenters") that the paper's
+// Section 3.3 applies to the sixteen SS2 configurations.
+//
+// Given a response (CPI) measured at every combination of k two-level
+// factors, the analysis separates the average effect of each factor from
+// the effects of factor interactions. Responses are indexed by bitmask:
+// bit i set means factor i is at its high level.
+package factorial
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Analysis holds the decomposed effects of one 2^k design.
+type Analysis struct {
+	// Factors are the factor names, index-aligned with response bitmasks.
+	Factors []string
+	// GrandMean is the mean response over all 2^k configurations.
+	GrandMean float64
+	// Effects maps each non-empty factor subset (bitmask) to its effect
+	// in response units: the average change in response when the subset's
+	// factors move from low to high (for interactions, the standard
+	// Box-Hunter contrast).
+	Effects map[uint]float64
+}
+
+// Analyze runs the 2^k factorial decomposition. responses must have length
+// 2^len(factors), indexed by factor bitmask.
+func Analyze(factors []string, responses []float64) (*Analysis, error) {
+	k := len(factors)
+	if k == 0 || k > 16 {
+		return nil, fmt.Errorf("factorial: %d factors unsupported", k)
+	}
+	n := 1 << k
+	if len(responses) != n {
+		return nil, fmt.Errorf("factorial: need %d responses for %d factors, got %d", n, k, len(responses))
+	}
+	a := &Analysis{
+		Factors: append([]string(nil), factors...),
+		Effects: make(map[uint]float64, n-1),
+	}
+	var sum float64
+	for _, y := range responses {
+		sum += y
+	}
+	a.GrandMean = sum / float64(n)
+
+	// Effect of subset S: (2/n) * sum over configs c of y(c) * sign(c,S),
+	// where sign is +1 when an even number of S's factors are at the low
+	// level... equivalently product over i in S of (+1 if bit set else -1).
+	half := float64(n) / 2
+	for s := uint(1); s < uint(n); s++ {
+		var contrast float64
+		for c := 0; c < n; c++ {
+			if bits.OnesCount(uint(c)&s)%2 == bits.OnesCount(s)%2 {
+				contrast += responses[c]
+			} else {
+				contrast -= responses[c]
+			}
+		}
+		a.Effects[s] = contrast / half
+	}
+	return a, nil
+}
+
+// EffectPct returns the effect of subset mask as a percentage of the grand
+// mean response. For a CPI response, a negative percentage is a speedup;
+// the paper reports the magnitude of the CPI decrease, which is
+// -EffectPct for beneficial factors.
+func (a *Analysis) EffectPct(mask uint) float64 {
+	if a.GrandMean == 0 {
+		return 0
+	}
+	return 100 * a.Effects[mask] / a.GrandMean
+}
+
+// MaskFor returns the bitmask for a named subset like "X" or "X+S".
+func (a *Analysis) MaskFor(names ...string) (uint, error) {
+	var mask uint
+	for _, want := range names {
+		found := false
+		for i, f := range a.Factors {
+			if f == want {
+				mask |= 1 << uint(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("factorial: unknown factor %q", want)
+		}
+	}
+	return mask, nil
+}
+
+// SubsetName renders a bitmask like "X+S".
+func (a *Analysis) SubsetName(mask uint) string {
+	var parts []string
+	for i, f := range a.Factors {
+		if mask&(1<<uint(i)) != 0 {
+			parts = append(parts, f)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Effect is one named effect, used for sorted reporting.
+type Effect struct {
+	Mask uint
+	Name string
+	// PctDecrease is the percentage CPI decrease (performance increase)
+	// attributed to enabling the subset: positive is beneficial.
+	PctDecrease float64
+	// Order is the number of factors in the subset (1 = main effect).
+	Order int
+}
+
+// Significant returns all effects whose magnitude exceeds thresholdPct,
+// sorted by descending benefit, matching the paper's Table 3 presentation
+// (it reports effects > 3%).
+func (a *Analysis) Significant(thresholdPct float64) []Effect {
+	var out []Effect
+	for mask := range a.Effects {
+		pct := -a.EffectPct(mask) // CPI decrease = negative effect on CPI
+		if pct >= thresholdPct || pct <= -thresholdPct {
+			out = append(out, Effect{
+				Mask:        mask,
+				Name:        a.SubsetName(mask),
+				PctDecrease: pct,
+				Order:       bits.OnesCount(mask),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PctDecrease != out[j].PctDecrease {
+			return out[i].PctDecrease > out[j].PctDecrease
+		}
+		return out[i].Mask < out[j].Mask
+	})
+	return out
+}

@@ -1,0 +1,191 @@
+package factorial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Planting a purely additive model must recover exactly the planted main
+// effects and zero interactions.
+func TestRecoversAdditiveModel(t *testing.T) {
+	factors := []string{"X", "S", "C", "B"}
+	// CPI = 10 - 2*X - 1*S - 3*C - 0.5*B
+	resp := make([]float64, 16)
+	for c := 0; c < 16; c++ {
+		y := 10.0
+		if c&1 != 0 {
+			y -= 2
+		}
+		if c&2 != 0 {
+			y -= 1
+		}
+		if c&4 != 0 {
+			y -= 3
+		}
+		if c&8 != 0 {
+			y -= 0.5
+		}
+		resp[c] = y
+	}
+	a, err := Analyze(factors, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a.GrandMean, 10-1-0.5-1.5-0.25, 1e-12) {
+		t.Fatalf("grand mean = %v", a.GrandMean)
+	}
+	wantMain := map[string]float64{"X": -2, "S": -1, "C": -3, "B": -0.5}
+	for name, want := range wantMain {
+		mask, err := a.MaskFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Effects[mask]; !approx(got, want, 1e-9) {
+			t.Errorf("effect[%s] = %v, want %v", name, got, want)
+		}
+	}
+	// All interactions must vanish.
+	for mask, eff := range a.Effects {
+		if a.SubsetName(mask) != "X" && a.SubsetName(mask) != "S" &&
+			a.SubsetName(mask) != "C" && a.SubsetName(mask) != "B" {
+			if !approx(eff, 0, 1e-9) {
+				t.Errorf("interaction %s = %v, want 0", a.SubsetName(mask), eff)
+			}
+		}
+	}
+}
+
+// Planting a pure two-factor interaction must recover it and nothing else.
+func TestRecoversInteraction(t *testing.T) {
+	factors := []string{"A", "B"}
+	// y = 5 + 1.5*(A xor-interaction B): contributes +1.5 when both or
+	// neither are high with the standard coding y = mean + (eff/2)*sA*sB.
+	resp := make([]float64, 4)
+	for c := 0; c < 4; c++ {
+		sA, sB := -1.0, -1.0
+		if c&1 != 0 {
+			sA = 1
+		}
+		if c&2 != 0 {
+			sB = 1
+		}
+		resp[c] = 5 + 1.5/2*sA*sB
+	}
+	a, err := Analyze(factors, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskAB, _ := a.MaskFor("A", "B")
+	if got := a.Effects[maskAB]; !approx(got, 1.5, 1e-9) {
+		t.Fatalf("interaction = %v, want 1.5", got)
+	}
+	maskA, _ := a.MaskFor("A")
+	if got := a.Effects[maskA]; !approx(got, 0, 1e-9) {
+		t.Fatalf("main effect A = %v, want 0", got)
+	}
+}
+
+// The full model must reconstruct every response:
+// y(c) = mean + sum over subsets S of eff(S)/2^|S| * prod sign... with
+// standard orthogonal coding, y(c) = mean + 1/2 * sum eff(S)*sign(c,S).
+func TestModelReconstruction(t *testing.T) {
+	r := rng.New(77)
+	factors := []string{"X", "S", "C", "B"}
+	f := func(seed uint32) bool {
+		r.Seed(uint64(seed))
+		resp := make([]float64, 16)
+		for i := range resp {
+			resp[i] = 1 + 9*r.Float64()
+		}
+		a, err := Analyze(factors, resp)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < 16; c++ {
+			y := a.GrandMean
+			for s := uint(1); s < 16; s++ {
+				sign := 1.0
+				if popcount(uint(c)&s)%2 != popcount(s)%2 {
+					sign = -1
+				}
+				y += a.Effects[s] / 2 * sign
+			}
+			if !approx(y, resp[c], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func popcount(x uint) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestSignificantSortingAndThreshold(t *testing.T) {
+	factors := []string{"X", "C"}
+	// X lowers CPI by 4 (40% of mean 10), C by 1 (10%), interaction 0.
+	resp := []float64{12.5, 8.5, 11.5, 7.5}
+	a, err := Analyze(factors, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := a.Significant(15)
+	if len(sig) != 1 || sig[0].Name != "X" {
+		t.Fatalf("significant(15%%) = %+v", sig)
+	}
+	sig = a.Significant(5)
+	if len(sig) != 2 || sig[0].Name != "X" || sig[1].Name != "C" {
+		t.Fatalf("significant(5%%) = %+v", sig)
+	}
+	if sig[0].PctDecrease < sig[1].PctDecrease {
+		t.Fatal("not sorted by benefit")
+	}
+	if sig[0].Order != 1 {
+		t.Fatal("main effect order wrong")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Fatal("no factors accepted")
+	}
+	if _, err := Analyze([]string{"A"}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong response count accepted")
+	}
+}
+
+func TestMaskFor(t *testing.T) {
+	a, _ := Analyze([]string{"X", "S"}, []float64{1, 2, 3, 4})
+	if _, err := a.MaskFor("nope"); err == nil {
+		t.Fatal("unknown factor accepted")
+	}
+	m, err := a.MaskFor("X", "S")
+	if err != nil || m != 3 {
+		t.Fatalf("mask = %d, err=%v", m, err)
+	}
+	if a.SubsetName(3) != "X+S" {
+		t.Fatalf("subset name = %q", a.SubsetName(3))
+	}
+}
+
+func TestEffectPct(t *testing.T) {
+	a, _ := Analyze([]string{"X"}, []float64{10, 5})
+	mask, _ := a.MaskFor("X")
+	// Effect = -5, grand mean = 7.5 -> -66.7%.
+	if got := a.EffectPct(mask); !approx(got, -100*5/7.5, 1e-9) {
+		t.Fatalf("pct = %v", got)
+	}
+}

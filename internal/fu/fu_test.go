@@ -1,0 +1,226 @@
+package fu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := map[isa.OpClass]Class{
+		isa.OpIALU:   IALU,
+		isa.OpLoad:   IALU,
+		isa.OpStore:  IALU,
+		isa.OpBranch: IALU,
+		isa.OpIMul:   IMULDIV,
+		isa.OpIDiv:   IMULDIV,
+		isa.OpFAdd:   FADD,
+		isa.OpFMul:   FMULDIV,
+		isa.OpFDiv:   FMULDIV,
+	}
+	for op, want := range cases {
+		if got := ClassFor(op); got != want {
+			t.Errorf("ClassFor(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.Counts[IALU] != 8 || c.Counts[IMULDIV] != 2 || c.Counts[FADD] != 2 || c.Counts[FMULDIV] != 2 {
+		t.Fatalf("counts = %v", c.Counts)
+	}
+	wantLat := map[isa.OpClass]int{
+		isa.OpIALU: 1, isa.OpIMul: 3, isa.OpIDiv: 19,
+		isa.OpFAdd: 2, isa.OpFMul: 4, isa.OpFDiv: 12,
+	}
+	for op, want := range wantLat {
+		if got := c.Latency[op]; got != want {
+			t.Errorf("latency[%v] = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := DefaultConfig()
+	d := c.Double()
+	if d.Counts[IALU] != 16 || d.Counts[FADD] != 4 {
+		t.Fatalf("double = %v", d.Counts)
+	}
+	h := c.Scale(0.5)
+	if h.Counts[IALU] != 4 || h.Counts[IMULDIV] != 1 {
+		t.Fatalf("half = %v", h.Counts)
+	}
+	// Floor of one unit.
+	tiny := c.Scale(0.01)
+	for cl, n := range tiny.Counts {
+		if n != 1 {
+			t.Fatalf("scale floor violated for %v: %d", Class(cl), n)
+		}
+	}
+	// Latencies unchanged.
+	if d.Latency[isa.OpIDiv] != 19 {
+		t.Fatal("scaling changed latency")
+	}
+}
+
+func TestPerCyclePipelinedThroughput(t *testing.T) {
+	p := NewPool(DefaultConfig())
+	p.BeginCycle(0)
+	// 8 IALUs accept exactly 8 ops in one cycle.
+	for i := 0; i < 8; i++ {
+		if _, ok := p.TryIssue(0, isa.OpIALU); !ok {
+			t.Fatalf("IALU %d refused", i)
+		}
+	}
+	if _, ok := p.TryIssue(0, isa.OpIALU); ok {
+		t.Fatal("ninth IALU op accepted")
+	}
+	// Next cycle the pipelined units accept again.
+	p.BeginCycle(1)
+	if _, ok := p.TryIssue(1, isa.OpIALU); !ok {
+		t.Fatal("IALU refused after cycle boundary")
+	}
+}
+
+func TestUnpipelinedDivideBlocksUnit(t *testing.T) {
+	p := NewPool(DefaultConfig())
+	p.BeginCycle(0)
+	done, ok := p.TryIssue(0, isa.OpFDiv)
+	if !ok || done != 12 {
+		t.Fatalf("fdiv = (%d, %v)", done, ok)
+	}
+	if _, ok := p.TryIssue(0, isa.OpFDiv); !ok {
+		t.Fatal("second FMULDIV unit refused a divide")
+	}
+	// Both units now blocked: no FP multiply can start until cycle 12.
+	for cyc := int64(1); cyc < 12; cyc++ {
+		p.BeginCycle(cyc)
+		if _, ok := p.TryIssue(cyc, isa.OpFMul); ok {
+			t.Fatalf("fmul issued at cycle %d while both units divide", cyc)
+		}
+	}
+	p.BeginCycle(12)
+	if _, ok := p.TryIssue(12, isa.OpFMul); !ok {
+		t.Fatal("fmul refused after divides completed")
+	}
+}
+
+func TestMixedPipelinedUnpipelinedBudget(t *testing.T) {
+	// One multiply then one divide in the same cycle: both fit on the two
+	// IMULDIV units; a third op must be refused.
+	p := NewPool(DefaultConfig())
+	p.BeginCycle(0)
+	if _, ok := p.TryIssue(0, isa.OpIMul); !ok {
+		t.Fatal("imul refused")
+	}
+	if _, ok := p.TryIssue(0, isa.OpIDiv); !ok {
+		t.Fatal("idiv refused with a second unit free")
+	}
+	if _, ok := p.TryIssue(0, isa.OpIMul); ok {
+		t.Fatal("third op accepted on two units")
+	}
+	// Next cycle: divide holds one unit, so only one multiply fits.
+	p.BeginCycle(1)
+	if _, ok := p.TryIssue(1, isa.OpIMul); !ok {
+		t.Fatal("imul refused with one unit free")
+	}
+	if _, ok := p.TryIssue(1, isa.OpIMul); ok {
+		t.Fatal("second imul accepted while divide occupies a unit")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	p := NewPool(DefaultConfig())
+	cases := map[isa.OpClass]int64{
+		isa.OpIALU: 1, isa.OpIMul: 3, isa.OpFAdd: 2, isa.OpFMul: 4,
+		isa.OpLoad: 1, isa.OpStore: 1, isa.OpBranch: 1,
+	}
+	cyc := int64(0)
+	for op, lat := range cases {
+		p.BeginCycle(cyc)
+		done, ok := p.TryIssue(cyc, op)
+		if !ok || done != cyc+lat {
+			t.Errorf("%v: done=%d ok=%v, want %d", op, done, ok, cyc+lat)
+		}
+		cyc += 100
+	}
+}
+
+func TestAvailableDoesNotReserve(t *testing.T) {
+	p := NewPool(DefaultConfig())
+	p.BeginCycle(0)
+	for i := 0; i < 100; i++ {
+		if !p.Available(0, isa.OpFAdd) {
+			t.Fatal("Available consumed capacity")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := NewPool(DefaultConfig())
+	p.BeginCycle(0)
+	p.TryIssue(0, isa.OpFAdd)
+	p.TryIssue(0, isa.OpFAdd)
+	p.TryIssue(0, isa.OpFAdd) // refused
+	iss, ref := p.Issued(), p.Refused()
+	if iss[FADD] != 2 || ref[FADD] != 1 {
+		t.Fatalf("issued=%d refused=%d", iss[FADD], ref[FADD])
+	}
+	util := p.Utilization(1)
+	if util[FADD] != 1.0 {
+		t.Fatalf("FADD utilization = %v", util[FADD])
+	}
+	if p.Utilization(0)[FADD] != 0 {
+		t.Fatal("zero-cycle utilization must be 0")
+	}
+}
+
+func TestNewPoolPanicsOnEmptyClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var cfg Config
+	cfg.Counts[IALU] = 0
+	NewPool(cfg)
+}
+
+// Property: over any random issue sequence, per-class issues in one cycle
+// never exceed the unit count, and unpipelined ops never overlap more than
+// the unit count.
+func TestIssueNeverExceedsCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	p := NewPool(cfg)
+	r := rng.New(11)
+	ops := []isa.OpClass{
+		isa.OpIALU, isa.OpIMul, isa.OpIDiv, isa.OpFAdd, isa.OpFMul, isa.OpFDiv,
+	}
+	for cyc := int64(0); cyc < 2000; cyc++ {
+		p.BeginCycle(cyc)
+		var perClass [NumClasses]int
+		for try := 0; try < 20; try++ {
+			op := ops[r.Intn(len(ops))]
+			if _, ok := p.TryIssue(cyc, op); ok {
+				perClass[ClassFor(op)]++
+			}
+		}
+		for c := 0; c < NumClasses; c++ {
+			if perClass[c] > cfg.Counts[c] {
+				t.Fatalf("cycle %d: class %v issued %d > %d units",
+					cyc, Class(c), perClass[c], cfg.Counts[c])
+			}
+		}
+	}
+}
+
+func BenchmarkTryIssue(b *testing.B) {
+	p := NewPool(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		now := int64(i / 8)
+		p.BeginCycle(now)
+		p.TryIssue(now, isa.OpIALU)
+	}
+}

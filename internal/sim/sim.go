@@ -1,0 +1,216 @@
+// Package sim drives simulations: it runs (machine, workload) pairs with
+// cache/predictor warmup, caches results, parallelizes across cores, and
+// aggregates IPCs the way the paper does (harmonic means over benchmark
+// classes).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options controls simulation length.
+type Options struct {
+	// WarmupInstrs are executed before counters reset, hiding cold-start
+	// effects (the paper measures SimPoint regions from mid-execution).
+	WarmupInstrs uint64
+	// MeasureInstrs are executed with counters enabled.
+	MeasureInstrs uint64
+	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions returns the experiment-scale run lengths.
+func DefaultOptions() Options {
+	return Options{WarmupInstrs: 500_000, MeasureInstrs: 1_000_000}
+}
+
+// QuickOptions returns short runs for smoke tests.
+func QuickOptions() Options {
+	return Options{WarmupInstrs: 30_000, MeasureInstrs: 100_000}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Benchmark string
+	Class     trace.Class
+	HighIPC   bool
+	Machine   string
+	Stats     core.Stats
+}
+
+// IPC returns the run's instructions per cycle.
+func (r Result) IPC() float64 { return r.Stats.IPC() }
+
+// CPI returns the run's cycles per instruction.
+func (r Result) CPI() float64 { return r.Stats.CPI() }
+
+// Run simulates one machine on one workload.
+func Run(m config.Machine, p trace.Profile, opt Options) (Result, error) {
+	e := core.New(m, trace.New(p))
+	if opt.WarmupInstrs > 0 {
+		if err := e.Warmup(opt.WarmupInstrs); err != nil {
+			return Result{}, fmt.Errorf("sim: warmup: %w", err)
+		}
+	}
+	st, err := e.Run(opt.MeasureInstrs)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	return Result{
+		Benchmark: p.Name,
+		Class:     p.Class,
+		HighIPC:   p.HighIPC,
+		Machine:   m.Name,
+		Stats:     st,
+	}, nil
+}
+
+// Suite runs and memoizes simulations so experiments that share
+// configurations (for example Table 2 and Figures 3/4) reuse results.
+type Suite struct {
+	opt Options
+
+	mu    sync.Mutex
+	cache map[string]Result // key: machine name + "\x00" + benchmark
+}
+
+// NewSuite builds a suite with the given options.
+func NewSuite(opt Options) *Suite {
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Suite{opt: opt, cache: make(map[string]Result)}
+}
+
+// Options returns the suite's run options.
+func (s *Suite) Options() Options { return s.opt }
+
+func key(m config.Machine, p trace.Profile) string { return m.Name + "\x00" + p.Name }
+
+// Batch runs every (machine, profile) pair, in parallel, reusing cached
+// results. It returns the first error encountered.
+func (s *Suite) Batch(machines []config.Machine, profiles []trace.Profile) error {
+	type job struct {
+		m config.Machine
+		p trace.Profile
+	}
+	var jobs []job
+	s.mu.Lock()
+	for _, m := range machines {
+		for _, p := range profiles {
+			if _, ok := s.cache[key(m, p)]; !ok {
+				jobs = append(jobs, job{m, p})
+			}
+		}
+	}
+	s.mu.Unlock()
+	if len(jobs) == 0 {
+		return nil
+	}
+
+	sem := make(chan struct{}, s.opt.Parallelism)
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := Run(j.m, j.p, s.opt)
+			if err != nil {
+				errCh <- fmt.Errorf("%s on %s: %w", j.m.Name, j.p.Name, err)
+				return
+			}
+			s.mu.Lock()
+			s.cache[key(j.m, j.p)] = res
+			s.mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	return nil
+}
+
+// Get returns the cached result, running the simulation if needed.
+func (s *Suite) Get(m config.Machine, p trace.Profile) (Result, error) {
+	s.mu.Lock()
+	res, ok := s.cache[key(m, p)]
+	s.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	res, err := Run(m, p, s.opt)
+	if err != nil {
+		return Result{}, err
+	}
+	s.mu.Lock()
+	s.cache[key(m, p)] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// IPC is a convenience accessor.
+func (s *Suite) IPC(m config.Machine, p trace.Profile) (float64, error) {
+	res, err := s.Get(m, p)
+	if err != nil {
+		return 0, err
+	}
+	return res.IPC(), nil
+}
+
+// ClassAverages holds the paper's three harmonic-mean aggregates for one
+// benchmark class (integer or floating point).
+type ClassAverages struct {
+	All, High, Low float64
+}
+
+// Averages computes harmonic-mean IPCs over profiles for one machine,
+// split into the paper's overall/high-IPC/low-IPC aggregates.
+func (s *Suite) Averages(m config.Machine, profiles []trace.Profile) (ClassAverages, error) {
+	var all, high, low []float64
+	for _, p := range profiles {
+		res, err := s.Get(m, p)
+		if err != nil {
+			return ClassAverages{}, err
+		}
+		ipc := res.IPC()
+		all = append(all, ipc)
+		if p.HighIPC {
+			high = append(high, ipc)
+		} else {
+			low = append(low, ipc)
+		}
+	}
+	return ClassAverages{
+		All:  stats.HarmonicMean(all),
+		High: stats.HarmonicMean(high),
+		Low:  stats.HarmonicMean(low),
+	}, nil
+}
+
+// MeanCPI returns the arithmetic-mean CPI over profiles for one machine.
+// CPI is additive across equal instruction counts, so arithmetic means are
+// the correct aggregate for factorial analysis (the paper analyzes CPI for
+// the same reason).
+func (s *Suite) MeanCPI(m config.Machine, profiles []trace.Profile) (float64, error) {
+	var sum float64
+	for _, p := range profiles {
+		res, err := s.Get(m, p)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.CPI()
+	}
+	return sum / float64(len(profiles)), nil
+}

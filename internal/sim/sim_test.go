@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+func tinyOpts() Options {
+	return Options{WarmupInstrs: 5000, MeasureInstrs: 10000, Parallelism: 8}
+}
+
+func TestRunProducesResult(t *testing.T) {
+	p, err := workload.ByName("gzip-graphic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(config.SS1(), p, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "gzip-graphic" || res.Machine != "SS1" {
+		t.Fatalf("labels = %s/%s", res.Benchmark, res.Machine)
+	}
+	if res.IPC() <= 0 || res.CPI() <= 0 {
+		t.Fatalf("IPC=%v CPI=%v", res.IPC(), res.CPI())
+	}
+	if res.Stats.Retired < tinyOpts().MeasureInstrs {
+		t.Fatal("run shorter than requested")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, _ := workload.ByName("parser")
+	a, err := Run(config.SHREC(), p, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(config.SHREC(), p, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestSuiteBatchAndCache(t *testing.T) {
+	s := NewSuite(tinyOpts())
+	machines := []config.Machine{config.SS1(), config.SS2(config.Factors{})}
+	profiles := workload.Integer()[:3]
+	if err := s.Batch(machines, profiles); err != nil {
+		t.Fatal(err)
+	}
+	// Cached access must return identical values.
+	r1, err := s.Get(machines[0], profiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := s.Get(machines[0], profiles[0])
+	if r1.Stats != r2.Stats {
+		t.Fatal("cache returned different results")
+	}
+	// Batch again is a no-op (all cached) and must not error.
+	if err := s.Batch(machines, profiles); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverages(t *testing.T) {
+	s := NewSuite(tinyOpts())
+	profiles := workload.Integer()
+	av, err := s.Averages(config.SS1(), profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.All <= 0 || av.High <= 0 || av.Low <= 0 {
+		t.Fatalf("averages = %+v", av)
+	}
+	// Harmonic mean over all must lie between the subset means.
+	lo, hi := av.Low, av.High
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if av.All < lo || av.All > hi {
+		t.Fatalf("overall %v outside [%v, %v]", av.All, lo, hi)
+	}
+	// The high-IPC subset must in fact be faster.
+	if av.High <= av.Low {
+		t.Fatalf("high %v <= low %v", av.High, av.Low)
+	}
+}
+
+func TestMeanCPI(t *testing.T) {
+	s := NewSuite(tinyOpts())
+	profiles := workload.Integer()[:2]
+	cpi, err := s.MeanCPI(config.SS1(), profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi <= 0 || cpi > 50 {
+		t.Fatalf("mean CPI = %v", cpi)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	p, _ := workload.ByName("swim")
+	bad := config.SS1()
+	bad.Name = "bad"
+	bad.IssueWidth = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid machine not rejected")
+		}
+	}()
+	_, _ = Run(bad, p, tinyOpts())
+}
+
+func TestDefaultAndQuickOptions(t *testing.T) {
+	d, q := DefaultOptions(), QuickOptions()
+	if d.MeasureInstrs <= q.MeasureInstrs {
+		t.Fatal("default must measure more than quick")
+	}
+	if d.WarmupInstrs == 0 || q.WarmupInstrs == 0 {
+		t.Fatal("warmup must be enabled in both presets")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := key(config.SS1(), workload.All()[0])
+	b := key(config.SS2(config.Factors{}), workload.All()[0])
+	c := key(config.SS1(), workload.All()[1])
+	if a == b || a == c || !strings.Contains(a, "\x00") {
+		t.Fatal("cache keys collide")
+	}
+}

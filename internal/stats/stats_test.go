@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean(nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := HarmonicMean([]float64{2, 2, 2}); !approx(got, 2, 1e-12) {
+		t.Fatalf("constant = %v", got)
+	}
+	// H(1,2) = 2/(1+0.5) = 4/3.
+	if got := HarmonicMean([]float64{1, 2}); !approx(got, 4.0/3, 1e-12) {
+		t.Fatalf("H(1,2) = %v", got)
+	}
+}
+
+func TestHarmonicMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero value")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+// Harmonic mean of IPCs equals instructions/total-cycles when every
+// benchmark runs the same instruction count — the reason the paper uses it.
+func TestHarmonicMeanIsCPIAdditive(t *testing.T) {
+	ipcs := []float64{0.5, 1.25, 4.0}
+	const instrs = 1e6
+	var cycles float64
+	for _, ipc := range ipcs {
+		cycles += instrs / ipc
+	}
+	want := 3 * instrs / cycles
+	if got := HarmonicMean(ipcs); !approx(got, want, 1e-9) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestHarmonicLEGeoLEArith(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a%100) + 1, float64(b%100) + 1, float64(c%100) + 1}
+		h, g, m := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		return h <= g+1e-9 && g <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !approx(got, 2, 1e-12) {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !approx(got, 2, 1e-12) {
+		t.Fatalf("G(1,4) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	if got := PctChange(2, 3); !approx(got, 50, 1e-12) {
+		t.Fatalf("PctChange(2,3) = %v", got)
+	}
+	if got := PctChange(4, 3); !approx(got, -25, 1e-12) {
+		t.Fatalf("PctChange(4,3) = %v", got)
+	}
+	if got := PctPenalty(4, 3); !approx(got, 25, 1e-12) {
+		t.Fatalf("PctPenalty(4,3) = %v", got)
+	}
+}
+
+func TestPctChangePanicsOnZeroBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PctChange(0, 1)
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if !approx(got, 2, 1e-12) {
+		t.Fatalf("equal weights = %v", got)
+	}
+	got = WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if !approx(got, 1.5, 1e-12) {
+		t.Fatalf("weighted = %v", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("min/max wrong")
+	}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("median odd = %v", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); !approx(got, 2.5, 1e-12) {
+		t.Fatalf("median even = %v", got)
+	}
+	// Median must not mutate its argument.
+	if xs[0] != 3 || xs[4] != 5 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != int64(len(xs)) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !approx(r.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if !approx(r.Var(), 4, 1e-9) {
+		t.Fatalf("var = %v", r.Var())
+	}
+	if !approx(r.Stddev(), 2, 1e-9) {
+		t.Fatalf("stddev = %v", r.Stddev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.N() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Running
+		var xs []float64
+		for _, v := range raw {
+			x := float64(v)
+			r.Add(x)
+			xs = append(xs, x)
+		}
+		return approx(r.Mean(), Mean(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "bench", "SS1", "SS2")
+	tb.AddRowf("gap", "%.2f", 1.0, 0.9)
+	tb.AddSeparator()
+	tb.AddRow("avg", "1.00", "0.90")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "gap") || !strings.Contains(out, "0.90") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, rule, row, rule, row
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if strings.TrimRight(l, " ") != l {
+			t.Error("trailing whitespace in table output")
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x")
+	tb.AddRow("y", "1", "2") // extends beyond header
+	out := tb.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "2") {
+		t.Errorf("ragged rows mishandled:\n%s", out)
+	}
+}

@@ -1,0 +1,203 @@
+// Package trace synthesizes deterministic dynamic instruction streams that
+// stand in for the paper's SPEC2K SimPoint traces.
+//
+// The paper's conclusions are about resource behavior — issue and
+// functional unit utilization, out-of-order window occupancy, branch
+// misprediction rates, and cache miss patterns — not about program
+// semantics. Each workload is therefore described by a Profile: a
+// statistical model of a program with a fixed code layout (basic blocks
+// with per-branch behaviors), an instruction mix, a dependency-distance
+// distribution that sets the available ILP, and data address streams that
+// set the cache behavior. Given the same Profile, the generator emits a
+// bit-identical instruction stream on every run, so different machine
+// configurations simulate exactly the same "program".
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Class labels a profile as an integer or floating-point benchmark, which
+// the paper aggregates separately.
+type Class uint8
+
+const (
+	// IntClass marks SPECint-like profiles.
+	IntClass Class = iota
+	// FPClass marks SPECfp-like profiles.
+	FPClass
+)
+
+// String returns "int" or "fp".
+func (c Class) String() string {
+	if c == IntClass {
+		return "int"
+	}
+	return "fp"
+}
+
+// Phase is one statistical regime of a program. Programs with a single
+// phase are homogeneous; multi-phase profiles alternate regimes to model
+// the IPC fluctuation the paper identifies as a SHREC opportunity.
+type Phase struct {
+	// Len is the number of dynamic instructions per repetition of this
+	// phase.
+	Len int
+	// Mix weights non-branch instruction classes (branch weight must be
+	// zero; branches come from block terminators).
+	Mix [isa.NumOpClasses]float64
+	// DepMean is the mean register dependency distance in dynamic
+	// instructions; larger means more ILP. DepMax caps the distance (it
+	// must stay below the generator's register rotation of 48).
+	DepMean float64
+	DepMax  int
+	// ChainFrac is the probability that an instruction reads the
+	// immediately preceding result, creating serial chains.
+	ChainFrac float64
+	// SrcTwoProb is the probability of a second register source.
+	SrcTwoProb float64
+	// DataFootprint is the data working set in bytes; addresses fall
+	// inside it. Footprints beyond the 2MB L2 produce memory-bound
+	// behavior.
+	DataFootprint uint64
+	// StrideFrac is the fraction of memory accesses that walk the
+	// footprint sequentially (with StrideBytes spacing); the rest are
+	// uniform random within the footprint.
+	StrideFrac float64
+	// StrideBytes is the stride of the sequential walk (default 8).
+	StrideBytes uint64
+	// PointerChaseFrac is the probability that a load is a member of a
+	// pointer-chase chain: its address depends on the previous chain
+	// member's result, serializing memory accesses (parser/twolf-like
+	// behavior).
+	PointerChaseFrac float64
+	// ChaseColdFrac is the probability that a chase link dereferences
+	// into the cold footprint (sparse-matrix indirection, equake-like)
+	// rather than the hot region. Cold links serialize at memory latency
+	// and are dramatically more expensive.
+	ChaseColdFrac float64
+	// HotFrac is the fraction of memory accesses that hit a small hot
+	// region of HotBytes (stack frames, hot structures); the remainder
+	// follows the strided/random model over the full footprint. This is
+	// the locality knob that sets realistic L1 miss rates.
+	HotFrac float64
+	// HotBytes is the hot region size (default 32KB when HotFrac > 0).
+	HotBytes uint64
+	// BranchSpineFrac is the probability that a conditional branch's
+	// operand comes from the quickly-available ALU spine (loop counters)
+	// rather than from arbitrary data; spine-resolved branches have short
+	// misprediction penalties, data-dependent ones resolve late.
+	BranchSpineFrac float64
+}
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	// Name is the benchmark name (for example "swim").
+	Name string
+	// Class is IntClass or FPClass.
+	Class Class
+	// HighIPC marks membership in the paper's high-IPC subset.
+	HighIPC bool
+	// Seed selects the deterministic stream.
+	Seed uint64
+
+	// CodeFootprint is the static code size in bytes; it determines L1I
+	// behavior. The code is laid out as contiguous basic blocks.
+	CodeFootprint uint64
+	// CodeHotFrac is the probability that a branch target falls in the
+	// hot-code region (the first CodeHotBytes of the layout), modeling
+	// the 90/10 locality of real programs. Zero means uniform targets,
+	// which thrashes the L1I for large code footprints.
+	CodeHotFrac float64
+	// CodeHotBytes is the hot-code region size (default 32KB when
+	// CodeHotFrac > 0).
+	CodeHotBytes uint64
+	// AvgBlockLen is the mean basic block length in instructions
+	// (the dynamic branch fraction is roughly 1/AvgBlockLen).
+	AvgBlockLen float64
+	// LoopFrac, UncondFrac, IndirectFrac partition block-terminating
+	// branches: LoopFrac are backward self-loops (taken loopMean-1 times
+	// per entry), UncondFrac are unconditional jumps, IndirectFrac are
+	// indirect jumps with IndirectTargets possible targets; the rest are
+	// conditional branches with per-branch bias.
+	LoopFrac, UncondFrac, IndirectFrac float64
+	// LoopMean is the mean iteration count of loop branches. Each loop
+	// block gets a fixed trip count drawn around this mean at build time,
+	// so loop exits are periodic: short loops are fully predictable via
+	// local history, long ones mispredict roughly once per exit.
+	LoopMean float64
+	// PredictableFrac is the fraction of conditional branches with an
+	// extreme (easily predicted) bias; the rest draw a bias uniformly
+	// from [0.2, 0.8] and mispredict often.
+	PredictableFrac float64
+	// IndirectTargets is the number of distinct targets per indirect
+	// branch (the favorite is chosen 70% of the time).
+	IndirectTargets int
+
+	// Phases holds at least one phase, cycled in order.
+	Phases []Phase
+}
+
+// Validate reports configuration errors that would make generation
+// ill-defined.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("profile without name")
+	}
+	if p.CodeFootprint < 4096 {
+		return fmt.Errorf("%s: code footprint %d too small", p.Name, p.CodeFootprint)
+	}
+	if p.AvgBlockLen < 2 {
+		return fmt.Errorf("%s: average block length %v too small", p.Name, p.AvgBlockLen)
+	}
+	if f := p.LoopFrac + p.UncondFrac + p.IndirectFrac; f > 1 {
+		return fmt.Errorf("%s: branch kind fractions sum to %v > 1", p.Name, f)
+	}
+	if p.IndirectFrac > 0 && p.IndirectTargets < 1 {
+		return fmt.Errorf("%s: indirect branches need IndirectTargets >= 1", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("%s: no phases", p.Name)
+	}
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if ph.Len <= 0 {
+			return fmt.Errorf("%s phase %d: non-positive length", p.Name, i)
+		}
+		if ph.Mix[isa.OpBranch] != 0 {
+			return fmt.Errorf("%s phase %d: branch weight must be zero (branches come from blocks)", p.Name, i)
+		}
+		var total float64
+		for _, w := range ph.Mix {
+			if w < 0 {
+				return fmt.Errorf("%s phase %d: negative mix weight", p.Name, i)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("%s phase %d: empty mix", p.Name, i)
+		}
+		if ph.DepMax <= 0 || ph.DepMax > maxDepDistance {
+			return fmt.Errorf("%s phase %d: DepMax %d out of (0, %d]", p.Name, i, ph.DepMax, maxDepDistance)
+		}
+		if ph.DepMean < 1 {
+			return fmt.Errorf("%s phase %d: DepMean %v < 1", p.Name, i, ph.DepMean)
+		}
+		if ph.DataFootprint < 64 {
+			return fmt.Errorf("%s phase %d: data footprint too small", p.Name, i)
+		}
+		if ph.HotFrac < 0 || ph.HotFrac > 1 {
+			return fmt.Errorf("%s phase %d: HotFrac %v out of [0,1]", p.Name, i, ph.HotFrac)
+		}
+		if ph.BranchSpineFrac < 0 || ph.BranchSpineFrac > 1 {
+			return fmt.Errorf("%s phase %d: BranchSpineFrac %v out of [0,1]", p.Name, i, ph.BranchSpineFrac)
+		}
+	}
+	return nil
+}
+
+// BranchFraction returns the approximate dynamic branch fraction implied by
+// the block structure.
+func (p *Profile) BranchFraction() float64 { return 1 / p.AvgBlockLen }
