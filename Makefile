@@ -1,0 +1,33 @@
+# Makefile — the same entry points CI uses, so humans and automation
+# invoke identical commands.
+
+GO ?= go
+
+.PHONY: build test test-full race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+# Fast suite: slow qualitative sweeps are gated behind -short equivalents.
+test:
+	$(GO) test -short ./...
+
+# Full suite, including the full-scale qualitative experiments (~1 min).
+test-full:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Benchmark smoke pass: every benchmark once, no test functions.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt test

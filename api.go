@@ -19,6 +19,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -88,17 +90,32 @@ func WorkloadByName(name string) (Profile, error) { return workload.ByName(name)
 
 // Simulate runs the named benchmark on machine m and returns its result.
 func Simulate(m Machine, benchmark string, opt Options) (Result, error) {
+	return SimulateContext(context.Background(), m, benchmark, opt)
+}
+
+// SimulateContext is Simulate bounded by ctx: cancellation or a deadline
+// stops the simulation at the next engine checkpoint.
+func SimulateContext(ctx context.Context, m Machine, benchmark string, opt Options) (Result, error) {
 	p, err := workload.ByName(benchmark)
 	if err != nil {
 		return Result{}, err
 	}
-	return sim.Run(m, p, opt)
+	return sim.RunContext(ctx, m, p, opt)
 }
 
 // SimulateProfile runs a custom workload profile on machine m.
 func SimulateProfile(m Machine, p Profile, opt Options) (Result, error) {
 	return sim.Run(m, p, opt)
 }
+
+// SimulateProfileContext is SimulateProfile bounded by ctx.
+func SimulateProfileContext(ctx context.Context, m Machine, p Profile, opt Options) (Result, error) {
+	return sim.RunContext(ctx, m, p, opt)
+}
+
+// MachineByName parses a machine specification ("ss1", "ss2+sc",
+// "shrec", "diva", "o3rs").
+func MachineByName(name string) (Machine, error) { return config.ByName(name) }
 
 // NewEngine builds a bare simulation engine for custom drivers (manual
 // warmup, fault injection studies, per-cycle inspection).
@@ -136,7 +153,12 @@ func ExperimentNames() []string { return experiments.Names() }
 // "table3", "fig3", "fig4", "fig5", "fig7", "fig8") and returns its
 // rendered text.
 func RunExperiment(name string, opt Options) (string, error) {
-	return experiments.NewSuite(opt).Run(name)
+	return RunExperimentContext(context.Background(), name, opt)
+}
+
+// RunExperimentContext is RunExperiment bounded by ctx.
+func RunExperimentContext(ctx context.Context, name string, opt Options) (string, error) {
+	return experiments.NewSuite(opt).Run(ctx, name)
 }
 
 // NewExperimentSuite returns a suite that caches simulation results across

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -156,14 +157,15 @@ func BenchmarkEnginePerMode(b *testing.B) {
 func BenchmarkSuiteCache(b *testing.B) {
 	opt := sim.Options{WarmupInstrs: 1000, MeasureInstrs: 2000}
 	s := sim.NewSuite(opt)
+	ctx := context.Background()
 	p, _ := workload.ByName("gzip-graphic")
 	m := config.SS1()
-	if _, err := s.Get(m, p); err != nil {
+	if _, err := s.Get(ctx, m, p); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Get(m, p); err != nil {
+		if _, err := s.Get(ctx, m, p); err != nil {
 			b.Fatal(err)
 		}
 	}

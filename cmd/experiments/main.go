@@ -2,30 +2,39 @@
 //
 // Usage:
 //
-//	experiments [-run fig2,table2,...|all] [-n instrs] [-warmup instrs] [-par N] [-quick]
+//	experiments [-run fig2,table2,...,ablation,o3rs|all] [-n instrs] [-warmup instrs]
+//	            [-par N] [-quick] [-store results.jsonl]
 //
 // Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured comparison.
+// EXPERIMENTS.md for the paper-vs-measured comparison. With -store,
+// simulation results persist to a JSON-lines file and later runs (of any
+// experiment sharing configurations) reuse them instead of resimulating.
+// Ctrl-C cancels in-flight simulations promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiments to run (fig2,table2,table3,fig3,fig4,fig5,fig7,fig8) or 'all'")
-		n       = flag.Uint64("n", 0, "measured instructions per run (default 1,000,000)")
-		warmup  = flag.Uint64("warmup", 0, "warmup instructions per run (default 200,000)")
-		par     = flag.Int("par", 0, "max parallel simulations (default GOMAXPROCS)")
-		quick   = flag.Bool("quick", false, "short runs (100k measured) for a fast smoke pass")
+		runList   = flag.String("run", "all", "comma-separated experiments to run (fig2,table2,table3,fig3,fig4,fig5,fig7,fig8,ablation,o3rs) or 'all'")
+		n         = flag.Uint64("n", 0, "measured instructions per run (default 1,000,000)")
+		warmup    = flag.Uint64("warmup", 0, "warmup instructions per run (default 500,000)")
+		par       = flag.Int("par", 0, "max parallel simulations (default GOMAXPROCS)")
+		quick     = flag.Bool("quick", false, "short runs (100k measured) for a fast smoke pass")
+		storePath = flag.String("store", "", "persist simulation results to this JSON-lines file and reuse them across runs")
 	)
 	flag.Parse()
 
@@ -46,15 +55,36 @@ func main() {
 		names = strings.Split(*runList, ",")
 	}
 
-	suite := experiments.NewSuite(opt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sims := sim.NewSuite(opt)
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		sims.WithStore(st)
+	}
+
+	suite := experiments.NewSuiteWith(sims)
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
-		out, err := suite.Run(name)
+		out, err := suite.Run(ctx, name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+	if *storePath != "" {
+		msg := fmt.Sprintf("(%d simulated, %d cache hits; store %s", sims.Runs(), sims.Hits(), *storePath)
+		if n := sims.StoreErrors(); n > 0 {
+			msg += fmt.Sprintf(", %d write failures", n)
+		}
+		fmt.Println(msg + ")")
 	}
 }

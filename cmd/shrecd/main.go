@@ -1,0 +1,109 @@
+// Command shrecd serves the SHREC simulation engine over HTTP.
+//
+// Usage:
+//
+//	shrecd [-addr :8080] [-n instrs] [-warmup instrs] [-workers N]
+//	       [-par N] [-store results.jsonl]
+//
+// Endpoints:
+//
+//	POST /simulate            {"machine":"shrec","benchmark":"swim",
+//	                           "warmup_instrs":0,"measure_instrs":0}
+//	POST /experiments/{name}  regenerate one paper table/figure
+//	GET  /results             every cached result plus cache metrics
+//	GET  /healthz             liveness and pool configuration
+//
+// Duplicate in-flight requests for the same (machine, benchmark,
+// options) key share one simulation; results are cached in memory and,
+// with -store, persisted across restarts. SIGINT/SIGTERM drain in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/shrecd"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		n         = flag.Uint64("n", 0, "default measured instructions per run (default 1,000,000)")
+		warmup    = flag.Uint64("warmup", 0, "default warmup instructions per run (default 500,000)")
+		par       = flag.Int("par", 0, "max parallel simulations in the engine (default GOMAXPROCS)")
+		workers   = flag.Int("workers", 16, "max concurrently served simulation requests")
+		maxInstrs = flag.Int64("maxinstrs", 0, "cap on per-request warmup+measure instructions (0 = default 10M, negative = uncapped)")
+		storePath = flag.String("store", "", "persist results to this JSON-lines file across restarts")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	opt := sim.DefaultOptions()
+	if *n > 0 {
+		opt.MeasureInstrs = *n
+	}
+	if *warmup > 0 {
+		opt.WarmupInstrs = *warmup
+	}
+	opt.Parallelism = *par
+
+	sims := sim.NewSuite(opt)
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shrecd:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		sims.WithStore(st)
+		fmt.Printf("shrecd: store %s (%d results loaded)\n", *storePath, st.Len())
+	}
+
+	srv := shrecd.NewWith(shrecd.Config{
+		DefaultOptions: opt,
+		MaxConcurrent:  *workers,
+		MaxInstrs:      *maxInstrs,
+	}, sims)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("shrecd: listening on %s (workers=%d, warmup=%d, measure=%d)\n",
+		*addr, *workers, opt.WarmupInstrs, opt.MeasureInstrs)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "shrecd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C force-quits
+		fmt.Println("shrecd: draining...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "shrecd: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("shrecd: bye")
+}

@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -22,40 +21,6 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
-
-func machineFor(name string) (config.Machine, error) {
-	lower := strings.ToLower(name)
-	switch {
-	case lower == "ss1":
-		return config.SS1(), nil
-	case lower == "shrec":
-		return config.SHREC(), nil
-	case lower == "diva":
-		return config.DIVA(), nil
-	case lower == "o3rs":
-		return config.O3RS(), nil
-	case lower == "ss2":
-		return config.SS2(config.Factors{}), nil
-	case strings.HasPrefix(lower, "ss2+"):
-		var f config.Factors
-		for _, c := range lower[len("ss2+"):] {
-			switch c {
-			case 'x':
-				f.X = true
-			case 's':
-				f.S = true
-			case 'c':
-				f.C = true
-			case 'b':
-				f.B = true
-			default:
-				return config.Machine{}, fmt.Errorf("unknown factor %q in %q", c, name)
-			}
-		}
-		return config.SS2(f), nil
-	}
-	return config.Machine{}, fmt.Errorf("unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs)", name)
-}
 
 func main() {
 	var (
@@ -76,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "shrecsim:", err)
 		os.Exit(1)
 	}
-	m, err := machineFor(*machine)
+	m, err := config.ByName(*machine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shrecsim:", err)
 		os.Exit(1)

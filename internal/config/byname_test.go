@@ -1,4 +1,4 @@
-package main
+package config_test
 
 import (
 	"testing"
@@ -6,7 +6,7 @@ import (
 	"repro/internal/config"
 )
 
-func TestMachineFor(t *testing.T) {
+func TestByName(t *testing.T) {
 	cases := map[string]struct {
 		mode config.Mode
 		name string
@@ -21,19 +21,19 @@ func TestMachineFor(t *testing.T) {
 		"ss2+xscb": {config.ModeSS2, "SS2+XSCB"},
 	}
 	for in, want := range cases {
-		m, err := machineFor(in)
+		m, err := config.ByName(in)
 		if err != nil {
-			t.Errorf("machineFor(%q): %v", in, err)
+			t.Errorf("config.ByName(%q): %v", in, err)
 			continue
 		}
 		if m.Mode != want.mode || m.Name != want.name {
-			t.Errorf("machineFor(%q) = %s/%v, want %s/%v", in, m.Name, m.Mode, want.name, want.mode)
+			t.Errorf("config.ByName(%q) = %s/%v, want %s/%v", in, m.Name, m.Mode, want.name, want.mode)
 		}
 	}
 }
 
-func TestMachineForFactors(t *testing.T) {
-	m, err := machineFor("ss2+sc")
+func TestByNameFactors(t *testing.T) {
+	m, err := config.ByName("ss2+sc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,10 +45,10 @@ func TestMachineForFactors(t *testing.T) {
 	}
 }
 
-func TestMachineForErrors(t *testing.T) {
+func TestByNameErrors(t *testing.T) {
 	for _, bad := range []string{"", "ss3", "ss2+q", "checker"} {
-		if _, err := machineFor(bad); err == nil {
-			t.Errorf("machineFor(%q) accepted", bad)
+		if _, err := config.ByName(bad); err == nil {
+			t.Errorf("config.ByName(%q) accepted", bad)
 		}
 	}
 }

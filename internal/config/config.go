@@ -261,6 +261,44 @@ func (m Machine) WithStagger(n int) Machine {
 	return out
 }
 
+// ByName parses a machine specification string: "ss1", "ss2",
+// "ss2+<factors>" (e.g. "ss2+sc", "ss2+xscb"), "shrec", "diva", or
+// "o3rs", case-insensitively. It is the shared parser behind
+// cmd/shrecsim's -machine flag and shrecd's request decoding.
+func ByName(name string) (Machine, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case lower == "ss1":
+		return SS1(), nil
+	case lower == "shrec":
+		return SHREC(), nil
+	case lower == "diva":
+		return DIVA(), nil
+	case lower == "o3rs":
+		return O3RS(), nil
+	case lower == "ss2":
+		return SS2(Factors{}), nil
+	case strings.HasPrefix(lower, "ss2+"):
+		var f Factors
+		for _, c := range lower[len("ss2+"):] {
+			switch c {
+			case 'x':
+				f.X = true
+			case 's':
+				f.S = true
+			case 'c':
+				f.C = true
+			case 'b':
+				f.B = true
+			default:
+				return Machine{}, fmt.Errorf("config: unknown factor %q in %q", c, name)
+			}
+		}
+		return SS2(f), nil
+	}
+	return Machine{}, fmt.Errorf("config: unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs)", name)
+}
+
 // Validate reports structural configuration errors.
 func (m *Machine) Validate() error {
 	if m.DecodeWidth <= 0 || m.IssueWidth <= 0 || m.RetireWidth <= 0 {

@@ -107,6 +107,9 @@ func TestCheckerWindowAblation(t *testing.T) {
 // benchmark, SS2 IPC must be non-decreasing in the stagger bound and
 // saturate by 256 (the paper's Figure 5 shape).
 func TestStaggerSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stagger saturation needs full-scale runs; quick stagger behavior is covered by TestStaggerIsElastic")
+	}
 	p, err := workload.ByName("swim")
 	if err != nil {
 		t.Fatal(err)
@@ -288,6 +291,9 @@ func TestCheckOpTotal(t *testing.T) {
 // by only a few percent on the real workload suite (the paper's Table 2
 // reports <= 3%).
 func TestBFactorMinor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("B-factor magnitude needs full-scale runs")
+	}
 	for _, name := range []string{"swim", "parser"} {
 		p, err := workload.ByName(name)
 		if err != nil {
@@ -337,6 +343,9 @@ func TestStaggerIsElastic(t *testing.T) {
 // vanish entirely: the random-access component of the miss stream is not
 // prefetchable and remains window-bound.
 func TestPrefetchSubstitutesForWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale prefetch what-if in short mode")
+	}
 	p, err := workload.ByName("swim")
 	if err != nil {
 		t.Fatal(err)

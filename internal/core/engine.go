@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -219,7 +220,12 @@ func (e *Engine) ResetStats() {
 
 // Warmup runs n instructions and then resets the counters.
 func (e *Engine) Warmup(n uint64) error {
-	if _, err := e.Run(n); err != nil {
+	return e.WarmupContext(context.Background(), n)
+}
+
+// WarmupContext is Warmup with cancellation checkpoints.
+func (e *Engine) WarmupContext(ctx context.Context, n uint64) error {
+	if _, err := e.RunContext(ctx, n); err != nil {
 		return err
 	}
 	e.ResetStats()
@@ -249,9 +255,24 @@ func (e *Engine) free(d *dyn) {
 // the statistics. It returns an error if the pipeline deadlocks (no
 // retirement progress for a long stretch), which indicates a model bug.
 func (e *Engine) Run(n uint64) (Stats, error) {
+	return e.RunContext(context.Background(), n)
+}
+
+// ctxCheckInterval is how many cycles run between cancellation
+// checkpoints. Large enough that the ctx poll is invisible in the hot
+// loop, small enough that cancellation lands within microseconds.
+const ctxCheckInterval = 4096
+
+// RunContext is Run with cancellation checkpoints: every few thousand
+// simulated cycles the step loop polls ctx, so long experiments driven by
+// a server request or a deadline stop promptly when the caller goes away.
+// The engine's state stays consistent on cancellation (it halts between
+// cycles) and the accumulated stats are returned with the context error.
+func (e *Engine) RunContext(ctx context.Context, n uint64) (Stats, error) {
 	const stallLimit = 1_000_000
 	lastRetired := e.stats.Retired
 	lastProgress := e.now
+	nextCheck := e.now + ctxCheckInterval
 	for e.stats.Retired < n {
 		e.cycle()
 		if e.stats.Retired != lastRetired {
@@ -260,6 +281,13 @@ func (e *Engine) Run(n uint64) (Stats, error) {
 		} else if e.now-lastProgress > stallLimit {
 			return e.stats, fmt.Errorf("core: %s deadlocked at cycle %d (retired %d of %d)",
 				e.cfg.Name, e.now, e.stats.Retired, n)
+		}
+		if e.now >= nextCheck {
+			nextCheck = e.now + ctxCheckInterval
+			if err := ctx.Err(); err != nil {
+				return e.stats, fmt.Errorf("core: %s interrupted at cycle %d: %w",
+					e.cfg.Name, e.now, err)
+			}
 		}
 	}
 	return e.stats, nil

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,8 +32,16 @@ type Suite struct {
 
 // NewSuite builds an experiment suite with the given run options.
 func NewSuite(opt sim.Options) *Suite {
+	return NewSuiteWith(sim.NewSuite(opt))
+}
+
+// NewSuiteWith builds an experiment suite over an existing simulation
+// suite, sharing its result cache (and any attached persistent store)
+// with other users — the shrecd server serves /simulate and
+// /experiments/{name} from one cache this way.
+func NewSuiteWith(sims *sim.Suite) *Suite {
 	return &Suite{
-		sims:     sim.NewSuite(opt),
+		sims:     sims,
 		ints:     workload.Integer(),
 		fps:      workload.FloatingPoint(),
 		profiles: workload.All(),
@@ -47,29 +56,30 @@ func Names() []string {
 	return []string{"fig2", "table2", "table3", "fig3", "fig4", "fig5", "fig7", "fig8", "ablation", "o3rs"}
 }
 
-// Run dispatches one experiment by name.
-func (s *Suite) Run(name string) (string, error) {
+// Run dispatches one experiment by name. The context cancels or
+// deadline-bounds every simulation the experiment triggers.
+func (s *Suite) Run(ctx context.Context, name string) (string, error) {
 	switch name {
 	case "fig2":
-		return s.Figure2()
+		return s.Figure2(ctx)
 	case "table2":
-		return s.Table2()
+		return s.Table2(ctx)
 	case "table3":
-		return s.Table3()
+		return s.Table3(ctx)
 	case "fig3":
-		return s.Figure3()
+		return s.Figure3(ctx)
 	case "fig4":
-		return s.Figure4()
+		return s.Figure4(ctx)
 	case "fig5":
-		return s.Figure5()
+		return s.Figure5(ctx)
 	case "fig7":
-		return s.Figure7()
+		return s.Figure7(ctx)
 	case "fig8":
-		return s.Figure8()
+		return s.Figure8(ctx)
 	case "ablation":
-		return s.Ablation()
+		return s.Ablation(ctx)
 	case "o3rs":
-		return s.O3RS()
+		return s.O3RS(ctx)
 	}
 	return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 }
@@ -77,8 +87,8 @@ func (s *Suite) Run(name string) (string, error) {
 // perBenchmarkTable renders one of the paper's per-benchmark IPC bar charts
 // (Figures 2, 3, 4, 7) as a table: one row per benchmark plus the three
 // harmonic-mean aggregate rows, one column per machine.
-func (s *Suite) perBenchmarkTable(title string, machines []config.Machine, profiles []trace.Profile) (string, error) {
-	if err := s.sims.Batch(machines, profiles); err != nil {
+func (s *Suite) perBenchmarkTable(ctx context.Context, title string, machines []config.Machine, profiles []trace.Profile) (string, error) {
+	if err := s.sims.Batch(ctx, machines, profiles); err != nil {
 		return "", err
 	}
 	header := append([]string{"benchmark"}, machineNames(machines)...)
@@ -86,7 +96,7 @@ func (s *Suite) perBenchmarkTable(title string, machines []config.Machine, profi
 	for _, p := range profiles {
 		row := make([]float64, len(machines))
 		for i, m := range machines {
-			ipc, err := s.sims.IPC(m, p)
+			ipc, err := s.sims.IPC(ctx, m, p)
 			if err != nil {
 				return "", err
 			}
@@ -102,7 +112,7 @@ func (s *Suite) perBenchmarkTable(title string, machines []config.Machine, profi
 	for _, agg := range []string{"Average", "Average (Low only)", "Average (High only)"} {
 		row := make([]float64, len(machines))
 		for i, m := range machines {
-			av, err := s.sims.Averages(m, profiles)
+			av, err := s.sims.Averages(ctx, m, profiles)
 			if err != nil {
 				return "", err
 			}
@@ -129,17 +139,17 @@ func machineNames(ms []config.Machine) []string {
 }
 
 // Figure2 reproduces the SS1-versus-SS2 IPC comparison.
-func (s *Suite) Figure2() (string, error) {
+func (s *Suite) Figure2(ctx context.Context) (string, error) {
 	machines := []config.Machine{config.SS2(config.Factors{}), config.SS1()}
-	intTab, err := s.perBenchmarkTable("Figure 2(a): Integer IPC, SS2 vs SS1", machines, s.ints)
+	intTab, err := s.perBenchmarkTable(ctx, "Figure 2(a): Integer IPC, SS2 vs SS1", machines, s.ints)
 	if err != nil {
 		return "", err
 	}
-	fpTab, err := s.perBenchmarkTable("Figure 2(b): Floating-point IPC, SS2 vs SS1", machines, s.fps)
+	fpTab, err := s.perBenchmarkTable(ctx, "Figure 2(b): Floating-point IPC, SS2 vs SS1", machines, s.fps)
 	if err != nil {
 		return "", err
 	}
-	summary, err := s.penaltySummary(config.SS1(), config.SS2(config.Factors{}))
+	summary, err := s.penaltySummary(ctx, config.SS1(), config.SS2(config.Factors{}))
 	if err != nil {
 		return "", err
 	}
@@ -147,17 +157,17 @@ func (s *Suite) Figure2() (string, error) {
 }
 
 // penaltySummary renders the headline "SS2 loses N% vs SS1" lines.
-func (s *Suite) penaltySummary(base, m config.Machine) (string, error) {
+func (s *Suite) penaltySummary(ctx context.Context, base, m config.Machine) (string, error) {
 	var b strings.Builder
 	for _, cls := range []struct {
 		name     string
 		profiles []trace.Profile
 	}{{"integer", s.ints}, {"floating-point", s.fps}} {
-		b1, err := s.sims.Averages(base, cls.profiles)
+		b1, err := s.sims.Averages(ctx, base, cls.profiles)
 		if err != nil {
 			return "", err
 		}
-		m1, err := s.sims.Averages(m, cls.profiles)
+		m1, err := s.sims.Averages(ctx, m, cls.profiles)
 		if err != nil {
 			return "", err
 		}
@@ -170,21 +180,21 @@ func (s *Suite) penaltySummary(base, m config.Machine) (string, error) {
 // Table2 reproduces the sixteen-configuration factor study: percentage IPC
 // increase relative to plain SS2 for integer and floating-point benchmark
 // classes, overall and split by high/low IPC.
-func (s *Suite) Table2() (string, error) {
+func (s *Suite) Table2(ctx context.Context) (string, error) {
 	combos := config.AllFactorCombinations()
 	machines := make([]config.Machine, len(combos))
 	for i, f := range combos {
 		machines[i] = config.SS2(f)
 	}
-	if err := s.sims.Batch(machines, s.profiles); err != nil {
+	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
 		return "", err
 	}
 	base := machines[0] // plain SS2
-	baseInt, err := s.sims.Averages(base, s.ints)
+	baseInt, err := s.sims.Averages(ctx, base, s.ints)
 	if err != nil {
 		return "", err
 	}
-	baseFP, err := s.sims.Averages(base, s.fps)
+	baseFP, err := s.sims.Averages(ctx, base, s.fps)
 	if err != nil {
 		return "", err
 	}
@@ -192,11 +202,11 @@ func (s *Suite) Table2() (string, error) {
 	tb := stats.NewTable("Table 2: % IPC increase relative to SS2",
 		"X S C B", "Int All", "Int High", "Int Low", "FP All", "FP High", "FP Low")
 	for i, m := range machines {
-		avInt, err := s.sims.Averages(m, s.ints)
+		avInt, err := s.sims.Averages(ctx, m, s.ints)
 		if err != nil {
 			return "", err
 		}
-		avFP, err := s.sims.Averages(m, s.fps)
+		avFP, err := s.sims.Averages(ctx, m, s.fps)
 		if err != nil {
 			return "", err
 		}
@@ -239,13 +249,13 @@ func (s *Suite) classProfiles() []struct {
 
 // Table3 reproduces the 2-k factorial analysis: the main factors and
 // interactions whose CPI effect exceeds 3%, per benchmark class.
-func (s *Suite) Table3() (string, error) {
+func (s *Suite) Table3(ctx context.Context) (string, error) {
 	combos := config.AllFactorCombinations()
 	machines := make([]config.Machine, len(combos))
 	for i, f := range combos {
 		machines[i] = config.SS2(f)
 	}
-	if err := s.sims.Batch(machines, s.profiles); err != nil {
+	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
 		return "", err
 	}
 
@@ -269,7 +279,7 @@ func (s *Suite) Table3() (string, error) {
 			if f.B {
 				mask |= 8
 			}
-			cpi, err := s.sims.MeanCPI(machines[i], cls.profiles)
+			cpi, err := s.sims.MeanCPI(ctx, machines[i], cls.profiles)
 			if err != nil {
 				return "", err
 			}
@@ -294,17 +304,17 @@ func (s *Suite) Table3() (string, error) {
 }
 
 // Figure3 reproduces the C-factor study (SS2 with doubled ISQ/ROB ~ O3RS).
-func (s *Suite) Figure3() (string, error) {
+func (s *Suite) Figure3(ctx context.Context) (string, error) {
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.SS2(config.Factors{C: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable("Figure 3(a): Integer IPC, C-factor", machines, s.ints)
+	intTab, err := s.perBenchmarkTable(ctx, "Figure 3(a): Integer IPC, C-factor", machines, s.ints)
 	if err != nil {
 		return "", err
 	}
-	fpTab, err := s.perBenchmarkTable("Figure 3(b): Floating-point IPC, C-factor", machines, s.fps)
+	fpTab, err := s.perBenchmarkTable(ctx, "Figure 3(b): Floating-point IPC, C-factor", machines, s.fps)
 	if err != nil {
 		return "", err
 	}
@@ -313,17 +323,17 @@ func (s *Suite) Figure3() (string, error) {
 
 // Figure4 reproduces the S-factor study (SS2 with a 256-instruction
 // elastic stagger ~ SRT).
-func (s *Suite) Figure4() (string, error) {
+func (s *Suite) Figure4(ctx context.Context) (string, error) {
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.SS2(config.Factors{S: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable("Figure 4(a): Integer IPC, S-factor", machines, s.ints)
+	intTab, err := s.perBenchmarkTable(ctx, "Figure 4(a): Integer IPC, S-factor", machines, s.ints)
 	if err != nil {
 		return "", err
 	}
-	fpTab, err := s.perBenchmarkTable("Figure 4(b): Floating-point IPC, S-factor", machines, s.fps)
+	fpTab, err := s.perBenchmarkTable(ctx, "Figure 4(b): Floating-point IPC, S-factor", machines, s.fps)
 	if err != nil {
 		return "", err
 	}
@@ -332,14 +342,14 @@ func (s *Suite) Figure4() (string, error) {
 
 // Figure5 reproduces the stagger-degree sweep on SS2+S+C: maximum staggers
 // of 0, 256, 1K, and 1M instructions over the four benchmark classes.
-func (s *Suite) Figure5() (string, error) {
+func (s *Suite) Figure5(ctx context.Context) (string, error) {
 	staggers := []int{0, 256, 1024, 1 << 20}
 	labels := []string{"0 Stagger", "256 Stagger", "1K Stagger", "1M Stagger"}
 	machines := make([]config.Machine, len(staggers))
 	for i, n := range staggers {
 		machines[i] = config.SS2(config.Factors{S: true, C: true}).WithStagger(n)
 	}
-	if err := s.sims.Batch(machines, s.profiles); err != nil {
+	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
 		return "", err
 	}
 	tb := stats.NewTable("Figure 5: IPC of SS2+S+C vs maximum stagger",
@@ -356,7 +366,7 @@ func (s *Suite) Figure5() (string, error) {
 	} {
 		row := make([]float64, len(machines))
 		for i, m := range machines {
-			av, err := s.sims.Averages(m, cls.profiles)
+			av, err := s.sims.Averages(ctx, m, cls.profiles)
 			if err != nil {
 				return "", err
 			}
@@ -373,22 +383,22 @@ func (s *Suite) Figure5() (string, error) {
 
 // Figure7 reproduces the headline SHREC comparison: SS2, SHREC, the
 // idealized SS2+S+C+B, and SS1.
-func (s *Suite) Figure7() (string, error) {
+func (s *Suite) Figure7(ctx context.Context) (string, error) {
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.SHREC(),
 		config.SS2(config.Factors{S: true, C: true, B: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable("Figure 7(a): Integer IPC, SHREC", machines, s.ints)
+	intTab, err := s.perBenchmarkTable(ctx, "Figure 7(a): Integer IPC, SHREC", machines, s.ints)
 	if err != nil {
 		return "", err
 	}
-	fpTab, err := s.perBenchmarkTable("Figure 7(b): Floating-point IPC, SHREC", machines, s.fps)
+	fpTab, err := s.perBenchmarkTable(ctx, "Figure 7(b): Floating-point IPC, SHREC", machines, s.fps)
 	if err != nil {
 		return "", err
 	}
-	summary, err := s.penaltySummary(config.SS1(), config.SHREC())
+	summary, err := s.penaltySummary(ctx, config.SS1(), config.SHREC())
 	if err != nil {
 		return "", err
 	}
@@ -397,7 +407,7 @@ func (s *Suite) Figure7() (string, error) {
 
 // Figure8 reproduces the X-scaling sweep: IPC of SHREC and SS2 with 0.5X
 // to 2X issue bandwidth and functional units, per benchmark class.
-func (s *Suite) Figure8() (string, error) {
+func (s *Suite) Figure8(ctx context.Context) (string, error) {
 	scales := []float64{0.5, 1, 1.5, 2}
 	type series struct {
 		label string
@@ -420,7 +430,7 @@ func (s *Suite) Figure8() (string, error) {
 		machines = append(machines,
 			config.SHREC().WithXScale(sc), config.SS2(config.Factors{}).WithXScale(sc))
 	}
-	if err := s.sims.Batch(machines, s.profiles); err != nil {
+	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
 		return "", err
 	}
 	tb := stats.NewTable("Figure 8: IPC vs issue/FU scaling (0.5X-2X)",
@@ -433,7 +443,7 @@ func (s *Suite) Figure8() (string, error) {
 			if sr.fp {
 				profiles = s.fps
 			}
-			av, err := s.sims.Averages(m, profiles)
+			av, err := s.sims.Averages(ctx, m, profiles)
 			if err != nil {
 				return "", err
 			}
@@ -458,18 +468,18 @@ func shrecMachine() config.Machine { return config.SHREC() }
 // Section 4.1), and SS2+X+C (which the paper's Table 2 notes approximates
 // both SS1 and DIVA). It quantifies exactly what SHREC's unit sharing
 // costs and confirms the paper's claim that DIVA tracks SS1.
-func (s *Suite) Ablation() (string, error) {
+func (s *Suite) Ablation(ctx context.Context) (string, error) {
 	machines := []config.Machine{
 		config.SS1(),
 		config.DIVA(),
 		config.SHREC(),
 		config.SS2(config.Factors{X: true, C: true}),
 	}
-	intTab, err := s.perBenchmarkTable("Ablation (extension): shared vs dedicated checker units, integer", machines, s.ints)
+	intTab, err := s.perBenchmarkTable(ctx, "Ablation (extension): shared vs dedicated checker units, integer", machines, s.ints)
 	if err != nil {
 		return "", err
 	}
-	fpTab, err := s.perBenchmarkTable("Ablation (extension): shared vs dedicated checker units, floating-point", machines, s.fps)
+	fpTab, err := s.perBenchmarkTable(ctx, "Ablation (extension): shared vs dedicated checker units, floating-point", machines, s.fps)
 	if err != nil {
 		return "", err
 	}
@@ -481,18 +491,18 @@ func (s *Suite) Ablation() (string, error) {
 // configuration the paper uses to approximate it (Table 2's note), plus
 // the SS2 and SS1 anchors. If the approximation is sound, the O3RS and
 // SS2+CB columns should track each other.
-func (s *Suite) O3RS() (string, error) {
+func (s *Suite) O3RS(ctx context.Context) (string, error) {
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.O3RS(),
 		config.SS2(config.Factors{C: true, B: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable("O3RS validation (extension): real mechanism vs SS2+CB approximation, integer", machines, s.ints)
+	intTab, err := s.perBenchmarkTable(ctx, "O3RS validation (extension): real mechanism vs SS2+CB approximation, integer", machines, s.ints)
 	if err != nil {
 		return "", err
 	}
-	fpTab, err := s.perBenchmarkTable("O3RS validation (extension): real mechanism vs SS2+CB approximation, floating-point", machines, s.fps)
+	fpTab, err := s.perBenchmarkTable(ctx, "O3RS validation (extension): real mechanism vs SS2+CB approximation, floating-point", machines, s.fps)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,9 +10,15 @@ import (
 
 // tinySuite uses very short runs: these tests validate harness plumbing
 // and output structure, not the paper's numbers (see EXPERIMENTS.md and
-// the full-scale cmd/experiments run for those).
+// the full-scale cmd/experiments run for those). In -short mode (CI) the
+// runs shrink further: structure assertions hold at any scale.
 func tinySuite() *Suite {
-	return NewSuite(sim.Options{WarmupInstrs: 2000, MeasureInstrs: 5000, Parallelism: 16})
+	opt := sim.Options{WarmupInstrs: 2000, MeasureInstrs: 5000, Parallelism: 16}
+	if testing.Short() {
+		opt.WarmupInstrs = 500
+		opt.MeasureInstrs = 1500
+	}
+	return NewSuite(opt)
 }
 
 func TestNamesComplete(t *testing.T) {
@@ -28,13 +35,13 @@ func TestNamesComplete(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if _, err := tinySuite().Run("fig42"); err == nil {
+	if _, err := tinySuite().Run(context.Background(), "fig42"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestFigure2Structure(t *testing.T) {
-	out, err := tinySuite().Figure2()
+	out, err := tinySuite().Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +61,7 @@ func TestFigure2Structure(t *testing.T) {
 }
 
 func TestTable2Structure(t *testing.T) {
-	out, err := tinySuite().Table2()
+	out, err := tinySuite().Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,9 +91,17 @@ func TestTable2Structure(t *testing.T) {
 }
 
 func TestTable3Structure(t *testing.T) {
-	out, err := tinySuite().Table3()
+	out, err := tinySuite().Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "factor") {
+		t.Fatalf("table3 header malformed:\n%s", out)
+	}
+	if testing.Short() {
+		// At short-mode run lengths some classes legitimately have no
+		// >3% effects; the per-class rows are asserted at full scale.
+		return
 	}
 	for _, want := range []string{
 		"Integer: High", "Integer: Low",
@@ -99,7 +114,7 @@ func TestTable3Structure(t *testing.T) {
 }
 
 func TestFigure5Structure(t *testing.T) {
-	out, err := tinySuite().Figure5()
+	out, err := tinySuite().Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +127,7 @@ func TestFigure5Structure(t *testing.T) {
 }
 
 func TestFigure7Structure(t *testing.T) {
-	out, err := tinySuite().Figure7()
+	out, err := tinySuite().Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +139,7 @@ func TestFigure7Structure(t *testing.T) {
 }
 
 func TestFigure8Structure(t *testing.T) {
-	out, err := tinySuite().Figure8()
+	out, err := tinySuite().Figure8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +155,13 @@ func TestSharedCacheAcrossExperiments(t *testing.T) {
 	// three must not blow up and should reuse the cache (observable as a
 	// much smaller second cost, but here we just assert correctness).
 	s := tinySuite()
-	if _, err := s.Figure2(); err != nil {
+	if _, err := s.Figure2(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Figure3(); err != nil {
+	if _, err := s.Figure3(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Figure4(); err != nil {
+	if _, err := s.Figure4(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -154,19 +169,22 @@ func TestSharedCacheAcrossExperiments(t *testing.T) {
 // Even at tiny scale, the first-order qualitative results must hold:
 // SS2 slower than SS1, SHREC between them on average.
 func TestQualitativeOrderingAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qualitative ordering needs run lengths beyond short mode")
+	}
 	s := NewSuite(sim.Options{WarmupInstrs: 10000, MeasureInstrs: 30000, Parallelism: 16})
-	if _, err := s.Figure7(); err != nil {
+	if _, err := s.Figure7(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	ss1, err := s.sims.Averages(ss1Machine(), s.profiles)
+	ss1, err := s.sims.Averages(context.Background(), ss1Machine(), s.profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss2, err := s.sims.Averages(ss2Machine(), s.profiles)
+	ss2, err := s.sims.Averages(context.Background(), ss2Machine(), s.profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shrec, err := s.sims.Averages(shrecMachine(), s.profiles)
+	shrec, err := s.sims.Averages(context.Background(), shrecMachine(), s.profiles)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,298 @@
+// Package shrecd implements the HTTP serving layer over the batch
+// simulation engine: POST /simulate runs one (machine, benchmark) pair,
+// POST /experiments/{name} regenerates one of the paper's tables or
+// figures, and GET /results lists every cached result. All endpoints are
+// backed by one sharded, deduplicating sim.Suite, so duplicate in-flight
+// requests for the same (machine, benchmark, options) key execute the
+// simulation once, and request cancellation propagates into the engine's
+// step loop. A bounded worker pool caps concurrently-served simulation
+// requests independently of the suite's own run parallelism.
+package shrecd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config tunes the server.
+type Config struct {
+	// DefaultOptions are the run lengths used when a request does not
+	// override them (zero value: sim.DefaultOptions).
+	DefaultOptions sim.Options
+	// MaxConcurrent bounds simultaneously-served simulation requests
+	// (<=0 means 16).
+	MaxConcurrent int
+	// MaxInstrs caps request-supplied warmup+measure lengths so one
+	// request cannot monopolize the pool (default 10M, <0 disables).
+	MaxInstrs int64
+}
+
+// Server serves simulation and experiment requests over one shared
+// result cache.
+type Server struct {
+	cfg   Config
+	sims  *sim.Suite
+	exp   *experiments.Suite
+	sem   chan struct{}
+	start time.Time
+}
+
+// New builds a server with a fresh sim.Suite.
+func New(cfg Config) *Server {
+	if cfg.DefaultOptions == (sim.Options{}) {
+		cfg.DefaultOptions = sim.DefaultOptions()
+	}
+	return NewWith(cfg, sim.NewSuite(cfg.DefaultOptions))
+}
+
+// NewWith builds a server over an existing simulation suite (so callers
+// can attach a persistent store or share the cache with other drivers).
+func NewWith(cfg Config, sims *sim.Suite) *Server {
+	if cfg.DefaultOptions == (sim.Options{}) {
+		cfg.DefaultOptions = sims.Options()
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 16
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 10_000_000
+	}
+	// The cap bounds per-request overrides; the operator-configured
+	// defaults must always be servable, so raise the cap to cover them.
+	if sum := cfg.DefaultOptions.WarmupInstrs + cfg.DefaultOptions.MeasureInstrs; cfg.MaxInstrs > 0 && sum > uint64(cfg.MaxInstrs) {
+		cfg.MaxInstrs = int64(sum)
+	}
+	return &Server{
+		cfg:   cfg,
+		sims:  sims,
+		exp:   experiments.NewSuiteWith(sims),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+	}
+}
+
+// Sims exposes the underlying suite (metrics, tests).
+func (s *Server) Sims() *sim.Suite { return s.sims }
+
+// Handler returns the server's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /simulate", s.handleSimulate)
+	mux.HandleFunc("POST /experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /results", s.handleResults)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// acquire takes a worker-pool slot, failing fast with 503 when the pool
+// is saturated and the client's context expires while queued.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// simulateRequest is the POST /simulate body.
+type simulateRequest struct {
+	Machine   string `json:"machine"`
+	Benchmark string `json:"benchmark"`
+	// Optional per-request run lengths; zero means the server default.
+	WarmupInstrs  uint64 `json:"warmup_instrs"`
+	MeasureInstrs uint64 `json:"measure_instrs"`
+}
+
+// simulateResponse is the POST /simulate reply: the identifying fields
+// flattened once, plus the run's raw counters (not the full sim.Result,
+// which would duplicate every identifying field).
+type simulateResponse struct {
+	Machine   string      `json:"machine"`
+	Benchmark string      `json:"benchmark"`
+	Class     string      `json:"class"`
+	HighIPC   bool        `json:"high_ipc"`
+	IPC       float64     `json:"ipc"`
+	CPI       float64     `json:"cpi"`
+	Options   sim.Options `json:"options"`
+	Stats     core.Stats  `json:"stats"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	// A simulate request is a few short fields; refuse oversized bodies
+	// before the decoder buffers them.
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<10)
+	var req simulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	m, err := config.ByName(req.Machine)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := workload.ByName(req.Benchmark)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := s.cfg.DefaultOptions
+	if req.WarmupInstrs > 0 {
+		opt.WarmupInstrs = req.WarmupInstrs
+	}
+	if req.MeasureInstrs > 0 {
+		opt.MeasureInstrs = req.MeasureInstrs
+	}
+	// Bound each length before summing so huge values cannot wrap the
+	// uint64 sum (or the int64 conversion) past the cap.
+	if cap := s.cfg.MaxInstrs; cap > 0 {
+		if opt.WarmupInstrs > uint64(cap) || opt.MeasureInstrs > uint64(cap) ||
+			opt.WarmupInstrs+opt.MeasureInstrs > uint64(cap) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("requested instruction count exceeds the server cap of %d", cap))
+			return
+		}
+	}
+
+	if err := s.acquire(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("queued past deadline: %w", err))
+		return
+	}
+	defer s.release()
+
+	res, err := s.sims.GetOpt(r.Context(), m, p, opt)
+	if err != nil {
+		httpError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Machine:   res.Machine,
+		Benchmark: res.Benchmark,
+		Class:     res.Class.String(),
+		HighIPC:   res.HighIPC,
+		IPC:       res.IPC(),
+		CPI:       res.CPI(),
+		Options:   res.Options,
+		Stats:     res.Stats,
+	})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !knownExperiment(name) {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("unknown experiment %q (have %v)", name, experiments.Names()))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("queued past deadline: %w", err))
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	out, err := s.exp.Run(r.Context(), name)
+	if err != nil {
+		httpError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiment": name,
+		"elapsed_s":  time.Since(start).Seconds(),
+		"output":     out,
+	})
+}
+
+func knownExperiment(name string) bool {
+	for _, n := range experiments.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// resultSummary is one GET /results row. Run lengths are included so
+// rows for the same (machine, benchmark) at different request-scoped
+// scales stay distinguishable.
+type resultSummary struct {
+	Machine       string  `json:"machine"`
+	Benchmark     string  `json:"benchmark"`
+	WarmupInstrs  uint64  `json:"warmup_instrs"`
+	MeasureInstrs uint64  `json:"measure_instrs"`
+	IPC           float64 `json:"ipc"`
+	CPI           float64 `json:"cpi"`
+	Cycles        int64   `json:"cycles"`
+	Retired       uint64  `json:"retired"`
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	cached := s.sims.Results()
+	out := make([]resultSummary, len(cached))
+	for i, res := range cached {
+		out[i] = resultSummary{
+			Machine:       res.Machine,
+			Benchmark:     res.Benchmark,
+			WarmupInstrs:  res.Options.WarmupInstrs,
+			MeasureInstrs: res.Options.MeasureInstrs,
+			IPC:           res.IPC(),
+			CPI:           res.CPI(),
+			Cycles:        res.Stats.Cycles,
+			Retired:       res.Stats.Retired,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(out),
+		"runs":    s.sims.Runs(),
+		"hits":    s.sims.Hits(),
+		"results": out,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_s":       time.Since(s.start).Seconds(),
+		"runs":           s.sims.Runs(),
+		"hits":           s.sims.Hits(),
+		"max_concurrent": s.cfg.MaxConcurrent,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errStatus classifies a simulation error: cancellation/deadline errors
+// become 499 (client closed request); anything else — including engine
+// failures that happen to race a client disconnect — stays 500 so model
+// bugs are never misfiled as disconnects.
+func errStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499
+	}
+	return http.StatusInternalServerError
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

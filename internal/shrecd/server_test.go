@@ -1,0 +1,177 @@
+package shrecd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testServer returns a server with tiny run lengths so handler tests
+// finish in milliseconds.
+func testServer() *Server {
+	return New(Config{
+		DefaultOptions: sim.Options{WarmupInstrs: 2000, MeasureInstrs: 5000, Parallelism: 8},
+		MaxConcurrent:  8,
+	})
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	h := testServer().Handler()
+	w := postJSON(t, h, "/simulate", `{"machine":"shrec","benchmark":"swim"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Machine   string  `json:"machine"`
+		Benchmark string  `json:"benchmark"`
+		IPC       float64 `json:"ipc"`
+		CPI       float64 `json:"cpi"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Machine != "SHREC" || resp.Benchmark != "swim" {
+		t.Fatalf("labels = %s/%s", resp.Machine, resp.Benchmark)
+	}
+	if resp.IPC <= 0 || resp.CPI <= 0 {
+		t.Fatalf("IPC=%v CPI=%v", resp.IPC, resp.CPI)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	h := testServer().Handler()
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"bad machine", `{"machine":"ss9","benchmark":"swim"}`, http.StatusBadRequest},
+		{"bad benchmark", `{"machine":"ss1","benchmark":"nope"}`, http.StatusBadRequest},
+		{"instr cap", `{"machine":"ss1","benchmark":"swim","measure_instrs":999999999}`, http.StatusBadRequest},
+		{"instr cap uint64 wrap", `{"machine":"ss1","benchmark":"swim","warmup_instrs":9223372036854775808,"measure_instrs":9223372036854775808}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if w := postJSON(t, h, "/simulate", c.body); w.Code != c.status {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, w.Code, c.status, w.Body)
+		}
+	}
+	// GET on a POST route must not dispatch.
+	req := httptest.NewRequest(http.MethodGet, "/simulate", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /simulate status = %d, want 405", w.Code)
+	}
+}
+
+// Duplicate concurrent requests for the same key execute one simulation.
+func TestSimulateDeduplicatesConcurrentRequests(t *testing.T) {
+	srv := testServer()
+	h := srv.Handler()
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := postJSON(t, h, "/simulate", `{"machine":"ss1","benchmark":"parser"}`)
+			if w.Code != http.StatusOK {
+				t.Errorf("status = %d: %s", w.Code, w.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs := srv.Sims().Runs(); runs != 1 {
+		t.Fatalf("%d duplicate requests ran %d simulations, want 1", callers, runs)
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment endpoint runs 100 simulations; skipped in short mode")
+	}
+	h := testServer().Handler()
+	w := postJSON(t, h, "/experiments/fig7", ``)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Experiment string `json:"experiment"`
+		Output     string `json:"output"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Experiment != "fig7" || !strings.Contains(resp.Output, "SHREC") {
+		t.Fatalf("malformed experiment response: %+v", resp)
+	}
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	h := testServer().Handler()
+	if w := postJSON(t, h, "/experiments/fig99", ``); w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", w.Code)
+	}
+}
+
+func TestResultsEndpoint(t *testing.T) {
+	srv := testServer()
+	h := srv.Handler()
+	for _, b := range []string{"swim", "parser"} {
+		w := postJSON(t, h, "/simulate", fmt.Sprintf(`{"machine":"ss1","benchmark":%q}`, b))
+		if w.Code != http.StatusOK {
+			t.Fatalf("simulate %s: %d", b, w.Code)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/results", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var resp struct {
+		Count   int `json:"count"`
+		Runs    int `json:"runs"`
+		Results []struct {
+			Machine   string  `json:"machine"`
+			Benchmark string  `json:"benchmark"`
+			IPC       float64 `json:"ipc"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 || resp.Runs != 2 || len(resp.Results) != 2 {
+		t.Fatalf("results = %+v", resp)
+	}
+	// Sorted by machine then benchmark: parser before swim.
+	if resp.Results[0].Benchmark != "parser" || resp.Results[1].Benchmark != "swim" {
+		t.Fatalf("unsorted results: %+v", resp.Results)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := testServer().Handler()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz = %d: %s", w.Code, w.Body)
+	}
+}

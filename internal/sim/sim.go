@@ -2,16 +2,29 @@
 // cache/predictor warmup, caches results, parallelizes across cores, and
 // aggregates IPCs the way the paper does (harmonic means over benchmark
 // classes).
+//
+// The Suite is built for heavy concurrent use: its result cache is
+// lock-striped across shards, duplicate in-flight requests for the same
+// (machine, benchmark, options) key are coalesced into one underlying run
+// (singleflight), every entry point accepts a context.Context for
+// cancellation and deadlines, and results can be persisted across
+// processes through an optional store.Store.
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -42,7 +55,11 @@ type Result struct {
 	Class     trace.Class
 	HighIPC   bool
 	Machine   string
-	Stats     core.Stats
+	// Options records the run lengths that produced this result, so rows
+	// for the same (machine, benchmark) at different scales stay
+	// distinguishable in listings.
+	Options Options
+	Stats   core.Stats
 }
 
 // IPC returns the run's instructions per cycle.
@@ -53,13 +70,22 @@ func (r Result) CPI() float64 { return r.Stats.CPI() }
 
 // Run simulates one machine on one workload.
 func Run(m config.Machine, p trace.Profile, opt Options) (Result, error) {
+	return RunContext(context.Background(), m, p, opt)
+}
+
+// RunContext simulates one machine on one workload, checking ctx for
+// cancellation between engine step batches.
+func RunContext(ctx context.Context, m config.Machine, p trace.Profile, opt Options) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
 	e := core.New(m, trace.New(p))
 	if opt.WarmupInstrs > 0 {
-		if err := e.Warmup(opt.WarmupInstrs); err != nil {
+		if err := e.WarmupContext(ctx, opt.WarmupInstrs); err != nil {
 			return Result{}, fmt.Errorf("sim: warmup: %w", err)
 		}
 	}
-	st, err := e.Run(opt.MeasureInstrs)
+	st, err := e.RunContext(ctx, opt.MeasureInstrs)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
@@ -68,17 +94,44 @@ func Run(m config.Machine, p trace.Profile, opt Options) (Result, error) {
 		Class:     p.Class,
 		HighIPC:   p.HighIPC,
 		Machine:   m.Name,
+		Options:   opt,
 		Stats:     st,
 	}, nil
 }
 
+// numShards stripes the result cache. A modest power of two keeps the
+// striping cheap while making lock contention negligible even with
+// hundreds of concurrent callers.
+const numShards = 32
+
+// call is one in-flight simulation shared by every caller that requested
+// the same key while it ran (singleflight).
+type call struct {
+	done chan struct{} // closed when res/err are valid
+	res  Result
+	err  error
+}
+
+// shard is one stripe of the result cache.
+type shard struct {
+	mu       sync.Mutex
+	results  map[string]Result
+	inflight map[string]*call
+}
+
 // Suite runs and memoizes simulations so experiments that share
 // configurations (for example Table 2 and Figures 3/4) reuse results.
+// All methods are safe for concurrent use.
 type Suite struct {
-	opt Options
+	opt    Options
+	shards [numShards]shard
+	sem    chan struct{} // bounds concurrently executing simulations
 
-	mu    sync.Mutex
-	cache map[string]Result // key: machine name + "\x00" + benchmark
+	disk *store.Store // optional cross-process persistence (nil = off)
+
+	runs      atomic.Uint64 // underlying simulations actually executed
+	hits      atomic.Uint64 // requests served from memory, disk, or singleflight
+	storeErrs atomic.Uint64 // failed persistent-store writes (results still served)
 }
 
 // NewSuite builds a suite with the given options.
@@ -86,83 +139,248 @@ func NewSuite(opt Options) *Suite {
 	if opt.Parallelism <= 0 {
 		opt.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Suite{opt: opt, cache: make(map[string]Result)}
+	s := &Suite{opt: opt, sem: make(chan struct{}, opt.Parallelism)}
+	for i := range s.shards {
+		s.shards[i].results = make(map[string]Result)
+		s.shards[i].inflight = make(map[string]*call)
+	}
+	return s
+}
+
+// WithStore attaches a persistent result store: cache misses consult the
+// store before simulating, and fresh results are written back, so repeated
+// experiment runs reuse results across processes. Returns s for chaining.
+func (s *Suite) WithStore(st *store.Store) *Suite {
+	s.disk = st
+	return s
 }
 
 // Options returns the suite's run options.
 func (s *Suite) Options() Options { return s.opt }
 
-func key(m config.Machine, p trace.Profile) string { return m.Name + "\x00" + p.Name }
+// Runs reports how many simulations the suite actually executed (cache
+// misses that were not deduplicated or served from disk).
+func (s *Suite) Runs() uint64 { return s.runs.Load() }
+
+// Hits reports how many requests were served without a fresh simulation:
+// from the in-memory cache, the persistent store, or by joining an
+// in-flight duplicate run.
+func (s *Suite) Hits() uint64 { return s.hits.Load() }
+
+// StoreErrors reports how many results failed to persist to the attached
+// store (they were still computed and served from memory).
+func (s *Suite) StoreErrors() uint64 { return s.storeErrs.Load() }
+
+// key identifies one (machine, benchmark, options) simulation. Run lengths
+// are part of the key so one suite can serve requests at several scales
+// (the shrecd server does) without conflating their results.
+func key(m config.Machine, p trace.Profile, opt Options) string {
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d", m.Name, p.Name, opt.WarmupInstrs, opt.MeasureInstrs)
+}
+
+func (s *Suite) shardFor(k string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return &s.shards[h.Sum32()%numShards]
+}
+
+// digest builds the persistent-store key. Unlike the in-memory key it
+// hashes the full machine configuration and workload profile, so renamed
+// or edited configurations never collide across processes. Only the run
+// lengths of the options participate: Parallelism does not affect
+// results, and hashing it would make store lookups miss across machines
+// with different core counts.
+func digest(m config.Machine, p trace.Profile, opt Options) string {
+	return store.Digest("sim.Result.v1", m, p, opt.WarmupInstrs, opt.MeasureInstrs)
+}
+
+// Get returns the cached result, running the simulation if needed.
+func (s *Suite) Get(ctx context.Context, m config.Machine, p trace.Profile) (Result, error) {
+	return s.GetOpt(ctx, m, p, s.opt)
+}
+
+// GetOpt is Get with per-call run lengths, used by servers that accept
+// request-scoped options. Concurrent callers requesting the same
+// (machine, benchmark, options) key share one underlying run.
+func (s *Suite) GetOpt(ctx context.Context, m config.Machine, p trace.Profile, opt Options) (Result, error) {
+	k := key(m, p, opt)
+	sh := s.shardFor(k)
+	for {
+		sh.mu.Lock()
+		if res, ok := sh.results[k]; ok {
+			sh.mu.Unlock()
+			s.hits.Add(1)
+			return res, nil
+		}
+		if c, ok := sh.inflight[k]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					s.hits.Add(1)
+					return c.res, nil
+				}
+				// The owning caller was cancelled; if we are still live,
+				// retry so our request is not poisoned by their deadline.
+				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+					if ctx.Err() != nil {
+						return Result{}, ctx.Err()
+					}
+					continue
+				}
+				return Result{}, c.err
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		sh.inflight[k] = c
+		sh.mu.Unlock()
+
+		c.res, c.err = s.execute(ctx, m, p, opt)
+		sh.mu.Lock()
+		if c.err == nil {
+			sh.results[k] = c.res
+		}
+		delete(sh.inflight, k)
+		sh.mu.Unlock()
+		close(c.done)
+		return c.res, c.err
+	}
+}
+
+// execute performs one cache-missing simulation: consult the persistent
+// store, otherwise run under the parallelism bound and write back.
+func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, opt Options) (Result, error) {
+	var dk string
+	if s.disk != nil {
+		dk = digest(m, p, opt)
+		var res Result
+		if ok, err := s.disk.Get(dk, &res); err == nil && ok {
+			s.hits.Add(1)
+			return res, nil
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	res, err := RunContext(ctx, m, p, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	s.runs.Add(1)
+	if s.disk != nil {
+		// A persistence failure (disk full, closed store) must not discard
+		// a successfully computed result: keep serving it from memory and
+		// count the failure for observability.
+		if err := s.disk.Put(dk, res); err != nil {
+			s.storeErrs.Add(1)
+		}
+	}
+	return res, nil
+}
 
 // Batch runs every (machine, profile) pair, in parallel, reusing cached
-// results. It returns the first error encountered.
-func (s *Suite) Batch(machines []config.Machine, profiles []trace.Profile) error {
+// and in-flight results. Unlike a first-error fan-out, it waits for every
+// worker and returns all failures joined with errors.Join, so one bad
+// configuration does not hide the others.
+func (s *Suite) Batch(ctx context.Context, machines []config.Machine, profiles []trace.Profile) error {
 	type job struct {
 		m config.Machine
 		p trace.Profile
 	}
 	var jobs []job
-	s.mu.Lock()
 	for _, m := range machines {
 		for _, p := range profiles {
-			if _, ok := s.cache[key(m, p)]; !ok {
-				jobs = append(jobs, job{m, p})
+			// Skip pairs already cached so a warm batch spawns no
+			// goroutines and does not inflate the hit counter; races with
+			// concurrent fills are still covered by GetOpt's singleflight.
+			k := key(m, p, s.opt)
+			sh := s.shardFor(k)
+			sh.mu.Lock()
+			_, ok := sh.results[k]
+			sh.mu.Unlock()
+			if ok {
+				continue
 			}
+			jobs = append(jobs, job{m, p})
 		}
 	}
-	s.mu.Unlock()
 	if len(jobs) == 0 {
 		return nil
 	}
 
-	sem := make(chan struct{}, s.opt.Parallelism)
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(jobs))
-	for _, j := range jobs {
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
 		wg.Add(1)
-		go func(j job) {
+		go func(i int, j job) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := Run(j.m, j.p, s.opt)
-			if err != nil {
-				errCh <- fmt.Errorf("%s on %s: %w", j.m.Name, j.p.Name, err)
-				return
+			if _, err := s.GetOpt(ctx, j.m, j.p, s.opt); err != nil {
+				errs[i] = fmt.Errorf("%s on %s: %w", j.m.Name, j.p.Name, err)
 			}
-			s.mu.Lock()
-			s.cache[key(j.m, j.p)] = res
-			s.mu.Unlock()
-		}(j)
+		}(i, j)
 	}
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		return err
+	failed := make([]error, 0, len(errs))
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
 	}
-	return nil
+	if len(failed) == 0 {
+		// Every job completed; a context that expired in the final window
+		// is irrelevant to the (fully computed) results.
+		return nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Cancellation cascades into every outstanding job; collapse that
+		// noise into one error and keep only genuine failures.
+		real := failed[:0]
+		for _, err := range failed {
+			if !errors.Is(err, ctxErr) {
+				real = append(real, err)
+			}
+		}
+		return errors.Join(append(real, fmt.Errorf("sim: batch interrupted: %w", ctxErr))...)
+	}
+	return errors.Join(failed...)
 }
 
-// Get returns the cached result, running the simulation if needed.
-func (s *Suite) Get(m config.Machine, p trace.Profile) (Result, error) {
-	s.mu.Lock()
-	res, ok := s.cache[key(m, p)]
-	s.mu.Unlock()
-	if ok {
-		return res, nil
+// Results returns a snapshot of every cached result, sorted by machine
+// then benchmark for stable output (the shrecd GET /results endpoint).
+func (s *Suite) Results() []Result {
+	var out []Result
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, r := range sh.results {
+			out = append(out, r)
+		}
+		sh.mu.Unlock()
 	}
-	res, err := Run(m, p, s.opt)
-	if err != nil {
-		return Result{}, err
-	}
-	s.mu.Lock()
-	s.cache[key(m, p)] = res
-	s.mu.Unlock()
-	return res, nil
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		if a.Options.WarmupInstrs != b.Options.WarmupInstrs {
+			return a.Options.WarmupInstrs < b.Options.WarmupInstrs
+		}
+		return a.Options.MeasureInstrs < b.Options.MeasureInstrs
+	})
+	return out
 }
 
 // IPC is a convenience accessor.
-func (s *Suite) IPC(m config.Machine, p trace.Profile) (float64, error) {
-	res, err := s.Get(m, p)
+func (s *Suite) IPC(ctx context.Context, m config.Machine, p trace.Profile) (float64, error) {
+	res, err := s.Get(ctx, m, p)
 	if err != nil {
 		return 0, err
 	}
@@ -177,10 +395,10 @@ type ClassAverages struct {
 
 // Averages computes harmonic-mean IPCs over profiles for one machine,
 // split into the paper's overall/high-IPC/low-IPC aggregates.
-func (s *Suite) Averages(m config.Machine, profiles []trace.Profile) (ClassAverages, error) {
+func (s *Suite) Averages(ctx context.Context, m config.Machine, profiles []trace.Profile) (ClassAverages, error) {
 	var all, high, low []float64
 	for _, p := range profiles {
-		res, err := s.Get(m, p)
+		res, err := s.Get(ctx, m, p)
 		if err != nil {
 			return ClassAverages{}, err
 		}
@@ -203,10 +421,10 @@ func (s *Suite) Averages(m config.Machine, profiles []trace.Profile) (ClassAvera
 // CPI is additive across equal instruction counts, so arithmetic means are
 // the correct aggregate for factorial analysis (the paper analyzes CPI for
 // the same reason).
-func (s *Suite) MeanCPI(m config.Machine, profiles []trace.Profile) (float64, error) {
+func (s *Suite) MeanCPI(ctx context.Context, m config.Machine, profiles []trace.Profile) (float64, error) {
 	var sum float64
 	for _, p := range profiles {
-		res, err := s.Get(m, p)
+		res, err := s.Get(ctx, m, p)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -51,20 +52,20 @@ func TestSuiteBatchAndCache(t *testing.T) {
 	s := NewSuite(tinyOpts())
 	machines := []config.Machine{config.SS1(), config.SS2(config.Factors{})}
 	profiles := workload.Integer()[:3]
-	if err := s.Batch(machines, profiles); err != nil {
+	if err := s.Batch(context.Background(), machines, profiles); err != nil {
 		t.Fatal(err)
 	}
 	// Cached access must return identical values.
-	r1, err := s.Get(machines[0], profiles[0])
+	r1, err := s.Get(context.Background(), machines[0], profiles[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _ := s.Get(machines[0], profiles[0])
+	r2, _ := s.Get(context.Background(), machines[0], profiles[0])
 	if r1.Stats != r2.Stats {
 		t.Fatal("cache returned different results")
 	}
 	// Batch again is a no-op (all cached) and must not error.
-	if err := s.Batch(machines, profiles); err != nil {
+	if err := s.Batch(context.Background(), machines, profiles); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -72,7 +73,7 @@ func TestSuiteBatchAndCache(t *testing.T) {
 func TestAverages(t *testing.T) {
 	s := NewSuite(tinyOpts())
 	profiles := workload.Integer()
-	av, err := s.Averages(config.SS1(), profiles)
+	av, err := s.Averages(context.Background(), config.SS1(), profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestAverages(t *testing.T) {
 func TestMeanCPI(t *testing.T) {
 	s := NewSuite(tinyOpts())
 	profiles := workload.Integer()[:2]
-	cpi, err := s.MeanCPI(config.SS1(), profiles)
+	cpi, err := s.MeanCPI(context.Background(), config.SS1(), profiles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +111,9 @@ func TestErrorsPropagate(t *testing.T) {
 	bad := config.SS1()
 	bad.Name = "bad"
 	bad.IssueWidth = 0
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid machine not rejected")
-		}
-	}()
-	_, _ = Run(bad, p, tinyOpts())
+	if _, err := Run(bad, p, tinyOpts()); err == nil {
+		t.Fatal("invalid machine not rejected")
+	}
 }
 
 func TestDefaultAndQuickOptions(t *testing.T) {
@@ -129,10 +127,14 @@ func TestDefaultAndQuickOptions(t *testing.T) {
 }
 
 func TestKeyUniqueness(t *testing.T) {
-	a := key(config.SS1(), workload.All()[0])
-	b := key(config.SS2(config.Factors{}), workload.All()[0])
-	c := key(config.SS1(), workload.All()[1])
-	if a == b || a == c || !strings.Contains(a, "\x00") {
+	opt := tinyOpts()
+	a := key(config.SS1(), workload.All()[0], opt)
+	b := key(config.SS2(config.Factors{}), workload.All()[0], opt)
+	c := key(config.SS1(), workload.All()[1], opt)
+	big := opt
+	big.MeasureInstrs *= 2
+	d := key(config.SS1(), workload.All()[0], big)
+	if a == b || a == c || a == d || !strings.Contains(a, "\x00") {
 		t.Fatal("cache keys collide")
 	}
 }

@@ -1,0 +1,134 @@
+// Package store is a small persistent result store: an append-only
+// JSON-lines file with an in-memory index, keyed by content digests of
+// whatever identifies a computation (machine configuration, workload,
+// run options). It lets repeated experiment runs — e.g. cmd/experiments
+// regenerating every table — reuse simulation results across processes.
+//
+// The format is one JSON object per line: {"key": "...", "value": ...}.
+// Rewritten keys append a new line; the last line for a key wins on
+// reload, so the file never needs in-place editing and concurrent
+// appenders (O_APPEND) cannot corrupt earlier records.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Digest hashes the JSON encodings of vs into a stable hex key. Include a
+// schema label as the first value so format changes invalidate old
+// entries instead of misdecoding them.
+func Digest(vs ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, v := range vs {
+		if err := enc.Encode(v); err != nil {
+			// Hash the error text instead: the key is still deterministic,
+			// it just never matches a successfully encoded entry.
+			fmt.Fprintf(h, "!enc-error:%v", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// record is the on-disk line format.
+type record struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Store is a digest-keyed persistent map. Safe for concurrent use within
+// one process; across processes, appends are atomic per line and reloads
+// take the last write.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	index map[string]json.RawMessage
+}
+
+// Open loads (or creates) the store at path.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, path: path, index: make(map[string]json.RawMessage)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// A torn final line from a crashed writer is recoverable;
+			// ignore it and let the entry be recomputed.
+			continue
+		}
+		s.index[r.Key] = r.Value
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of distinct keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Get decodes the stored value for key into v, reporting whether the key
+// was present.
+func (s *Store) Get(key string, v any) (bool, error) {
+	s.mu.Lock()
+	raw, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("store: decoding %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Put stores v under key, appending to the backing file.
+func (s *Store) Put(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", key, err)
+	}
+	line, err := json.Marshal(record{Key: key, Value: raw})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	s.index[key] = raw
+	return nil
+}
+
+// Close releases the backing file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	in := payload{Name: "swim", Value: 1.25}
+	if err := s.Put("k1", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Get("k1", &out)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if ok, _ := s.Get("absent", &out); ok {
+		t.Fatal("absent key reported present")
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", payload{Name: "first", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the same key: the newest value must win after reload.
+	if err := s.Put("a", payload{Name: "second", Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", payload{Name: "other", Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("reloaded %d keys, want 2", s2.Len())
+	}
+	var out payload
+	if ok, _ := s2.Get("a", &out); !ok || out.Name != "second" {
+		t.Fatalf("last write did not win: %+v", out)
+	}
+}
+
+func TestTornTrailingLineIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", payload{Name: "x", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn","value":{"na`) // crashed writer
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var out payload
+	if ok, _ := s2.Get("good", &out); !ok {
+		t.Fatal("torn line destroyed earlier records")
+	}
+	if ok, _ := s2.Get("torn", &out); ok {
+		t.Fatal("torn record decoded")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := Digest("key", i%4)
+			if err := s.Put(k, payload{Value: float64(i)}); err != nil {
+				t.Error(err)
+			}
+			var out payload
+			if ok, err := s.Get(k, &out); !ok || err != nil {
+				t.Errorf("get %s: ok=%v err=%v", k, ok, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+}
+
+func TestDigestStability(t *testing.T) {
+	type cfg struct{ A, B int }
+	a := Digest("v1", cfg{1, 2})
+	b := Digest("v1", cfg{1, 2})
+	c := Digest("v1", cfg{2, 1})
+	d := Digest("v2", cfg{1, 2})
+	if a != b {
+		t.Fatal("digest not deterministic")
+	}
+	if a == c || a == d {
+		t.Fatal("digest collides across distinct inputs")
+	}
+	if len(a) != 64 {
+		t.Fatalf("digest length %d", len(a))
+	}
+}
