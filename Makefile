@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench fmt vet ci
+.PHONY: build test test-full race bench fmt vet examples ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test
+# Examples smoke: the published examples must build, vet, and (for the
+# quickstart, which runs at QuickOptions scale) actually execute.
+examples:
+	$(GO) vet ./examples/...
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart
+
+ci: build vet fmt test examples

@@ -7,12 +7,19 @@
 // The facade re-exports the pieces a downstream user needs: machine
 // configurations (SS1, SS2 with the paper's X/S/C/B factors, SHREC), the 25
 // synthetic SPEC2K-like workloads, the simulation driver, and the
-// experiment harness that regenerates every table and figure of the paper.
+// experiment harness that regenerates every table and figure of the paper
+// as typed report.Report values.
 //
-// Quick start:
+// The Client is the recommended entry point — it owns one shared result
+// cache, so sweeps and experiments that revisit a configuration reuse
+// runs:
 //
-//	res, err := repro.Simulate(repro.SHREC(), "swim", repro.DefaultOptions())
+//	c, _ := repro.NewClient(repro.WithOptions(repro.QuickOptions()))
+//	defer c.Close()
+//	res, err := c.Simulate(ctx, repro.SHREC(), "swim")
 //	fmt.Println(res.IPC())
+//	rep, err := c.Experiment(ctx, "fig7")
+//	_ = rep.CSV(os.Stdout)
 //
 // See examples/ for runnable programs and cmd/experiments for the full
 // reproduction.
@@ -20,11 +27,15 @@ package repro
 
 import (
 	"context"
+	"fmt"
+	"io"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -46,6 +57,29 @@ type Stats = core.Stats
 
 // Profile describes a synthetic workload.
 type Profile = trace.Profile
+
+// Report is the typed outcome of one experiment: named tables of
+// labelled float64 rows with Text, JSON, and CSV renderers.
+type Report = report.Report
+
+// ReportTable is one data table of a Report.
+type ReportTable = report.Table
+
+// ReportRow is one labelled row of a ReportTable.
+type ReportRow = report.Row
+
+// ExperimentInfo names and describes one runnable experiment.
+type ExperimentInfo = experiments.Info
+
+// NewReport builds an empty report for callers assembling their own
+// result tables (see examples/factor-sweep).
+func NewReport(name, title string) *Report { return report.New(name, title) }
+
+// WriteReportsCSV writes any number of reports as one tidy CSV stream
+// with a single header row.
+func WriteReportsCSV(w io.Writer, reports ...*Report) error {
+	return report.WriteCSV(w, reports...)
+}
 
 // SS1 returns the paper's Table 1 baseline superscalar machine.
 func SS1() Machine { return config.SS1() }
@@ -88,13 +122,234 @@ func FloatingPointWorkloads() []Profile { return workload.FloatingPoint() }
 // WorkloadByName looks up one profile ("swim", "gcc-166", ...).
 func WorkloadByName(name string) (Profile, error) { return workload.ByName(name) }
 
+// MachineByName parses a machine specification ("ss1", "ss2+sc",
+// "shrec", "diva", "o3rs").
+func MachineByName(name string) (Machine, error) { return config.ByName(name) }
+
+// ---------------------------------------------------------------------------
+// Client: the unified entry point.
+
+// clientConfig collects the functional options of NewClient.
+type clientConfig struct {
+	opt       Options
+	storePath string
+	cache     bool
+	// concurrency overrides opt.Parallelism when positive. Kept apart
+	// from opt so WithConcurrency wins regardless of option order.
+	concurrency int
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*clientConfig)
+
+// WithOptions sets the client's run lengths and parallelism (default:
+// DefaultOptions).
+func WithOptions(opt Options) ClientOption {
+	return func(c *clientConfig) { c.opt = opt }
+}
+
+// WithStore attaches a persistent JSON-lines result store at path:
+// cache misses consult the store before simulating and fresh results are
+// written back, so results survive across processes. Close releases it.
+func WithStore(path string) ClientOption {
+	return func(c *clientConfig) { c.storePath = path }
+}
+
+// WithCache toggles the in-memory result cache (default on). With the
+// cache off, Simulate and SimulateProfile always run fresh, and Sweep and
+// Experiment still deduplicate within one call but retain nothing across
+// calls.
+func WithCache(enabled bool) ClientOption {
+	return func(c *clientConfig) { c.cache = enabled }
+}
+
+// WithConcurrency bounds concurrently executing simulations (default:
+// GOMAXPROCS). It overrides the Parallelism field of WithOptions, in
+// any argument order.
+func WithConcurrency(n int) ClientOption {
+	return func(c *clientConfig) { c.concurrency = n }
+}
+
+// ClientMetrics is a snapshot of a client's cache effectiveness counters.
+type ClientMetrics struct {
+	// Runs counts simulations actually executed.
+	Runs uint64 `json:"runs"`
+	// Hits counts requests served without a fresh simulation (memory,
+	// store, or a coalesced in-flight duplicate).
+	Hits uint64 `json:"hits"`
+	// StoreErrors counts failed persistent-store writes (results were
+	// still computed and served).
+	StoreErrors uint64 `json:"store_errors"`
+}
+
+// Client is the unified facade over the simulation driver and the
+// experiment harness. One client owns one result cache (and optional
+// persistent store), so every Simulate, Sweep, and Experiment call
+// shares runs. All methods are safe for concurrent use.
+type Client struct {
+	cfg  clientConfig
+	sims *sim.Suite
+	exp  *experiments.Suite
+	st   *store.Store
+}
+
+// NewClient builds a client. The zero configuration uses DefaultOptions,
+// an in-memory cache, and no persistent store.
+func NewClient(opts ...ClientOption) (*Client, error) {
+	cfg := clientConfig{opt: DefaultOptions(), cache: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.concurrency > 0 {
+		cfg.opt.Parallelism = cfg.concurrency
+	}
+	c := &Client{cfg: cfg}
+	if cfg.storePath != "" {
+		st, err := store.Open(cfg.storePath)
+		if err != nil {
+			return nil, fmt.Errorf("repro: opening store: %w", err)
+		}
+		c.st = st
+	}
+	if cfg.cache {
+		c.sims = c.newSuite()
+		c.exp = experiments.NewSuiteWith(c.sims)
+	}
+	return c, nil
+}
+
+// newSuite builds a simulation suite honoring the client's store.
+func (c *Client) newSuite() *sim.Suite {
+	s := sim.NewSuite(c.cfg.opt)
+	if c.st != nil {
+		s.WithStore(c.st)
+	}
+	return s
+}
+
+// suite returns the shared suite, or a transient one when caching is off.
+func (c *Client) suite() *sim.Suite {
+	if c.sims != nil {
+		return c.sims
+	}
+	return c.newSuite()
+}
+
+// Close releases the client's persistent store, if any.
+func (c *Client) Close() error {
+	if c.st == nil {
+		return nil
+	}
+	return c.st.Close()
+}
+
+// Options returns the client's run options.
+func (c *Client) Options() Options { return c.cfg.opt }
+
+// Simulate runs the named benchmark on machine m.
+func (c *Client) Simulate(ctx context.Context, m Machine, benchmark string) (Result, error) {
+	p, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.SimulateProfile(ctx, m, p)
+}
+
+// SimulateProfile runs a custom workload profile on machine m. With the
+// cache off it still routes through a transient suite, so an attached
+// persistent store is consulted and written back either way.
+func (c *Client) SimulateProfile(ctx context.Context, m Machine, p Profile) (Result, error) {
+	return c.suite().Get(ctx, m, p)
+}
+
+// Sweep fans out every (machine, profile) pair in parallel — duplicate
+// and already-cached pairs cost nothing — and returns the results in
+// machines-major order: results[i*len(profiles)+j] is machines[i] on
+// profiles[j]. Partial failures abort the sweep with every failure
+// joined into one error.
+func (c *Client) Sweep(ctx context.Context, machines []Machine, profiles []Profile) ([]Result, error) {
+	suite := c.suite()
+	if err := suite.Batch(ctx, machines, profiles); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(machines)*len(profiles))
+	for _, m := range machines {
+		for _, p := range profiles {
+			// Lookup, not Get: Batch just filled the cache, and counting
+			// the readback as hits would misstate cache effectiveness.
+			res, ok := suite.Lookup(m, p)
+			if !ok {
+				var err error
+				if res, err = suite.Get(ctx, m, p); err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Experiment regenerates one of the paper's tables or figures as a typed
+// report (see ExperimentNames for the catalog).
+func (c *Client) Experiment(ctx context.Context, name string) (*Report, error) {
+	exp := c.exp
+	if exp == nil {
+		exp = experiments.NewSuiteWith(c.newSuite())
+	}
+	return exp.Run(ctx, name)
+}
+
+// Results snapshots every result currently cached by the client, sorted
+// by machine then benchmark.
+func (c *Client) Results() []Result {
+	if c.sims == nil {
+		return nil
+	}
+	return c.sims.Results()
+}
+
+// Metrics snapshots the client's cache counters.
+func (c *Client) Metrics() ClientMetrics {
+	if c.sims == nil {
+		return ClientMetrics{}
+	}
+	return ClientMetrics{
+		Runs:        c.sims.Runs(),
+		Hits:        c.sims.Hits(),
+		StoreErrors: c.sims.StoreErrors(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Experiments.
+
+// ExperimentNames lists the paper's reproducible tables and figures, in
+// paper order.
+func ExperimentNames() []string { return experiments.Names() }
+
+// ExperimentCatalog lists every experiment with its title, in paper
+// order — the same registry that drives validation everywhere, so the
+// docs can never drift from the runnable set again.
+func ExperimentCatalog() []ExperimentInfo { return experiments.Catalog() }
+
+// ---------------------------------------------------------------------------
+// Deprecated package-level wrappers. They predate Client and remain so
+// old call sites keep compiling; each one delegates to the same
+// machinery a client uses, but without any shared cache.
+
 // Simulate runs the named benchmark on machine m and returns its result.
+//
+// Deprecated: use NewClient and Client.Simulate, which share a result
+// cache across calls.
 func Simulate(m Machine, benchmark string, opt Options) (Result, error) {
 	return SimulateContext(context.Background(), m, benchmark, opt)
 }
 
 // SimulateContext is Simulate bounded by ctx: cancellation or a deadline
 // stops the simulation at the next engine checkpoint.
+//
+// Deprecated: use NewClient and Client.Simulate.
 func SimulateContext(ctx context.Context, m Machine, benchmark string, opt Options) (Result, error) {
 	p, err := workload.ByName(benchmark)
 	if err != nil {
@@ -104,18 +359,48 @@ func SimulateContext(ctx context.Context, m Machine, benchmark string, opt Optio
 }
 
 // SimulateProfile runs a custom workload profile on machine m.
+//
+// Deprecated: use NewClient and Client.SimulateProfile.
 func SimulateProfile(m Machine, p Profile, opt Options) (Result, error) {
 	return sim.Run(m, p, opt)
 }
 
 // SimulateProfileContext is SimulateProfile bounded by ctx.
+//
+// Deprecated: use NewClient and Client.SimulateProfile.
 func SimulateProfileContext(ctx context.Context, m Machine, p Profile, opt Options) (Result, error) {
 	return sim.RunContext(ctx, m, p, opt)
 }
 
-// MachineByName parses a machine specification ("ss1", "ss2+sc",
-// "shrec", "diva", "o3rs").
-func MachineByName(name string) (Machine, error) { return config.ByName(name) }
+// RunExperiment regenerates one table or figure and returns its rendered
+// text. The runnable set is ExperimentNames (one source of truth; see
+// also ExperimentCatalog for titles).
+//
+// Deprecated: use NewClient and Client.Experiment, which return a typed
+// *Report (its String method is this function's return value).
+func RunExperiment(name string, opt Options) (string, error) {
+	return RunExperimentContext(context.Background(), name, opt)
+}
+
+// RunExperimentContext is RunExperiment bounded by ctx.
+//
+// Deprecated: use NewClient and Client.Experiment.
+func RunExperimentContext(ctx context.Context, name string, opt Options) (string, error) {
+	rep, err := experiments.NewSuite(opt).Run(ctx, name)
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// NewExperimentSuite returns a suite that caches simulation results across
+// experiments (the full reproduction shares most configurations).
+func NewExperimentSuite(opt Options) *experiments.Suite {
+	return experiments.NewSuite(opt)
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level access for custom drivers.
 
 // NewEngine builds a bare simulation engine for custom drivers (manual
 // warmup, fault injection studies, per-cycle inspection).
@@ -144,25 +429,4 @@ func CaptureTrace(benchmark string, n, nWrong int) (*Recording, error) {
 // NewEngineFromTrace builds an engine replaying a recorded trace.
 func NewEngineFromTrace(m Machine, r *Recording) *core.Engine {
 	return core.New(m, r)
-}
-
-// ExperimentNames lists the paper's reproducible tables and figures.
-func ExperimentNames() []string { return experiments.Names() }
-
-// RunExperiment regenerates one table or figure ("fig2", "table2",
-// "table3", "fig3", "fig4", "fig5", "fig7", "fig8") and returns its
-// rendered text.
-func RunExperiment(name string, opt Options) (string, error) {
-	return RunExperimentContext(context.Background(), name, opt)
-}
-
-// RunExperimentContext is RunExperiment bounded by ctx.
-func RunExperimentContext(ctx context.Context, name string, opt Options) (string, error) {
-	return experiments.NewSuite(opt).Run(ctx, name)
-}
-
-// NewExperimentSuite returns a suite that caches simulation results across
-// experiments (the full reproduction shares most configurations).
-func NewExperimentSuite(opt Options) *experiments.Suite {
-	return experiments.NewSuite(opt)
 }

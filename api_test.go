@@ -1,9 +1,157 @@
 package repro
 
 import (
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// testClientOptions are tiny run lengths keeping client tests fast.
+var testClientOptions = Options{WarmupInstrs: 2000, MeasureInstrs: 5000, Parallelism: 8}
+
+func TestClientSimulate(t *testing.T) {
+	c, err := NewClient(WithOptions(testClientOptions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	res, err := c.Simulate(ctx, SHREC(), "swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine != "SHREC" || res.Benchmark != "swim" || res.IPC() <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if _, err := c.Simulate(ctx, SS1(), "nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// The second identical call must come from the cache.
+	if _, err := c.Simulate(ctx, SHREC(), "swim"); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.Runs != 1 || m.Hits != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestClientSweep(t *testing.T) {
+	c, err := NewClient(WithOptions(testClientOptions), WithConcurrency(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	machines := []Machine{SS1(), SHREC()}
+	profiles := []Profile{mustProfile(t, "swim"), mustProfile(t, "parser")}
+	results, err := c.Sweep(context.Background(), machines, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	// Machines-major order: results[i*len(profiles)+j].
+	for i, m := range machines {
+		for j, p := range profiles {
+			r := results[i*len(profiles)+j]
+			if r.Machine != m.Name || r.Benchmark != p.Name {
+				t.Fatalf("results[%d] = %s/%s, want %s/%s", i*len(profiles)+j,
+					r.Machine, r.Benchmark, m.Name, p.Name)
+			}
+		}
+	}
+	if got := len(c.Results()); got != 4 {
+		t.Fatalf("cached results = %d", got)
+	}
+	// The readback must not masquerade as cache hits: a fresh sweep is
+	// 4 runs, 0 hits.
+	if m := c.Metrics(); m.Runs != 4 || m.Hits != 0 {
+		t.Fatalf("metrics after fresh sweep = %+v", m)
+	}
+}
+
+func TestClientExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs 100 simulations; skipped in short mode")
+	}
+	c, err := NewClient(WithOptions(testClientOptions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Experiment(context.Background(), "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "fig5" || len(rep.Tables) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "Stagger") || !strings.Contains(out, "Integer Low") {
+		t.Fatalf("fig5 text malformed:\n%s", out)
+	}
+	if _, err := c.Experiment(context.Background(), "fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestClientStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	c, err := NewClient(WithOptions(testClientOptions), WithStore(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Simulate(context.Background(), SS1(), "swim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh client over the same store must serve the run as a hit.
+	c2, err := NewClient(WithOptions(testClientOptions), WithStore(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Simulate(context.Background(), SS1(), "swim"); err != nil {
+		t.Fatal(err)
+	}
+	if m := c2.Metrics(); m.Runs != 0 || m.Hits != 1 {
+		t.Fatalf("store not consulted: %+v", m)
+	}
+}
+
+func TestClientWithoutCache(t *testing.T) {
+	c, err := NewClient(WithOptions(testClientOptions), WithCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Simulate(ctx, SS1(), "swim"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := c.Metrics(); m.Runs != 0 || m.Hits != 0 {
+		t.Fatalf("cacheless client tracked metrics: %+v", m)
+	}
+	if c.Results() != nil {
+		t.Fatal("cacheless client retained results")
+	}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, err := WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
 
 func TestFacadeMachines(t *testing.T) {
 	if SS1().Name != "SS1" || SHREC().Name != "SHREC" {
@@ -68,6 +216,16 @@ func TestFacadeExperimentNames(t *testing.T) {
 	names := ExperimentNames()
 	if len(names) != 10 {
 		t.Fatalf("experiments = %v", names)
+	}
+	// Catalog and Names derive from one registry and must agree.
+	cat := ExperimentCatalog()
+	if len(cat) != len(names) {
+		t.Fatalf("catalog (%d) and names (%d) disagree", len(cat), len(names))
+	}
+	for i, info := range cat {
+		if info.Name != names[i] || info.Title == "" {
+			t.Fatalf("catalog[%d] = %+v, want name %s", i, info, names[i])
+		}
 	}
 	for _, want := range []string{"fig2", "table2", "table3", "fig5", "fig7", "fig8"} {
 		found := false

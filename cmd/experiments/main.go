@@ -2,34 +2,45 @@
 //
 // Usage:
 //
-//	experiments [-run fig2,table2,...,ablation,o3rs|all] [-n instrs] [-warmup instrs]
-//	            [-par N] [-quick] [-store results.jsonl]
+//	experiments [-run fig2,table2,...|all] [-format text|json|csv] [-o file]
+//	            [-n instrs] [-warmup instrs] [-par N] [-quick]
+//	            [-store results.jsonl]
 //
-// Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured comparison. With -store,
-// simulation results persist to a JSON-lines file and later runs (of any
-// experiment sharing configurations) reuse them instead of resimulating.
-// Ctrl-C cancels in-flight simulations promptly.
+// Each experiment produces a typed report rendered as fixed-width text
+// (the default, matching the paper's rows/series; see EXPERIMENTS.md for
+// the paper-vs-measured comparison), a JSON array of report objects, or
+// one tidy CSV stream. With -store, simulation results persist to a
+// JSON-lines file and later runs (of any experiment sharing
+// configurations) reuse them instead of resimulating. Ctrl-C cancels
+// in-flight simulations promptly.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
 
 func main() {
 	var (
-		runList   = flag.String("run", "all", "comma-separated experiments to run (fig2,table2,table3,fig3,fig4,fig5,fig7,fig8,ablation,o3rs) or 'all'")
+		runList = flag.String("run", "all",
+			fmt.Sprintf("comma-separated experiments to run (%s) or 'all'",
+				strings.Join(experiments.Names(), ",")))
+		format    = flag.String("format", "text", "output format: text, json, or csv")
+		outPath   = flag.String("o", "", "write output to this file instead of stdout")
 		n         = flag.Uint64("n", 0, "measured instructions per run (default 1,000,000)")
 		warmup    = flag.Uint64("warmup", 0, "warmup instructions per run (default 500,000)")
 		par       = flag.Int("par", 0, "max parallel simulations (default GOMAXPROCS)")
@@ -37,6 +48,11 @@ func main() {
 		storePath = flag.String("store", "", "persist simulation results to this JSON-lines file and reuse them across runs")
 	)
 	flag.Parse()
+
+	if *format != "text" && *format != "json" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q (have text, json, csv)\n", *format)
+		os.Exit(2)
+	}
 
 	opt := sim.DefaultOptions()
 	if *quick {
@@ -69,22 +85,82 @@ func main() {
 		sims.WithStore(st)
 	}
 
+	// With -o, render into memory and replace the file atomically at the
+	// end: a failed or interrupted run must not truncate an existing
+	// results file.
+	var out io.Writer = os.Stdout
+	var buf *bytes.Buffer
+	if *outPath != "" {
+		buf = &bytes.Buffer{}
+		out = buf
+	}
+
 	suite := experiments.NewSuiteWith(sims)
+	var reports []*report.Report
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
-		out, err := suite.Run(ctx, name)
+		rep, err := suite.Run(ctx, name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+		if *format == "text" {
+			// Stream each report as it completes, with the historical
+			// framing; structured formats are emitted in one piece below.
+			if _, err := fmt.Fprintf(out, "=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), rep); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		reports = append(reports, rep)
+	}
+	var err error
+	switch *format {
+	case "json":
+		err = report.WriteJSONArray(out, reports...)
+	case "csv":
+		err = report.WriteCSV(out, reports...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if buf != nil {
+		if err := writeFileAtomic(*outPath, buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 	if *storePath != "" {
 		msg := fmt.Sprintf("(%d simulated, %d cache hits; store %s", sims.Runs(), sims.Hits(), *storePath)
 		if n := sims.StoreErrors(); n > 0 {
 			msg += fmt.Sprintf(", %d write failures", n)
 		}
-		fmt.Println(msg + ")")
+		fmt.Fprintln(os.Stderr, msg+")")
 	}
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, so a
+// partial write (disk full, interrupt) never clobbers an existing file.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }

@@ -9,9 +9,13 @@
 //
 //	POST /simulate            {"machine":"shrec","benchmark":"swim",
 //	                           "warmup_instrs":0,"measure_instrs":0}
-//	POST /experiments/{name}  regenerate one paper table/figure
+//	GET  /experiments         the experiment catalog (names and titles)
+//	GET  /experiments/{name}  regenerate one paper table/figure as a typed
+//	                          report (?format=text|json|csv or Accept)
+//	POST /experiments/{name}  deprecated pre-report shape (text wrapped in JSON)
 //	GET  /results             every cached result plus cache metrics
-//	GET  /healthz             liveness and pool configuration
+//	GET  /healthz             liveness, pool configuration, cache counters
+//	GET  /metrics             Prometheus text: runs, hits, store errors
 //
 // Duplicate in-flight requests for the same (machine, benchmark,
 // options) key share one simulation; results are cached in memory and,

@@ -4,11 +4,19 @@
 // the SS2 redundant machine — and run the 2-k factorial analysis on the
 // result, like the paper's Table 3.
 //
-//	go run ./examples/factor-sweep [benchmark]
+// Demonstrates the typed experiment API end-to-end: Client.Sweep fans the
+// sixteen configurations out in parallel, the results land in a
+// repro.Report, and -format csv emits the tidy long-format CSV that
+// spreadsheet and dataframe tooling ingests directly.
+//
+//	go run ./examples/factor-sweep [-format text|csv] [-o file] [benchmark]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -16,23 +24,48 @@ import (
 )
 
 func main() {
-	bench := "swim"
-	if len(os.Args) > 1 {
-		bench = os.Args[1]
-	}
-	opt := repro.Options{WarmupInstrs: 300_000, MeasureInstrs: 400_000}
+	format := flag.String("format", "text", "output format: text or csv")
+	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Parse()
 
-	fmt.Printf("Table 2 style sweep on %s (IPC change vs plain SS2)\n\n", bench)
+	bench := "swim"
+	if flag.NArg() > 0 {
+		bench = flag.Arg(0)
+	}
+
+	c, err := repro.NewClient(repro.WithOptions(
+		repro.Options{WarmupInstrs: 300_000, MeasureInstrs: 400_000}))
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	p, err := repro.WorkloadByName(bench)
+	if err != nil {
+		fail(err)
+	}
+
+	// One batched fan-out over the sixteen factor combinations.
 	combos := repro.AllFactorCombinations()
-	cpis := make([]float64, 16)
-	var baseIPC float64
+	machines := make([]repro.Machine, len(combos))
 	for i, f := range combos {
-		res, err := repro.Simulate(repro.SS2(f), bench, opt)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "factor-sweep:", err)
-			os.Exit(1)
-		}
-		ipc := res.IPC()
+		machines[i] = repro.SS2(f)
+	}
+	results, err := c.Sweep(context.Background(), machines, []repro.Profile{p})
+	if err != nil {
+		fail(err)
+	}
+
+	// Assemble the typed report: one IPC row per combination plus the
+	// factorial effects, Table 3 style.
+	rep := repro.NewReport("factor-sweep", "Table 2 style sweep on "+bench)
+	rep.SetMeta("benchmark", bench)
+	tb := rep.AddTable("IPC per factor combination (vs plain SS2)",
+		"X S C B", "IPC", "change %")
+	baseIPC := results[0].IPC()
+	cpis := make([]float64, 16)
+	for i, res := range results {
+		f := combos[i]
 		mask := 0
 		if f.X {
 			mask |= 1
@@ -47,29 +80,51 @@ func main() {
 			mask |= 8
 		}
 		cpis[mask] = res.CPI()
-		if i == 0 {
-			baseIPC = ipc
-			fmt.Printf("  %-8s IPC %5.2f  (baseline)\n", f, ipc)
-			continue
-		}
-		fmt.Printf("  %-8s IPC %5.2f  %+5.0f%%\n", f, ipc, 100*(ipc-baseIPC)/baseIPC)
+		tb.AddRow(f.String(), res.IPC(), 100*(res.IPC()-baseIPC)/baseIPC)
 	}
 
 	an, err := factorial.Analyze([]string{"X", "S", "C", "B"}, cpis)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "factor-sweep:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	fmt.Println("\n2-k factorial analysis (CPI decrease > 3% shown, Table 3 style):")
-	sig := an.Significant(3)
-	if len(sig) == 0 {
-		fmt.Println("  no significant factors")
+	et := rep.AddTable("2-k factorial analysis (CPI decrease > 3%, Table 3 style)",
+		"class", "factor", "effect %")
+	et.Verb = "%.1f"
+	et.ClassColumn = true
+	if len(an.Significant(3)) == 0 {
+		rep.AddNote("no significant factors")
 	}
-	for _, eff := range sig {
-		kind := "main effect"
+	for _, eff := range an.Significant(3) {
+		class := "main effect"
 		if eff.Order > 1 {
-			kind = "interaction"
+			class = "interaction"
 		}
-		fmt.Printf("  %-6s %11s  %+.1f%%\n", eff.Name, kind, eff.PctDecrease)
+		et.Add(repro.ReportRow{Label: eff.Name, Class: class, Values: []float64{eff.PctDecrease}})
 	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "text":
+		err = rep.Text(out)
+	case "csv":
+		err = rep.CSV(out)
+	default:
+		err = fmt.Errorf("unknown format %q (have text, csv)", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "factor-sweep:", err)
+	os.Exit(1)
 }

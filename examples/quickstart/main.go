@@ -2,10 +2,15 @@
 // paper compares — the SS1 baseline, symmetric redundant SS2, and SHREC —
 // and print the redundant-execution performance penalty of each.
 //
+// Uses the repro.Client facade: one client owns one result cache, so the
+// four runs here would be reused by any later sweep or experiment on the
+// same client.
+//
 //	go run ./examples/quickstart [benchmark]
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -18,7 +23,13 @@ func main() {
 		bench = os.Args[1]
 	}
 
-	opt := repro.Options{WarmupInstrs: 300_000, MeasureInstrs: 500_000}
+	c, err := repro.NewClient(repro.WithOptions(repro.QuickOptions()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
 	machines := []repro.Machine{
 		repro.SS1(),
 		repro.SS2(repro.Factors{}),
@@ -26,10 +37,10 @@ func main() {
 		repro.SHREC(),
 	}
 
-	fmt.Printf("benchmark %s, %d measured instructions\n\n", bench, opt.MeasureInstrs)
+	fmt.Printf("benchmark %s, %d measured instructions\n\n", bench, c.Options().MeasureInstrs)
 	var baseline float64
 	for _, m := range machines {
-		res, err := repro.Simulate(m, bench, opt)
+		res, err := c.Simulate(context.Background(), m, bench)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "quickstart:", err)
 			os.Exit(1)

@@ -2,20 +2,23 @@
 // evaluation: Figure 2 (SS1 vs SS2), Table 2 (the sixteen factor
 // combinations), Table 3 (2-k factorial analysis), Figure 3 (C-factor),
 // Figure 4 (S-factor), Figure 5 (stagger sweep), Figure 7 (SHREC), and
-// Figure 8 (X-scaling).
+// Figure 8 (X-scaling), plus two extensions (ablation, o3rs).
 //
-// Each experiment renders a text table whose rows correspond to the
-// paper's data series. Simulations are cached in a sim.Suite, so
-// experiments that share configurations (most of them) reuse runs.
+// Each experiment builds a typed report.Report — tables of labelled
+// float64 rows — that downstream tools render as text, JSON, or CSV.
+// The text rendering is byte-identical to the historical string API
+// (pinned by the golden tests). Simulations are cached in a sim.Suite,
+// so experiments that share configurations (most of them) reuse runs.
 package experiments
 
 import (
 	"context"
 	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/config"
 	"repro/internal/factorial"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -51,83 +54,149 @@ func NewSuiteWith(sims *sim.Suite) *Suite {
 // Sims exposes the underlying simulation cache.
 func (s *Suite) Sims() *sim.Suite { return s.sims }
 
+// Info describes one runnable experiment.
+type Info struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+}
+
+// registry is the single source of truth for experiment names and
+// titles, in paper order: Names, Catalog, Run, the repro facade docs,
+// the shrecd catalog endpoint, and the cmd/experiments flag help all
+// derive from it.
+var registry = []Info{
+	{"fig2", "Figure 2: IPC of SS2 vs SS1"},
+	{"table2", "Table 2: % IPC increase of the sixteen factor combinations"},
+	{"table3", "Table 3: significant 2-k factorial effects on CPI"},
+	{"fig3", "Figure 3: the C factor (doubled ISQ/ROB, ~O3RS)"},
+	{"fig4", "Figure 4: the S factor (256-instruction elastic stagger, ~SRT)"},
+	{"fig5", "Figure 5: IPC of SS2+S+C vs maximum stagger"},
+	{"fig7", "Figure 7: SHREC vs SS2, SS2+SCB, and SS1"},
+	{"fig8", "Figure 8: IPC vs issue/FU scaling (0.5X-2X)"},
+	{"ablation", "Ablation (extension): shared vs dedicated checker units"},
+	{"o3rs", "O3RS validation (extension): real mechanism vs SS2+CB approximation"},
+}
+
+// runners maps each registry entry to its implementation. Populated in
+// init (not in the declaration) because the methods reference the
+// registry through newReport, which would otherwise be an
+// initialization cycle; init also asserts the two stay in sync.
+var runners map[string]func(*Suite, context.Context) (*report.Report, error)
+
+func init() {
+	runners = map[string]func(*Suite, context.Context) (*report.Report, error){
+		"fig2":     (*Suite).Figure2,
+		"table2":   (*Suite).Table2,
+		"table3":   (*Suite).Table3,
+		"fig3":     (*Suite).Figure3,
+		"fig4":     (*Suite).Figure4,
+		"fig5":     (*Suite).Figure5,
+		"fig7":     (*Suite).Figure7,
+		"fig8":     (*Suite).Figure8,
+		"ablation": (*Suite).Ablation,
+		"o3rs":     (*Suite).O3RS,
+	}
+	if len(runners) != len(registry) {
+		panic("experiments: registry and runners disagree")
+	}
+	for _, e := range registry {
+		if runners[e.Name] == nil {
+			panic("experiments: no runner for " + e.Name)
+		}
+	}
+}
+
 // Names lists the runnable experiments in paper order.
 func Names() []string {
-	return []string{"fig2", "table2", "table3", "fig3", "fig4", "fig5", "fig7", "fig8", "ablation", "o3rs"}
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Catalog lists every experiment with its title, in paper order.
+func Catalog() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Known reports whether name is a runnable experiment.
+func Known(name string) bool {
+	_, ok := runners[name]
+	return ok
 }
 
 // Run dispatches one experiment by name. The context cancels or
 // deadline-bounds every simulation the experiment triggers.
-func (s *Suite) Run(ctx context.Context, name string) (string, error) {
-	switch name {
-	case "fig2":
-		return s.Figure2(ctx)
-	case "table2":
-		return s.Table2(ctx)
-	case "table3":
-		return s.Table3(ctx)
-	case "fig3":
-		return s.Figure3(ctx)
-	case "fig4":
-		return s.Figure4(ctx)
-	case "fig5":
-		return s.Figure5(ctx)
-	case "fig7":
-		return s.Figure7(ctx)
-	case "fig8":
-		return s.Figure8(ctx)
-	case "ablation":
-		return s.Ablation(ctx)
-	case "o3rs":
-		return s.O3RS(ctx)
+func (s *Suite) Run(ctx context.Context, name string) (*report.Report, error) {
+	if run, ok := runners[name]; ok {
+		return run(s, ctx)
 	}
-	return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 }
 
-// perBenchmarkTable renders one of the paper's per-benchmark IPC bar charts
-// (Figures 2, 3, 4, 7) as a table: one row per benchmark plus the three
-// harmonic-mean aggregate rows, one column per machine.
-func (s *Suite) perBenchmarkTable(ctx context.Context, title string, machines []config.Machine, profiles []trace.Profile) (string, error) {
-	if err := s.sims.Batch(ctx, machines, profiles); err != nil {
-		return "", err
+// newReport starts a report for the named experiment, stamped with the
+// registry title and the suite's run lengths.
+func (s *Suite) newReport(name string) *report.Report {
+	title := ""
+	for _, e := range registry {
+		if e.Name == name {
+			title = e.Title
+		}
 	}
-	header := append([]string{"benchmark"}, machineNames(machines)...)
-	tb := stats.NewTable(title, header...)
+	r := report.New(name, title)
+	opt := s.sims.Options()
+	r.SetMeta("warmup_instrs", strconv.FormatUint(opt.WarmupInstrs, 10))
+	r.SetMeta("measure_instrs", strconv.FormatUint(opt.MeasureInstrs, 10))
+	return r
+}
+
+// addPerBenchmarkTable appends one of the paper's per-benchmark IPC bar
+// charts (Figures 2, 3, 4, 7) as a table: one row per benchmark plus the
+// three harmonic-mean aggregate rows, one column per machine.
+func (s *Suite) addPerBenchmarkTable(ctx context.Context, rep *report.Report, title string, machines []config.Machine, profiles []trace.Profile) error {
+	if err := s.sims.Batch(ctx, machines, profiles); err != nil {
+		return err
+	}
+	tb := rep.AddTable(title, append([]string{"benchmark"}, machineNames(machines)...)...)
 	for _, p := range profiles {
-		row := make([]float64, len(machines))
+		row := report.Row{
+			Label:  p.Name,
+			Class:  p.Class.String(),
+			High:   p.HighIPC,
+			Values: make([]float64, len(machines)),
+		}
 		for i, m := range machines {
 			ipc, err := s.sims.IPC(ctx, m, p)
 			if err != nil {
-				return "", err
+				return err
 			}
-			row[i] = ipc
+			row.Values[i] = ipc
 		}
-		label := p.Name
-		if p.HighIPC {
-			label += " [high]"
-		}
-		tb.AddRowf(label, "%.2f", row...)
+		tb.Add(row)
 	}
-	tb.AddSeparator()
+	tb.AddRule()
 	for _, agg := range []string{"Average", "Average (Low only)", "Average (High only)"} {
-		row := make([]float64, len(machines))
+		row := report.Row{Label: agg, Aggregate: true, Values: make([]float64, len(machines))}
 		for i, m := range machines {
 			av, err := s.sims.Averages(ctx, m, profiles)
 			if err != nil {
-				return "", err
+				return err
 			}
 			switch agg {
 			case "Average":
-				row[i] = av.All
+				row.Values[i] = av.All
 			case "Average (Low only)":
-				row[i] = av.Low
+				row.Values[i] = av.Low
 			default:
-				row[i] = av.High
+				row.Values[i] = av.High
 			}
 		}
-		tb.AddRowf(agg, "%.2f", row...)
+		tb.Add(row)
 	}
-	return tb.String(), nil
+	return nil
 }
 
 func machineNames(ms []config.Machine) []string {
@@ -139,78 +208,77 @@ func machineNames(ms []config.Machine) []string {
 }
 
 // Figure2 reproduces the SS1-versus-SS2 IPC comparison.
-func (s *Suite) Figure2(ctx context.Context) (string, error) {
+func (s *Suite) Figure2(ctx context.Context) (*report.Report, error) {
+	rep := s.newReport("fig2")
 	machines := []config.Machine{config.SS2(config.Factors{}), config.SS1()}
-	intTab, err := s.perBenchmarkTable(ctx, "Figure 2(a): Integer IPC, SS2 vs SS1", machines, s.ints)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 2(a): Integer IPC, SS2 vs SS1", machines, s.ints); err != nil {
+		return nil, err
 	}
-	fpTab, err := s.perBenchmarkTable(ctx, "Figure 2(b): Floating-point IPC, SS2 vs SS1", machines, s.fps)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 2(b): Floating-point IPC, SS2 vs SS1", machines, s.fps); err != nil {
+		return nil, err
 	}
-	summary, err := s.penaltySummary(ctx, config.SS1(), config.SS2(config.Factors{}))
-	if err != nil {
-		return "", err
+	if err := s.addPenaltyNotes(ctx, rep, config.SS1(), config.SS2(config.Factors{})); err != nil {
+		return nil, err
 	}
-	return intTab + "\n" + fpTab + "\n" + summary, nil
+	return rep, nil
 }
 
-// penaltySummary renders the headline "SS2 loses N% vs SS1" lines.
-func (s *Suite) penaltySummary(ctx context.Context, base, m config.Machine) (string, error) {
-	var b strings.Builder
+// addPenaltyNotes appends the headline "SS2 loses N% vs SS1" lines.
+func (s *Suite) addPenaltyNotes(ctx context.Context, rep *report.Report, base, m config.Machine) error {
 	for _, cls := range []struct {
 		name     string
 		profiles []trace.Profile
 	}{{"integer", s.ints}, {"floating-point", s.fps}} {
 		b1, err := s.sims.Averages(ctx, base, cls.profiles)
 		if err != nil {
-			return "", err
+			return err
 		}
 		m1, err := s.sims.Averages(ctx, m, cls.profiles)
 		if err != nil {
-			return "", err
+			return err
 		}
-		fmt.Fprintf(&b, "%s penalty vs %s on %s: %.0f%%\n",
+		rep.AddNote("%s penalty vs %s on %s: %.0f%%",
 			m.Name, base.Name, cls.name, stats.PctPenalty(b1.All, m1.All))
 	}
-	return b.String(), nil
+	return nil
 }
 
 // Table2 reproduces the sixteen-configuration factor study: percentage IPC
 // increase relative to plain SS2 for integer and floating-point benchmark
 // classes, overall and split by high/low IPC.
-func (s *Suite) Table2(ctx context.Context) (string, error) {
+func (s *Suite) Table2(ctx context.Context) (*report.Report, error) {
 	combos := config.AllFactorCombinations()
 	machines := make([]config.Machine, len(combos))
 	for i, f := range combos {
 		machines[i] = config.SS2(f)
 	}
 	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
-		return "", err
+		return nil, err
 	}
 	base := machines[0] // plain SS2
 	baseInt, err := s.sims.Averages(ctx, base, s.ints)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	baseFP, err := s.sims.Averages(ctx, base, s.fps)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 
-	tb := stats.NewTable("Table 2: % IPC increase relative to SS2",
+	rep := s.newReport("table2")
+	tb := rep.AddTable("Table 2: % IPC increase relative to SS2",
 		"X S C B", "Int All", "Int High", "Int Low", "FP All", "FP High", "FP Low")
+	tb.Verb = "%.0f"
 	for i, m := range machines {
 		avInt, err := s.sims.Averages(ctx, m, s.ints)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		avFP, err := s.sims.Averages(ctx, m, s.fps)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		tb.AddRowf(combos[i].String(), "%.0f",
+		tb.AddRow(combos[i].String(),
 			stats.PctChange(baseInt.All, avInt.All),
 			stats.PctChange(baseInt.High, avInt.High),
 			stats.PctChange(baseInt.Low, avInt.Low),
@@ -219,7 +287,7 @@ func (s *Suite) Table2(ctx context.Context) (string, error) {
 			stats.PctChange(baseFP.Low, avFP.Low),
 		)
 	}
-	return tb.String(), nil
+	return rep, nil
 }
 
 // classProfiles returns the paper's four benchmark classes.
@@ -249,19 +317,22 @@ func (s *Suite) classProfiles() []struct {
 
 // Table3 reproduces the 2-k factorial analysis: the main factors and
 // interactions whose CPI effect exceeds 3%, per benchmark class.
-func (s *Suite) Table3(ctx context.Context) (string, error) {
+func (s *Suite) Table3(ctx context.Context) (*report.Report, error) {
 	combos := config.AllFactorCombinations()
 	machines := make([]config.Machine, len(combos))
 	for i, f := range combos {
 		machines[i] = config.SS2(f)
 	}
 	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
-		return "", err
+		return nil, err
 	}
 
 	factors := []string{"X", "S", "C", "B"}
-	tb := stats.NewTable("Table 3: significant factorial effects on CPI (>3% decrease shown)",
+	rep := s.newReport("table3")
+	tb := rep.AddTable("Table 3: significant factorial effects on CPI (>3% decrease shown)",
 		"class", "factor", "effect %")
+	tb.Verb = "%.1f"
+	tb.ClassColumn = true
 	for _, cls := range s.classProfiles() {
 		// Build the 16 responses indexed by factor bitmask.
 		resp := make([]float64, 16)
@@ -281,68 +352,64 @@ func (s *Suite) Table3(ctx context.Context) (string, error) {
 			}
 			cpi, err := s.sims.MeanCPI(ctx, machines[i], cls.profiles)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			resp[mask] = cpi
 		}
 		an, err := factorial.Analyze(factors, resp)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		first := true
 		for _, eff := range an.Significant(3) {
-			label := ""
-			if first {
-				label = cls.name
-				first = false
-			}
-			tb.AddRow(label, eff.Name, fmt.Sprintf("%.1f", eff.PctDecrease))
+			tb.Add(report.Row{
+				Class:  cls.name,
+				Label:  eff.Name,
+				Values: []float64{eff.PctDecrease},
+			})
 		}
-		tb.AddSeparator()
+		tb.AddRule()
 	}
-	return tb.String(), nil
+	return rep, nil
 }
 
 // Figure3 reproduces the C-factor study (SS2 with doubled ISQ/ROB ~ O3RS).
-func (s *Suite) Figure3(ctx context.Context) (string, error) {
+func (s *Suite) Figure3(ctx context.Context) (*report.Report, error) {
+	rep := s.newReport("fig3")
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.SS2(config.Factors{C: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable(ctx, "Figure 3(a): Integer IPC, C-factor", machines, s.ints)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 3(a): Integer IPC, C-factor", machines, s.ints); err != nil {
+		return nil, err
 	}
-	fpTab, err := s.perBenchmarkTable(ctx, "Figure 3(b): Floating-point IPC, C-factor", machines, s.fps)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 3(b): Floating-point IPC, C-factor", machines, s.fps); err != nil {
+		return nil, err
 	}
-	return intTab + "\n" + fpTab, nil
+	return rep, nil
 }
 
 // Figure4 reproduces the S-factor study (SS2 with a 256-instruction
 // elastic stagger ~ SRT).
-func (s *Suite) Figure4(ctx context.Context) (string, error) {
+func (s *Suite) Figure4(ctx context.Context) (*report.Report, error) {
+	rep := s.newReport("fig4")
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.SS2(config.Factors{S: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable(ctx, "Figure 4(a): Integer IPC, S-factor", machines, s.ints)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 4(a): Integer IPC, S-factor", machines, s.ints); err != nil {
+		return nil, err
 	}
-	fpTab, err := s.perBenchmarkTable(ctx, "Figure 4(b): Floating-point IPC, S-factor", machines, s.fps)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 4(b): Floating-point IPC, S-factor", machines, s.fps); err != nil {
+		return nil, err
 	}
-	return intTab + "\n" + fpTab, nil
+	return rep, nil
 }
 
 // Figure5 reproduces the stagger-degree sweep on SS2+S+C: maximum staggers
 // of 0, 256, 1K, and 1M instructions over the four benchmark classes.
-func (s *Suite) Figure5(ctx context.Context) (string, error) {
+func (s *Suite) Figure5(ctx context.Context) (*report.Report, error) {
 	staggers := []int{0, 256, 1024, 1 << 20}
 	labels := []string{"0 Stagger", "256 Stagger", "1K Stagger", "1M Stagger"}
 	machines := make([]config.Machine, len(staggers))
@@ -350,9 +417,10 @@ func (s *Suite) Figure5(ctx context.Context) (string, error) {
 		machines[i] = config.SS2(config.Factors{S: true, C: true}).WithStagger(n)
 	}
 	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
-		return "", err
+		return nil, err
 	}
-	tb := stats.NewTable("Figure 5: IPC of SS2+S+C vs maximum stagger",
+	rep := s.newReport("fig5")
+	tb := rep.AddTable("Figure 5: IPC of SS2+S+C vs maximum stagger",
 		append([]string{"class"}, labels...)...)
 	for _, cls := range []struct {
 		name     string
@@ -368,7 +436,7 @@ func (s *Suite) Figure5(ctx context.Context) (string, error) {
 		for i, m := range machines {
 			av, err := s.sims.Averages(ctx, m, cls.profiles)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			if cls.high {
 				row[i] = av.High
@@ -376,38 +444,36 @@ func (s *Suite) Figure5(ctx context.Context) (string, error) {
 				row[i] = av.Low
 			}
 		}
-		tb.AddRowf(cls.name, "%.2f", row...)
+		tb.AddRow(cls.name, row...)
 	}
-	return tb.String(), nil
+	return rep, nil
 }
 
 // Figure7 reproduces the headline SHREC comparison: SS2, SHREC, the
 // idealized SS2+S+C+B, and SS1.
-func (s *Suite) Figure7(ctx context.Context) (string, error) {
+func (s *Suite) Figure7(ctx context.Context) (*report.Report, error) {
+	rep := s.newReport("fig7")
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.SHREC(),
 		config.SS2(config.Factors{S: true, C: true, B: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable(ctx, "Figure 7(a): Integer IPC, SHREC", machines, s.ints)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 7(a): Integer IPC, SHREC", machines, s.ints); err != nil {
+		return nil, err
 	}
-	fpTab, err := s.perBenchmarkTable(ctx, "Figure 7(b): Floating-point IPC, SHREC", machines, s.fps)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Figure 7(b): Floating-point IPC, SHREC", machines, s.fps); err != nil {
+		return nil, err
 	}
-	summary, err := s.penaltySummary(ctx, config.SS1(), config.SHREC())
-	if err != nil {
-		return "", err
+	if err := s.addPenaltyNotes(ctx, rep, config.SS1(), config.SHREC()); err != nil {
+		return nil, err
 	}
-	return intTab + "\n" + fpTab + "\n" + summary, nil
+	return rep, nil
 }
 
 // Figure8 reproduces the X-scaling sweep: IPC of SHREC and SS2 with 0.5X
 // to 2X issue bandwidth and functional units, per benchmark class.
-func (s *Suite) Figure8(ctx context.Context) (string, error) {
+func (s *Suite) Figure8(ctx context.Context) (*report.Report, error) {
 	scales := []float64{0.5, 1, 1.5, 2}
 	type series struct {
 		label string
@@ -431,9 +497,10 @@ func (s *Suite) Figure8(ctx context.Context) (string, error) {
 			config.SHREC().WithXScale(sc), config.SS2(config.Factors{}).WithXScale(sc))
 	}
 	if err := s.sims.Batch(ctx, machines, s.profiles); err != nil {
-		return "", err
+		return nil, err
 	}
-	tb := stats.NewTable("Figure 8: IPC vs issue/FU scaling (0.5X-2X)",
+	rep := s.newReport("fig8")
+	tb := rep.AddTable("Figure 8: IPC vs issue/FU scaling (0.5X-2X)",
 		"series", "0.5X", "1X", "1.5X", "2X")
 	for _, sr := range all {
 		row := make([]float64, len(scales))
@@ -445,7 +512,7 @@ func (s *Suite) Figure8(ctx context.Context) (string, error) {
 			}
 			av, err := s.sims.Averages(ctx, m, profiles)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			if sr.high {
 				row[i] = av.High
@@ -453,9 +520,9 @@ func (s *Suite) Figure8(ctx context.Context) (string, error) {
 				row[i] = av.Low
 			}
 		}
-		tb.AddRowf(sr.label, "%.2f", row...)
+		tb.AddRow(sr.label, row...)
 	}
-	return tb.String(), nil
+	return rep, nil
 }
 
 // ss1Machine, ss2Machine, and shrecMachine are tiny helpers for tests.
@@ -468,22 +535,21 @@ func shrecMachine() config.Machine { return config.SHREC() }
 // Section 4.1), and SS2+X+C (which the paper's Table 2 notes approximates
 // both SS1 and DIVA). It quantifies exactly what SHREC's unit sharing
 // costs and confirms the paper's claim that DIVA tracks SS1.
-func (s *Suite) Ablation(ctx context.Context) (string, error) {
+func (s *Suite) Ablation(ctx context.Context) (*report.Report, error) {
+	rep := s.newReport("ablation")
 	machines := []config.Machine{
 		config.SS1(),
 		config.DIVA(),
 		config.SHREC(),
 		config.SS2(config.Factors{X: true, C: true}),
 	}
-	intTab, err := s.perBenchmarkTable(ctx, "Ablation (extension): shared vs dedicated checker units, integer", machines, s.ints)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Ablation (extension): shared vs dedicated checker units, integer", machines, s.ints); err != nil {
+		return nil, err
 	}
-	fpTab, err := s.perBenchmarkTable(ctx, "Ablation (extension): shared vs dedicated checker units, floating-point", machines, s.fps)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "Ablation (extension): shared vs dedicated checker units, floating-point", machines, s.fps); err != nil {
+		return nil, err
 	}
-	return intTab + "\n" + fpTab, nil
+	return rep, nil
 }
 
 // O3RS is an extension beyond the paper's figures: it runs the real
@@ -491,20 +557,19 @@ func (s *Suite) Ablation(ctx context.Context) (string, error) {
 // configuration the paper uses to approximate it (Table 2's note), plus
 // the SS2 and SS1 anchors. If the approximation is sound, the O3RS and
 // SS2+CB columns should track each other.
-func (s *Suite) O3RS(ctx context.Context) (string, error) {
+func (s *Suite) O3RS(ctx context.Context) (*report.Report, error) {
+	rep := s.newReport("o3rs")
 	machines := []config.Machine{
 		config.SS2(config.Factors{}),
 		config.O3RS(),
 		config.SS2(config.Factors{C: true, B: true}),
 		config.SS1(),
 	}
-	intTab, err := s.perBenchmarkTable(ctx, "O3RS validation (extension): real mechanism vs SS2+CB approximation, integer", machines, s.ints)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "O3RS validation (extension): real mechanism vs SS2+CB approximation, integer", machines, s.ints); err != nil {
+		return nil, err
 	}
-	fpTab, err := s.perBenchmarkTable(ctx, "O3RS validation (extension): real mechanism vs SS2+CB approximation, floating-point", machines, s.fps)
-	if err != nil {
-		return "", err
+	if err := s.addPerBenchmarkTable(ctx, rep, "O3RS validation (extension): real mechanism vs SS2+CB approximation, floating-point", machines, s.fps); err != nil {
+		return nil, err
 	}
-	return intTab + "\n" + fpTab, nil
+	return rep, nil
 }

@@ -41,10 +41,11 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestFigure2Structure(t *testing.T) {
-	out, err := tinySuite().Figure2(context.Background())
+	rep, err := tinySuite().Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := rep.String()
 	for _, want := range []string{
 		"Figure 2(a)", "Figure 2(b)", "SS2", "SS1",
 		"gap", "vortex-one [high]", "equake", "apsi [high]",
@@ -61,10 +62,11 @@ func TestFigure2Structure(t *testing.T) {
 }
 
 func TestTable2Structure(t *testing.T) {
-	out, err := tinySuite().Table2(context.Background())
+	rep, err := tinySuite().Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := rep.String()
 	if !strings.Contains(out, "X S C B") {
 		t.Fatal("missing header")
 	}
@@ -91,10 +93,11 @@ func TestTable2Structure(t *testing.T) {
 }
 
 func TestTable3Structure(t *testing.T) {
-	out, err := tinySuite().Table3(context.Background())
+	rep, err := tinySuite().Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := rep.String()
 	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "factor") {
 		t.Fatalf("table3 header malformed:\n%s", out)
 	}
@@ -114,10 +117,11 @@ func TestTable3Structure(t *testing.T) {
 }
 
 func TestFigure5Structure(t *testing.T) {
-	out, err := tinySuite().Figure5(context.Background())
+	rep, err := tinySuite().Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := rep.String()
 	for _, want := range []string{"0 Stagger", "256 Stagger", "1K Stagger", "1M Stagger",
 		"Integer Low", "Floating-point High"} {
 		if !strings.Contains(out, want) {
@@ -127,10 +131,11 @@ func TestFigure5Structure(t *testing.T) {
 }
 
 func TestFigure7Structure(t *testing.T) {
-	out, err := tinySuite().Figure7(context.Background())
+	rep, err := tinySuite().Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := rep.String()
 	for _, want := range []string{"SHREC", "SS2+SCB", "Figure 7(a)", "Figure 7(b)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fig7 missing %q", want)
@@ -139,10 +144,11 @@ func TestFigure7Structure(t *testing.T) {
 }
 
 func TestFigure8Structure(t *testing.T) {
-	out, err := tinySuite().Figure8(context.Background())
+	rep, err := tinySuite().Figure8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	out := rep.String()
 	for _, want := range []string{"0.5X", "2X", "SHREC - FP High", "SS2 - Int Low"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fig8 missing %q", want)

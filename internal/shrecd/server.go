@@ -1,7 +1,9 @@
 // Package shrecd implements the HTTP serving layer over the batch
 // simulation engine: POST /simulate runs one (machine, benchmark) pair,
-// POST /experiments/{name} regenerates one of the paper's tables or
-// figures, and GET /results lists every cached result. All endpoints are
+// GET /experiments/{name} regenerates one of the paper's tables or
+// figures as a typed report (negotiated as JSON, CSV, or text),
+// GET /experiments lists the catalog, GET /results lists every cached
+// result, and GET /metrics exposes the cache counters. All endpoints are
 // backed by one sharded, deduplicating sim.Suite, so duplicate in-flight
 // requests for the same (machine, benchmark, options) key execute the
 // simulation once, and request cancellation propagates into the engine's
@@ -15,11 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -88,9 +92,12 @@ func (s *Server) Sims() *sim.Suite { return s.sims }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
-	mux.HandleFunc("POST /experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /experiments", s.handleCatalog)
+	mux.HandleFunc("GET /experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("POST /experiments/{name}", s.handleExperimentLegacy)
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -190,39 +197,103 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	if !knownExperiment(name) {
-		httpError(w, http.StatusNotFound,
-			fmt.Errorf("unknown experiment %q (have %v)", name, experiments.Names()))
-		return
-	}
-	if err := s.acquire(r.Context()); err != nil {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("queued past deadline: %w", err))
-		return
-	}
-	defer s.release()
-
-	start := time.Now()
-	out, err := s.exp.Run(r.Context(), name)
-	if err != nil {
-		httpError(w, errStatus(err), err)
-		return
-	}
+// handleCatalog lists every runnable experiment with its title.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"experiment": name,
-		"elapsed_s":  time.Since(start).Seconds(),
-		"output":     out,
+		"experiments": experiments.Catalog(),
 	})
 }
 
-func knownExperiment(name string) bool {
-	for _, n := range experiments.Names() {
-		if n == name {
-			return true
+// pickFormat resolves the response encoding of GET /experiments/{name}:
+// an explicit ?format=text|json|csv query wins, then the Accept header,
+// then JSON.
+func pickFormat(r *http.Request) (string, error) {
+	if f := r.URL.Query().Get("format"); f != "" {
+		switch f {
+		case "text", "json", "csv":
+			return f, nil
+		}
+		return "", fmt.Errorf("unknown format %q (have text, json, csv)", f)
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		switch mediaType {
+		case "application/json":
+			return "json", nil
+		case "text/csv":
+			return "csv", nil
+		case "text/plain":
+			return "text", nil
 		}
 	}
-	return false
+	return "json", nil
+}
+
+// runExperiment produces the named experiment's report under the worker
+// pool, writing the error response itself when it fails.
+func (s *Server) runExperiment(w http.ResponseWriter, r *http.Request, name string) (*report.Report, bool) {
+	if !experiments.Known(name) {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("unknown experiment %q (have %v)", name, experiments.Names()))
+		return nil, false
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("queued past deadline: %w", err))
+		return nil, false
+	}
+	defer s.release()
+
+	rep, err := s.exp.Run(r.Context(), name)
+	if err != nil {
+		httpError(w, errStatus(err), err)
+		return nil, false
+	}
+	return rep, true
+}
+
+// handleExperiment serves GET /experiments/{name}: the typed report,
+// rendered per content negotiation (?format= or Accept; default JSON).
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	format, err := pickFormat(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, ok := s.runExperiment(w, r, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = rep.JSON(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(http.StatusOK)
+		_ = rep.CSV(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = rep.Text(w)
+	}
+}
+
+// handleExperimentLegacy serves the pre-report POST /experiments/{name}
+// shape: a JSON wrapper around the text rendering.
+//
+// Deprecated: clients should move to GET /experiments/{name}.
+func (s *Server) handleExperimentLegacy(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rep, ok := s.runExperiment(w, r, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiment": rep.Name,
+		"elapsed_s":  time.Since(start).Seconds(),
+		"output":     rep.String(),
+	})
 }
 
 // resultSummary is one GET /results row. Run lengths are included so
@@ -268,8 +339,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":       time.Since(s.start).Seconds(),
 		"runs":           s.sims.Runs(),
 		"hits":           s.sims.Hits(),
+		"store_errors":   s.sims.StoreErrors(),
 		"max_concurrent": s.cfg.MaxConcurrent,
 	})
+}
+
+// handleMetrics exposes the suite counters in Prometheus text format, so
+// cache effectiveness (and store write failures) are scrapeable in
+// production.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP shrecd_sim_runs_total Simulations actually executed (cache misses).\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_runs_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_runs_total %d\n", s.sims.Runs())
+	fmt.Fprintf(w, "# HELP shrecd_sim_hits_total Requests served from memory, store, or an in-flight duplicate.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_hits_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_hits_total %d\n", s.sims.Hits())
+	fmt.Fprintf(w, "# HELP shrecd_sim_store_errors_total Failed persistent-store writes.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_store_errors_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_store_errors_total %d\n", s.sims.StoreErrors())
+	fmt.Fprintf(w, "# HELP shrecd_results_cached Results currently held in the in-memory cache.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_results_cached gauge\n")
+	fmt.Fprintf(w, "shrecd_results_cached %d\n", len(s.sims.Results()))
+	fmt.Fprintf(w, "# HELP shrecd_uptime_seconds Seconds since server start.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "shrecd_uptime_seconds %f\n", time.Since(s.start).Seconds())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

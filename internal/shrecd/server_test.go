@@ -105,6 +105,9 @@ func TestExperimentEndpoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment endpoint runs 100 simulations; skipped in short mode")
 	}
+	// One server throughout: after the legacy POST fills the cache, every
+	// content-negotiated GET re-renders from cached results in
+	// milliseconds.
 	h := testServer().Handler()
 	w := postJSON(t, h, "/experiments/fig7", ``)
 	if w.Code != http.StatusOK {
@@ -119,6 +122,100 @@ func TestExperimentEndpoint(t *testing.T) {
 	}
 	if resp.Experiment != "fig7" || !strings.Contains(resp.Output, "SHREC") {
 		t.Fatalf("malformed experiment response: %+v", resp)
+	}
+
+	get := func(path, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	// Default format is JSON: a structured report whose text rendering
+	// matches the legacy output field.
+	w = get("/experiments/fig7", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("GET json: %d %s", w.Code, w.Header().Get("Content-Type"))
+	}
+	var rep struct {
+		Name   string `json:"name"`
+		Title  string `json:"title"`
+		Tables []struct {
+			Title   string   `json:"title"`
+			Columns []string `json:"columns"`
+			Rows    []struct {
+				Label  string    `json:"label"`
+				Values []float64 `json:"values"`
+			} `json:"rows"`
+		} `json:"tables"`
+		Notes []string          `json:"notes"`
+		Meta  map[string]string `json:"meta"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "fig7" || len(rep.Tables) != 2 || len(rep.Notes) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if got := rep.Tables[0].Columns; len(got) != 5 || got[0] != "benchmark" || got[2] != "SHREC" {
+		t.Fatalf("columns = %v", got)
+	}
+	if len(rep.Tables[0].Rows) != 11+3 { // 11 integer benchmarks + 3 aggregates
+		t.Fatalf("%d rows", len(rep.Tables[0].Rows))
+	}
+	if rep.Meta["measure_instrs"] != "5000" {
+		t.Fatalf("meta = %v", rep.Meta)
+	}
+
+	// ?format=text reproduces the legacy output byte-for-byte.
+	w = get("/experiments/fig7?format=text", "")
+	if w.Code != http.StatusOK || w.Body.String() != resp.Output {
+		t.Fatalf("text format diverges from legacy output (%d)", w.Code)
+	}
+
+	// CSV via Accept-header negotiation.
+	w = get("/experiments/fig7", "text/csv")
+	if w.Code != http.StatusOK || !strings.Contains(w.Header().Get("Content-Type"), "text/csv") {
+		t.Fatalf("GET csv: %d %s", w.Code, w.Header().Get("Content-Type"))
+	}
+	if !strings.HasPrefix(w.Body.String(), "experiment,table,label,class,high,aggregate,column,value\n") {
+		t.Fatalf("csv header: %q", w.Body.String()[:80])
+	}
+	if !strings.Contains(w.Body.String(), "fig7,") {
+		t.Fatal("csv missing fig7 rows")
+	}
+
+	// Unknown format is a 400 before any simulation runs.
+	if w = get("/experiments/fig7?format=xml", ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("format=xml status = %d", w.Code)
+	}
+}
+
+func TestExperimentCatalog(t *testing.T) {
+	h := testServer().Handler()
+	req := httptest.NewRequest(http.MethodGet, "/experiments", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var resp struct {
+		Experiments []struct {
+			Name  string `json:"name"`
+			Title string `json:"title"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Experiments) != 10 {
+		t.Fatalf("catalog = %+v", resp.Experiments)
+	}
+	if resp.Experiments[0].Name != "fig2" || resp.Experiments[0].Title == "" {
+		t.Fatalf("catalog[0] = %+v", resp.Experiments[0])
 	}
 }
 
@@ -173,5 +270,39 @@ func TestHealthz(t *testing.T) {
 	h.ServeHTTP(w, req)
 	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
 		t.Fatalf("healthz = %d: %s", w.Code, w.Body)
+	}
+	for _, key := range []string{`"runs"`, `"hits"`, `"store_errors"`} {
+		if !strings.Contains(w.Body.String(), key) {
+			t.Errorf("healthz missing %s: %s", key, w.Body)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	srv := testServer()
+	h := srv.Handler()
+	// One miss plus one duplicate make the counters observable.
+	for i := 0; i < 2; i++ {
+		if w := postJSON(t, h, "/simulate", `{"machine":"ss1","benchmark":"swim"}`); w.Code != http.StatusOK {
+			t.Fatalf("simulate: %d", w.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"shrecd_sim_runs_total 1",
+		"shrecd_sim_hits_total 1",
+		"shrecd_sim_store_errors_total 0",
+		"shrecd_results_cached 1",
+		"shrecd_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
 	}
 }

@@ -350,6 +350,19 @@ func (s *Suite) Batch(ctx context.Context, machines []config.Machine, profiles [
 	return errors.Join(failed...)
 }
 
+// Lookup returns the cached result for (m, p) at the suite's options
+// without running anything and without counting a cache hit — for
+// callers collecting results they just computed via Batch, where a hit
+// increment would misstate cache effectiveness.
+func (s *Suite) Lookup(m config.Machine, p trace.Profile) (Result, bool) {
+	k := key(m, p, s.opt)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	res, ok := sh.results[k]
+	sh.mu.Unlock()
+	return res, ok
+}
+
 // Results returns a snapshot of every cached result, sorted by machine
 // then benchmark for stable output (the shrecd GET /results endpoint).
 func (s *Suite) Results() []Result {
