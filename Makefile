@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench fmt vet examples ci
+.PHONY: build test test-full race bench bench-cycle bench-baseline bench-gate fmt vet examples ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,30 @@ race:
 # Benchmark smoke pass: every benchmark once, no test functions.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Fixed iteration count for the per-cycle micro-benchmark: large enough
+# for a stable ns/op, small enough to finish in seconds.
+CYCLE_ITERS ?= 200000x
+
+# Per-cycle micro-benchmark at a fixed iteration count (stable ns/op).
+bench-cycle:
+	$(GO) test -bench='^BenchmarkCycle$$' -benchtime=$(CYCLE_ITERS) -run='^$$' .
+
+# Regenerate the committed benchmark baseline: the Cycle micro-benchmark
+# at fixed iterations plus the 1x smoke pass over every benchmark
+# (duplicate names keep the higher-iteration measurement).
+bench-baseline:
+	{ $(GO) test -json -bench='^BenchmarkCycle$$' -benchtime=$(CYCLE_ITERS) -run='^$$' . ; \
+	  $(GO) test -json -bench=. -benchtime=1x -run='^$$' ./... ; } | \
+	$(GO) run ./cmd/benchgate -extract \
+		-note "make bench-baseline (BenchmarkCycle at $(CYCLE_ITERS), others at 1x)" \
+		-o BENCH_baseline.json
+
+# Compare a fresh Cycle run against the committed baseline; fails on a
+# >25% ns/op regression of any BenchmarkCycle sub-benchmark.
+bench-gate:
+	$(GO) test -json -bench='^BenchmarkCycle$$' -benchtime=$(CYCLE_ITERS) -run='^$$' . | \
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -177,6 +177,16 @@ type ClientMetrics struct {
 	// Hits counts requests served without a fresh simulation (memory,
 	// store, or a coalesced in-flight duplicate).
 	Hits uint64 `json:"hits"`
+	// CacheHits counts requests served from the in-memory striped cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts requests that found neither a cached result nor
+	// an in-flight duplicate.
+	CacheMisses uint64 `json:"cache_misses"`
+	// DedupWaits counts requests coalesced onto an in-flight duplicate
+	// run (singleflight).
+	DedupWaits uint64 `json:"dedup_waits"`
+	// StoreHits counts cache misses served from the persistent store.
+	StoreHits uint64 `json:"store_hits"`
 	// StoreErrors counts failed persistent-store writes (results were
 	// still computed and served).
 	StoreErrors uint64 `json:"store_errors"`
@@ -317,6 +327,10 @@ func (c *Client) Metrics() ClientMetrics {
 	return ClientMetrics{
 		Runs:        c.sims.Runs(),
 		Hits:        c.sims.Hits(),
+		CacheHits:   c.sims.CacheHits(),
+		CacheMisses: c.sims.CacheMisses(),
+		DedupWaits:  c.sims.DedupWaits(),
+		StoreHits:   c.sims.StoreHits(),
 		StoreErrors: c.sims.StoreErrors(),
 	}
 }

@@ -37,6 +37,7 @@ func benchWorkloads() []trace.Profile {
 // runMachines simulates b.N instructions on every (machine, workload) pair.
 func runMachines(b *testing.B, machines ...config.Machine) {
 	b.Helper()
+	b.ReportAllocs()
 	profiles := benchWorkloads()
 	var engines []*core.Engine
 	for _, m := range machines {
@@ -82,11 +83,52 @@ func BenchmarkTable3(b *testing.B) {
 		resp[i] = 1 + float64(i)*0.1
 	}
 	factors := []string{"X", "S", "C", "B"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := factorial.Analyze(factors, resp); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCycle is the per-cycle cost microbenchmark: one engine and one
+// memory-bound workload (swim streams through a footprint far beyond the
+// L2) per execution mode, so ns/op isolates the inner simulation loop the
+// cycle-skipping engine optimizes. The tick sub-benchmark runs the same
+// SS1 configuration under the reference tick-by-tick loop (core.WithTickLoop)
+// so the fast-forward speedup is itself recorded in BENCH_baseline.json.
+func BenchmarkCycle(b *testing.B) {
+	p, err := workload.ByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := []config.Machine{
+		config.SS1(),
+		config.SS2(config.Factors{}),
+		config.SS2(config.Factors{S: true}),
+		config.SHREC(),
+		config.O3RS(),
+	}
+	run := func(b *testing.B, m config.Machine, opts ...core.Option) {
+		b.ReportAllocs()
+		e := core.New(m, trace.New(p), opts...)
+		b.ResetTimer()
+		st, err := e.Run(uint64(b.N))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st.Retired > 0 {
+			b.ReportMetric(float64(st.Cycles)/float64(st.Retired), "CPI")
+		}
+		if st.Cycles > 0 {
+			b.ReportMetric(float64(e.SkippedCycles())/float64(st.Cycles), "skip-frac")
+		}
+	}
+	for _, m := range machines {
+		b.Run(m.Name, func(b *testing.B) { run(b, m) })
+	}
+	b.Run("SS1-tick", func(b *testing.B) { run(b, config.SS1(), core.WithTickLoop()) })
 }
 
 // BenchmarkFigure3 exercises the C-factor study.
@@ -144,6 +186,7 @@ func BenchmarkEnginePerMode(b *testing.B) {
 	p, _ := workload.ByName("twolf")
 	for _, m := range []config.Machine{config.SS1(), config.SS2(config.Factors{S: true}), config.SHREC()} {
 		b.Run(m.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			e := core.New(m, trace.New(p))
 			b.ResetTimer()
 			if _, err := e.Run(uint64(b.N)); err != nil {
@@ -163,6 +206,7 @@ func BenchmarkSuiteCache(b *testing.B) {
 	if _, err := s.Get(ctx, m, p); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Get(ctx, m, p); err != nil {

@@ -1,0 +1,261 @@
+// Command benchgate extracts benchmark results into a stable JSON shape
+// and gates CI on ns/op regressions against a committed baseline.
+//
+// Extract a baseline (input may be plain `go test -bench` text or the
+// test2json stream the CI bench-smoke job produces):
+//
+//	go test -json -bench=. -benchtime=1x -run='^$' ./... | benchgate -extract -o BENCH_baseline.json
+//
+// Compare a fresh run against the baseline, failing (exit 1) when any
+// benchmark matching -gate regressed more than -threshold in ns/op, and
+// warning (exit 0) for every other regression:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_ci.json -gate '^BenchmarkCycle/'
+//
+// With -warn-only no regression fails the run — used for the noisy 1x
+// table/figure smoke benchmarks, where the artifact is informational.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one extracted benchmark result.
+type Benchmark struct {
+	// Name is the benchmark path without the -GOMAXPROCS suffix, e.g.
+	// "BenchmarkCycle/SS1".
+	Name string `json:"name"`
+	// Iters is the iteration count the timing was averaged over; results
+	// from more iterations win when duplicates appear (a fixed-iteration
+	// micro pass plus a 1x smoke pass may both report the same name).
+	Iters int64 `json:"iters"`
+	// NsPerOp is the reported wall-clock cost per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are reported when the benchmark calls
+	// b.ReportAllocs (-1 when absent).
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the committed BENCH_*.json shape.
+type File struct {
+	// Note documents how the file was produced.
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// test2json event subset: benchmark results arrive as output lines.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// resultLine matches a benchmark result line, e.g.
+// "BenchmarkCycle/SS1-8   200000   1234 ns/op   71 B/op   1 allocs/op".
+var resultLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+	bytesField       = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsField      = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// parseStream extracts benchmark results from r, accepting test2json
+// events, plain bench output, or an already-extracted File.
+func parseStream(r io.Reader) ([]Benchmark, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// An already-extracted File is a single JSON object; test2json output
+	// is line-delimited objects and fails this unmarshal, falling through
+	// to the line scanner.
+	var f File
+	if err := json.Unmarshal(data, &f); err == nil && len(f.Benchmarks) > 0 {
+		return f.Benchmarks, nil
+	}
+	// Reconstruct the plain text stream first: test2json splits one
+	// benchmark line into several output events (the name is flushed
+	// before the benchmark runs, the numbers after), so events must be
+	// concatenated before line-matching.
+	var text strings.Builder
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	byName := map[string]Benchmark{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		b := Benchmark{
+			Name:        gomaxprocsSuffix.ReplaceAllString(m[1], ""),
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		b.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if f := bytesField.FindStringSubmatch(m[4]); f != nil {
+			b.BytesPerOp, _ = strconv.ParseFloat(f[1], 64)
+		}
+		if f := allocsField.FindStringSubmatch(m[4]); f != nil {
+			b.AllocsPerOp, _ = strconv.ParseFloat(f[1], 64)
+		}
+		// Duplicate names: keep the measurement with more iterations.
+		if prev, ok := byName[b.Name]; !ok || b.Iters > prev.Iters {
+			byName[b.Name] = b
+		}
+	}
+	out := make([]Benchmark, 0, len(byName))
+	for _, b := range byName {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func readInput(path string) ([]Benchmark, error) {
+	if path == "" || path == "-" {
+		return parseStream(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseStream(f)
+}
+
+func main() {
+	var (
+		extract   = flag.Bool("extract", false, "parse bench output and write a BENCH JSON file instead of comparing")
+		out       = flag.String("o", "-", "output path for -extract (default stdout)")
+		note      = flag.String("note", "", "provenance note stored in the extracted file")
+		baseline  = flag.String("baseline", "", "committed baseline JSON to compare against")
+		current   = flag.String("current", "-", "fresh bench output (test2json, text, or extracted JSON; - for stdin)")
+		gate      = flag.String("gate", `^BenchmarkCycle(/|$)`, "regexp of benchmark names whose regression fails the run")
+		exclude   = flag.String("exclude", "", "regexp of benchmark names to skip entirely (e.g. benches whose baseline was captured at a different -benchtime)")
+		threshold = flag.Float64("threshold", 0.25, "fractional ns/op regression tolerated before failing or warning")
+		warnOnly  = flag.Bool("warn-only", false, "report regressions but always exit 0")
+	)
+	flag.Parse()
+
+	if *extract {
+		benchmarks, err := readInput(*current)
+		if err != nil {
+			fatal(err)
+		}
+		if len(benchmarks) == 0 {
+			fatal(fmt.Errorf("no benchmark results found in input"))
+		}
+		data, err := json.MarshalIndent(File{Note: *note, Benchmarks: benchmarks}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "" || *out == "-" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %d benchmarks to %s\n", len(benchmarks), *out)
+		return
+	}
+
+	if *baseline == "" {
+		fatal(fmt.Errorf("-baseline is required (or use -extract)"))
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		fatal(fmt.Errorf("bad -gate regexp: %w", err))
+	}
+	var excludeRE *regexp.Regexp
+	if *exclude != "" {
+		if excludeRE, err = regexp.Compile(*exclude); err != nil {
+			fatal(fmt.Errorf("bad -exclude regexp: %w", err))
+		}
+	}
+	base, err := readInput(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline: %w", err))
+	}
+	cur, err := readInput(*current)
+	if err != nil {
+		fatal(fmt.Errorf("reading current results: %w", err))
+	}
+
+	baseByName := make(map[string]Benchmark, len(base))
+	for _, b := range base {
+		baseByName[b.Name] = b
+	}
+	var failures, warnings, compared int
+	for _, c := range cur {
+		if excludeRE != nil && excludeRE.MatchString(c.Name) {
+			continue
+		}
+		b, ok := baseByName[c.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := c.NsPerOp / b.NsPerOp
+		gated := gateRE.MatchString(c.Name)
+		status := "ok"
+		if ratio > 1+*threshold {
+			if gated && !*warnOnly {
+				status = "FAIL"
+				failures++
+			} else {
+				status = "warn"
+				warnings++
+			}
+		}
+		fmt.Printf("%-6s %-45s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
+			status, c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmarks in common between baseline and current results"))
+	}
+	if warnings > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%% (warn-only)\n",
+			warnings, *threshold*100)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) regressed more than %.0f%% vs %s\n",
+			failures, *threshold*100, *baseline)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

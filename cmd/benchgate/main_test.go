@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStreamText(t *testing.T) {
+	in := `
+goos: linux
+BenchmarkCycle/SS1-8         	  200000	      1234.5 ns/op	         0.91 CPI	      71 B/op	       1 allocs/op
+BenchmarkCycle/SS1-tick-8    	  200000	      2000 ns/op	      71 B/op	       1 allocs/op
+BenchmarkTable3-8            	       1	      9999 ns/op
+PASS
+`
+	got, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "BenchmarkCycle/SS1" || got[0].NsPerOp != 1234.5 || got[0].AllocsPerOp != 1 {
+		t.Errorf("first = %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkCycle/SS1-tick" {
+		t.Errorf("tick sub-benchmark name mangled: %+v", got[1])
+	}
+	if got[2].AllocsPerOp != -1 {
+		t.Errorf("missing allocs should be -1: %+v", got[2])
+	}
+}
+
+// test2json splits one benchmark line across output events (the name
+// flushes before the run, the numbers after); the parser must stitch
+// them back together.
+func TestParseStreamTest2JSON(t *testing.T) {
+	in := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"BenchmarkCycle/SS1-8 \t"}
+{"Action":"output","Package":"repro","Output":"  200000\t      1234 ns/op\t      71 B/op\t       1 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+`
+	got, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkCycle/SS1" || got[0].NsPerOp != 1234 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+// Extracted files round-trip, and duplicate names keep the
+// higher-iteration measurement.
+func TestParseStreamDedupAndRoundTrip(t *testing.T) {
+	in := `
+BenchmarkCycle/SS1-8   1   5000 ns/op
+BenchmarkCycle/SS1-8   200000   1234 ns/op
+`
+	got, err := parseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Iters != 200000 {
+		t.Fatalf("dedup kept %+v", got)
+	}
+}

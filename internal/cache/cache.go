@@ -183,3 +183,12 @@ func (c *Cache) Name() string { return c.name }
 
 // ResetStats zeroes the hit/miss counters without touching cache contents.
 func (c *Cache) ResetStats() { c.accesses, c.misses, c.evictions = 0, 0, 0 }
+
+// addLookups adds k repetitions of (accesses, misses) deltas without
+// touching contents or LRU state — re-probes of the same blocked line are
+// idempotent on tag state, so replaying their counts is all a skipped
+// retry cycle needs.
+func (c *Cache) addLookups(accesses, misses, k uint64) {
+	c.accesses += accesses * k
+	c.misses += misses * k
+}

@@ -260,6 +260,59 @@ func (h *Hierarchy) L2() *Cache { return h.l2 }
 // MSHR returns the data-side MSHR file.
 func (h *Hierarchy) MSHR() *MSHRFile { return h.mshr }
 
+// NextEvent returns the earliest cycle strictly after now at which the
+// memory system changes state on its own: the earliest outstanding MSHR
+// fill (which releases a register, unblocking allocation-stalled accesses
+// and draining occupancy). Bus and port state schedule no standalone
+// events — the bus only queues transfers started by accesses, and ports
+// reset every cycle — so the MSHR file is the hierarchy's whole horizon.
+// Returns math.MaxInt64 when nothing is outstanding.
+func (h *Hierarchy) NextEvent(now int64) int64 { return h.mshr.NextReady(now) }
+
+// AttemptCounters snapshots every counter a *failed* (and therefore
+// retried) access attempt can move: L1D/L2 probe counts and the
+// structural-rejection tallies. The cycle-skipping engine loop measures
+// one stalled cycle's movement as a delta of two snapshots and replays it
+// across the skipped span with AddAttempts, so attempt-rate diagnostics
+// stay identical to a tick-by-tick simulation. Successful accesses always
+// mark their cycle as progress, so no other hierarchy counter can move in
+// a skipped cycle.
+type AttemptCounters struct {
+	L1DAccesses, L1DMisses        uint64
+	L2Accesses, L2Misses          uint64
+	PortRejects, MSHRRejects      uint64
+	MSHRAllocFail, MSHRTargetFail uint64
+}
+
+// AttemptCounters returns the current snapshot.
+func (h *Hierarchy) AttemptCounters() AttemptCounters {
+	var c AttemptCounters
+	c.L1DAccesses, c.L1DMisses, _ = h.l1d.Stats()
+	c.L2Accesses, c.L2Misses, _ = h.l2.Stats()
+	c.PortRejects, c.MSHRRejects = h.portRejects, h.mshrRejects
+	_, _, c.MSHRAllocFail, c.MSHRTargetFail = h.mshr.Stats()
+	return c
+}
+
+// Sub returns the componentwise difference c - o.
+func (c AttemptCounters) Sub(o AttemptCounters) AttemptCounters {
+	return AttemptCounters{
+		L1DAccesses: c.L1DAccesses - o.L1DAccesses, L1DMisses: c.L1DMisses - o.L1DMisses,
+		L2Accesses: c.L2Accesses - o.L2Accesses, L2Misses: c.L2Misses - o.L2Misses,
+		PortRejects: c.PortRejects - o.PortRejects, MSHRRejects: c.MSHRRejects - o.MSHRRejects,
+		MSHRAllocFail: c.MSHRAllocFail - o.MSHRAllocFail, MSHRTargetFail: c.MSHRTargetFail - o.MSHRTargetFail,
+	}
+}
+
+// AddAttempts adds k repetitions of the per-cycle delta d.
+func (h *Hierarchy) AddAttempts(d AttemptCounters, k uint64) {
+	h.l1d.addLookups(d.L1DAccesses, d.L1DMisses, k)
+	h.l2.addLookups(d.L2Accesses, d.L2Misses, k)
+	h.portRejects += d.PortRejects * k
+	h.mshrRejects += d.MSHRRejects * k
+	h.mshr.addFails(d.MSHRAllocFail, d.MSHRTargetFail, k)
+}
+
 // Stats returns load, store, and instruction-fetch access counts plus the
 // structural rejections seen by the pipeline.
 func (h *Hierarchy) Stats() (loads, stores, ifetches, portRejects, mshrRejects uint64) {

@@ -1,5 +1,7 @@
 package cache
 
+import "math"
+
 // MSHRFile models the miss status holding registers: each register tracks
 // one outstanding line miss and up to TargetsPerMSHR merged requests to
 // that line. A primary miss allocates a register; secondary misses to the
@@ -10,6 +12,11 @@ type MSHRFile struct {
 	entries int
 	targets int
 	lines   map[uint64]*mshrEntry
+
+	// minReady caches the earliest readyAt among occupied registers
+	// (math.MaxInt64 when empty), so the per-cycle Expire sweep is a
+	// single comparison until a fill actually lands.
+	minReady int64
 
 	allocFail  uint64
 	targetFail uint64
@@ -29,9 +36,10 @@ func NewMSHRFile(entries, targets int) *MSHRFile {
 		panic("cache: MSHR geometry must be positive")
 	}
 	return &MSHRFile{
-		entries: entries,
-		targets: targets,
-		lines:   make(map[uint64]*mshrEntry, entries),
+		entries:  entries,
+		targets:  targets,
+		lines:    make(map[uint64]*mshrEntry, entries),
+		minReady: math.MaxInt64,
 	}
 }
 
@@ -67,6 +75,9 @@ func (m *MSHRFile) Request(lineAddr uint64, readyAt int64) (MSHRResult, int64) {
 		return MSHRFull, 0
 	}
 	m.lines[lineAddr] = &mshrEntry{readyAt: readyAt, targets: 1}
+	if readyAt < m.minReady {
+		m.minReady = readyAt
+	}
 	m.primary++
 	return MSHRAllocated, readyAt
 }
@@ -82,17 +93,51 @@ func (m *MSHRFile) Outstanding(lineAddr uint64) (int64, bool) {
 }
 
 // Expire releases all registers whose miss completed at or before now. The
-// hierarchy calls this once per cycle.
+// hierarchy calls this once per cycle; the cached minimum makes the common
+// no-fill cycle a single comparison instead of a map sweep.
 func (m *MSHRFile) Expire(now int64) {
+	if now < m.minReady {
+		return
+	}
+	min := int64(math.MaxInt64)
 	for line, e := range m.lines {
 		if e.readyAt <= now {
 			delete(m.lines, line)
+		} else if e.readyAt < min {
+			min = e.readyAt
 		}
 	}
+	m.minReady = min
 }
 
 // InFlight returns the number of occupied registers.
 func (m *MSHRFile) InFlight() int { return len(m.lines) }
+
+// NextReady returns the earliest completion strictly after now among the
+// outstanding misses, or math.MaxInt64 when the file is idle. Entries with
+// readyAt <= now have either been expired already or will be on the next
+// BeginCycle, so they schedule no future event.
+func (m *MSHRFile) NextReady(now int64) int64 {
+	if m.minReady > now {
+		return m.minReady
+	}
+	// Entries at or before now still occupy registers until the next
+	// Expire; scan past them for the earliest genuinely-future fill.
+	next := int64(math.MaxInt64)
+	for _, e := range m.lines {
+		if e.readyAt > now && e.readyAt < next {
+			next = e.readyAt
+		}
+	}
+	return next
+}
+
+// addFails adds k repetitions of (allocFail, targetFail) deltas — the
+// retries a per-cycle loop would have attempted during skipped idle cycles.
+func (m *MSHRFile) addFails(alloc, target, k uint64) {
+	m.allocFail += alloc * k
+	m.targetFail += target * k
+}
 
 // Stats returns primary misses, secondary (merged) misses, allocation
 // failures, and target-slot failures.

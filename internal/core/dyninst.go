@@ -59,6 +59,23 @@ func (r depRef) ready(now int64) bool {
 	return r.d.issued && r.d.completeAt <= now
 }
 
+// earliest returns a lower bound on the cycle at which the producer's
+// result can become available, for a reference that is not ready at now.
+// An issued producer's completion time is exact. An unissued producer's
+// own wake bound propagates transitively: it cannot issue before its
+// wakeAt, so (with a minimum latency of one cycle) it cannot complete
+// before wakeAt+1 — this is what lets a whole dependence chain behind one
+// cache miss go quiescent instead of re-checking every cycle.
+func (r depRef) earliest(now int64) int64 {
+	if r.d.issued {
+		return r.d.completeAt
+	}
+	if w := r.d.wakeAt + 1; w > now+1 {
+		return w
+	}
+	return now + 1
+}
+
 // dyn is one in-flight dynamic instruction (one thread copy).
 type dyn struct {
 	gen    uint32 // recycling generation
@@ -71,6 +88,13 @@ type dyn struct {
 
 	dispatchedAt int64
 	dep1, dep2   depRef
+
+	// wakeAt caches a lower bound on the cycle this entry could issue,
+	// refreshed whenever an issue attempt fails on a producer with a known
+	// completion time. The issue scans skip the full dependency re-walk
+	// while now < wakeAt. Zero means "no bound cached" (always check); the
+	// reference tick loop never writes it.
+	wakeAt int64
 
 	issued     bool
 	completeAt int64 // result availability; notDone until issued
@@ -104,7 +128,24 @@ type dyn struct {
 
 	// inLSQ marks M-thread memory ops occupying an LSQ entry.
 	inLSQ bool
+
+	// fwdState/fwdStore memoize the load's store-to-load forwarding
+	// source, computed on the first issue attempt. The matching-store set
+	// of a load is fixed at dispatch (younger stores never match, and the
+	// youngest older match leaving the LSQ means every older store has
+	// retired), so one LSQ scan answers all retries; the depRef
+	// generation detects the store's retirement. Unused (fwdUnknown) in
+	// the reference tick loop, which re-scans every attempt.
+	fwdState uint8
+	fwdStore depRef
 }
+
+// Store-forwarding memo states.
+const (
+	fwdUnknown uint8 = iota
+	fwdFromStore
+	fwdNone
+)
 
 // completed reports whether the instruction's result is available.
 func (d *dyn) completed(now int64) bool { return d.issued && d.completeAt <= now }

@@ -64,7 +64,46 @@ type Engine struct {
 	// freelist recycles dyn records.
 	freelist []*dyn
 
+	// tickLoop disables the cycle-skipping fast path and the wakeup
+	// cache, forcing the reference tick-by-tick loop (see Option
+	// WithTickLoop). The equivalence suite runs both loops and asserts
+	// identical results.
+	tickLoop bool
+	// progressed records whether the current cycle changed any
+	// microarchitectural state beyond the clock: a fetch, dispatch, issue,
+	// retirement, or squash. A cycle that did none of these is pure stall
+	// time, and the step loop may fast-forward across the stall.
+	progressed bool
+	// skipped counts simulated cycles that were fast-forwarded rather
+	// than executed (a host-cost diagnostic; it does not affect Stats).
+	skipped int64
+	// events is a min-heap of scheduled completion times (completeAt,
+	// complete2At, checkedAt), pushed at issue. It may retain times of
+	// squashed instructions; those only make the event horizon
+	// conservative (an extra real cycle), never unsound. Unused (empty)
+	// under WithTickLoop.
+	events []int64
+	// lsqNextFree is a lower bound on the next cycle at which the lazy
+	// LSQ sweep could free an entry: the earliest completion among
+	// issued resident loads, maintained by the sweep itself and at load
+	// issue. While now precedes it, a full-LSQ dispatch stall skips the
+	// sweep scan entirely. Unused under WithTickLoop.
+	lsqNextFree int64
+
 	stats Stats
+}
+
+// Option customizes engine construction.
+type Option func(*Engine)
+
+// WithTickLoop selects the reference tick-by-tick simulation loop: every
+// cycle is executed individually, with no event-horizon fast-forward and
+// no wakeup-time caching. The default loop is results-identical (the
+// equivalence suite enforces byte-identical Stats and component counters)
+// but skips provably-dead stall cycles; this option exists as the oracle
+// for that suite and as an escape hatch for debugging the skip logic.
+func WithTickLoop() Option {
+	return func(e *Engine) { e.tickLoop = true }
 }
 
 // fetchedInst is an instruction fetched (and branch-predicted) but not yet
@@ -174,7 +213,7 @@ func (s Stats) AvgStagger() float64 {
 
 // New builds an engine for machine m consuming instructions from source g
 // (a synthetic trace.Generator or a replayed trace.Recording).
-func New(m config.Machine, g trace.Source) *Engine {
+func New(m config.Machine, g trace.Source, opts ...Option) *Engine {
 	if err := m.Validate(); err != nil {
 		panic("core: " + err.Error())
 	}
@@ -189,6 +228,9 @@ func New(m config.Machine, g trace.Source) *Engine {
 	}
 	if m.CheckerDedicatedFU {
 		e.checkerPool = fu.NewPool(m.FU)
+	}
+	for _, opt := range opts {
+		opt(e)
 	}
 	return e
 }
@@ -274,7 +316,7 @@ func (e *Engine) RunContext(ctx context.Context, n uint64) (Stats, error) {
 	lastProgress := e.now
 	nextCheck := e.now + ctxCheckInterval
 	for e.stats.Retired < n {
-		e.cycle()
+		e.step()
 		if e.stats.Retired != lastRetired {
 			lastRetired = e.stats.Retired
 			lastProgress = e.now
@@ -297,6 +339,7 @@ func (e *Engine) RunContext(ctx context.Context, n uint64) (Stats, error) {
 func (e *Engine) cycle() {
 	e.now++
 	e.stats.Cycles++
+	e.progressed = false
 	e.pool.BeginCycle(e.now)
 	e.mem.BeginCycle(e.now)
 
@@ -313,6 +356,199 @@ func (e *Engine) cycle() {
 	e.stats.MSHROccSum += uint64(e.mem.MSHR().InFlight())
 }
 
+// step advances the machine by at least one clock: one real cycle, plus —
+// when that cycle was pure stall time — an analytic fast-forward across
+// every following cycle that provably cannot change state either.
+//
+// The skip is exact, not approximate. A stalled cycle's behavior is a
+// pure function of time and static machine state: every gate that could
+// open does so at a completion time already scheduled somewhere — an
+// in-flight instruction's completeAt/complete2At/checkedAt, a divider's
+// busy-until, an MSHR fill, or the fetch-redirect timer — and nextEventAt
+// takes the minimum over all of them. Until that horizon the reference
+// loop would re-run byte-identical stall cycles, each adding the same
+// occupancy sums and the same structural-hazard retry counts; the fast
+// path adds those analytically (see fastForward) and resumes real
+// execution on the horizon cycle.
+func (e *Engine) step() {
+	e.cycle()
+	if e.progressed || e.tickLoop {
+		return
+	}
+	e.fastForward()
+}
+
+// fastForward implements the skip after a stalled cycle. The first
+// stalled cycle of an episode can still move timing state (a retried
+// store's first attempt may fill the L2 and reserve the bus), so the
+// steady-state per-cycle counter movement is measured over a second real
+// stall cycle and only then replayed across the remaining span.
+func (e *Engine) fastForward() {
+	horizon := e.nextEventAt()
+	if horizon == notDone || horizon <= e.now+1 {
+		// No scheduled event (a deadlocked model steps cycle-by-cycle into
+		// RunContext's stall detector) or the event is next cycle anyway.
+		return
+	}
+
+	// Measure one steady-state stall cycle: the retry attempts it makes
+	// against busy resources move only diagnostic counters, never timing
+	// state, and repeat identically until the horizon.
+	retireStallsBefore := e.stats.RetireStoreStalls
+	poolBefore := e.pool.Refused()
+	var checkerBefore [fu.NumClasses]uint64
+	if e.checkerPool != nil {
+		checkerBefore = e.checkerPool.Refused()
+	}
+	memBefore := e.mem.AttemptCounters()
+
+	e.cycle()
+	if e.progressed {
+		return
+	}
+	skip := horizon - 1 - e.now
+	if skip <= 0 {
+		return
+	}
+	k := uint64(skip)
+
+	// Engine stats advance exactly as k more stalled cycles would:
+	// occupancy is frozen (nothing enters or leaves any structure, and no
+	// MSHR expires before the horizon), and the per-cycle retry counters
+	// repeat the measured cycle's movement.
+	e.stats.Cycles += skip
+	e.stats.RetireStoreStalls += k * (e.stats.RetireStoreStalls - retireStallsBefore)
+	e.stats.ROBOccSum += k * uint64(e.robM.len()+e.robR.len())
+	e.stats.ISQOccSum += k * uint64(len(e.isqM)+len(e.isqR))
+	e.stats.LSQOccSum += k * uint64(e.lsq.len())
+	e.stats.StaggerSum += k * uint64(e.pendingR.len())
+	e.stats.MSHROccSum += k * uint64(e.mem.MSHR().InFlight())
+
+	poolAfter := e.pool.Refused()
+	for c := range poolAfter {
+		poolAfter[c] -= poolBefore[c]
+	}
+	e.pool.AddRefused(poolAfter, k)
+	if e.checkerPool != nil {
+		checkerAfter := e.checkerPool.Refused()
+		for c := range checkerAfter {
+			checkerAfter[c] -= checkerBefore[c]
+		}
+		e.checkerPool.AddRefused(checkerAfter, k)
+	}
+	e.mem.AddAttempts(e.mem.AttemptCounters().Sub(memBefore), k)
+
+	e.now += skip
+	e.skipped += skip
+}
+
+// SkippedCycles reports how many simulated cycles the fast-forward loop
+// skipped instead of executing — a host-performance diagnostic (always
+// zero under WithTickLoop).
+func (e *Engine) SkippedCycles() int64 { return e.skipped }
+
+// schedule records a future completion time in the event heap. Every
+// time the machine schedules work — an execution result (which is also
+// the release time of any unpipelined unit it holds), a second O3RS
+// execution, or a checker verification — flows through here, so the heap
+// plus the fetch timer and the MSHR file cover every gate the pipeline
+// can wait on.
+func (e *Engine) schedule(t int64) {
+	// Next-cycle completions can never form a skip horizon: a stalled
+	// cycle is always later than the issue cycle, so by the first cycle
+	// that could consult them they are already past due. Filtering them
+	// here keeps the heap to the long-latency minority (cache misses,
+	// divides, FP ops).
+	if t <= e.now+1 || e.tickLoop {
+		return
+	}
+	// Retire up to two past-due entries per push so stall-free execution
+	// phases (which never reach nextScheduled) cannot grow the heap
+	// without bound: draining at twice the push rate keeps the stale
+	// population shrinking whenever any exists.
+	for i := 0; i < 2 && len(e.events) > 0 && e.events[0] <= e.now; i++ {
+		e.popEvent()
+	}
+	h := append(e.events, t)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.events = h
+}
+
+// popEvent removes the heap minimum.
+func (e *Engine) popEvent() {
+	h := e.events
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	e.events = h
+}
+
+// nextScheduled pops past-due times and returns the earliest future one,
+// or notDone when none is pending.
+func (e *Engine) nextScheduled() int64 {
+	for len(e.events) > 0 && e.events[0] <= e.now {
+		e.popEvent()
+	}
+	if len(e.events) == 0 {
+		return notDone
+	}
+	return e.events[0]
+}
+
+// nextEventAt returns the earliest cycle strictly after now at which any
+// scheduled event lands — the event horizon. Between a stalled cycle and
+// this horizon no gate in the machine can open: operand readiness, LVQ
+// and store-forwarding availability, checker completion, retirement
+// eligibility, LSQ/ROB/ISQ drain, MSHR release, unpipelined-unit release,
+// and fetch resumption are all driven by the event heap, the
+// fetch-redirect timer, and the earliest outstanding MSHR fill. Returns
+// notDone when nothing is scheduled.
+func (e *Engine) nextEventAt() int64 {
+	h := e.nextScheduled()
+	if t := e.fetchResumeAt; t > e.now && t < h {
+		h = t
+	}
+	if t := e.mem.NextEvent(e.now); t < h {
+		h = t
+	}
+	// Unpipelined-unit releases are already in the heap (TryIssue's
+	// completion time is the release time), but consult the pools
+	// directly too so the horizon stays sound if that coupling ever
+	// changes.
+	if t := e.pool.NextCompletion(e.now); t < h {
+		h = t
+	}
+	if e.checkerPool != nil {
+		if t := e.checkerPool.NextCompletion(e.now); t < h {
+			h = t
+		}
+	}
+	return h
+}
+
 // resolveBranch squashes the wrong path once the active mispredicted branch
 // executes, and schedules the fetch redirect.
 func (e *Engine) resolveBranch() {
@@ -321,6 +557,7 @@ func (e *Engine) resolveBranch() {
 		return
 	}
 	e.wpBranch = nil
+	e.progressed = true
 	e.squashWrongPath()
 	resume := br.completeAt + int64(e.cfg.Bpred.MispredictPenalty)
 	if resume < e.now {
@@ -384,6 +621,7 @@ func filterISQ(q []*dyn, pred func(*dyn) bool) []*dyn {
 // M-thread instructions (including the faulty one) are queued for re-fetch.
 func (e *Engine) softException() {
 	e.stats.SoftExceptions++
+	e.progressed = true
 
 	// Capture correct-path instructions in program order for replay,
 	// accounting in-flight faults that this squash wipes (their replays
@@ -422,4 +660,5 @@ func (e *Engine) softException() {
 	}
 	e.fetchResumeAt = e.now + int64(e.cfg.Bpred.MispredictPenalty)
 	e.haveFetchLine = false
+	e.lsqNextFree = 0
 }

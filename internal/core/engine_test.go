@@ -134,14 +134,6 @@ func TestModeOrdering(t *testing.T) {
 	}
 }
 
-func TestDeterminism(t *testing.T) {
-	a := runOn(t, config.SS2(config.Factors{S: true}), testWorkload(3), 10000)
-	b := runOn(t, config.SS2(config.Factors{S: true}), testWorkload(3), 10000)
-	if a != b {
-		t.Fatalf("nondeterministic stats:\n%+v\n%+v", a, b)
-	}
-}
-
 func TestSS2FactorsImprove(t *testing.T) {
 	p := fpWorkload(5)
 	const warm = 60000

@@ -44,14 +44,27 @@ func (e *Engine) lsqSpace() bool {
 	if e.lsq.len() < e.cfg.LSQSize {
 		return true
 	}
+	// The sweep can only free a load once its access completes; until the
+	// earliest completion among resident loads the scan is provably
+	// fruitless (the bound is maintained here and at load issue).
+	if !e.tickLoop && e.now < e.lsqNextFree {
+		return false
+	}
 	now := e.now
+	next := notDone
 	e.lsq.removeIf(func(d *dyn) bool {
-		if d.inst.IsLoad() && d.completed(now) {
-			d.inLSQ = false
-			return true
+		if d.inst.IsLoad() {
+			if d.completed(now) {
+				d.inLSQ = false
+				return true
+			}
+			if d.issued && d.completeAt < next {
+				next = d.completeAt
+			}
 		}
 		return false
 	}, nil)
+	e.lsqNextFree = next
 	return e.lsq.len() < e.cfg.LSQSize
 }
 
@@ -216,6 +229,10 @@ func (e *Engine) nextFetch() *fetchedInst {
 		e.fetchSeq++
 		e.stats.Fetched++
 	}
+	// Pulling a new instruction from the trace (or replay queue) advances
+	// front-end state even when the instruction then parks on an I-cache
+	// miss, so the cycle cannot be treated as repeatable dead time.
+	e.progressed = true
 
 	// I-cache: one access per new fetch line; a miss stalls fetch until
 	// the fill arrives, with the instruction parked in the fetch buffer.
@@ -298,6 +315,7 @@ func (e *Engine) dispatchInst(f *fetchedInst, t Thread) *dyn {
 	d.thread = t
 	d.wrongPath = f.wrongPath
 	d.dispatchedAt = e.now
+	e.progressed = true
 	e.rename(d)
 
 	e.robM.push(d)
@@ -325,6 +343,7 @@ func (e *Engine) makeRCopy(m *dyn) *dyn {
 // dispatchRCopy renames and allocates a pending R copy.
 func (e *Engine) dispatchRCopy(r *dyn) {
 	r.dispatchedAt = e.now
+	e.progressed = true
 	e.rename(r)
 	e.robR.push(r)
 	e.isqR = append(e.isqR, r)

@@ -50,7 +50,7 @@ func (e *Engine) issueO3RS(budget *int) {
 			break
 		}
 		if !d.issued {
-			if e.tryIssueOne(d) {
+			if d.wakeAt <= e.now && e.tryIssueOne(d) {
 				e.stats.IssuedM++
 				*budget--
 			}
@@ -91,6 +91,8 @@ func (e *Engine) tryIssueSecond(d *dyn) bool {
 	}
 	d.issued2 = true
 	d.complete2At = done
+	e.schedule(done)
+	e.progressed = true
 	if e.cfg.FaultRate > 0 && !d.wrongPath && e.frng.Bool(e.cfg.FaultRate) {
 		d.faulty2 = true
 		if !d.faulty {
@@ -115,7 +117,10 @@ func (e *Engine) issueFrom(q []*dyn, budget *int, counter *uint64) []*dyn {
 			w += len(q) - i
 			break
 		}
-		if e.tryIssueOne(d) {
+		// Hoisted wakeup gate: the dominant case during stalls is an
+		// entry provably waiting on a known completion; skip it without
+		// the call.
+		if d.wakeAt <= e.now && e.tryIssueOne(d) {
 			*counter++
 			*budget--
 			continue
@@ -144,7 +149,7 @@ func (e *Engine) issueMerged(budget *int) {
 		if takeM {
 			d = e.isqM[i]
 			i++
-			if e.tryIssueOne(d) {
+			if d.wakeAt <= e.now && e.tryIssueOne(d) {
 				e.stats.IssuedM++
 				*budget--
 				continue
@@ -154,7 +159,7 @@ func (e *Engine) issueMerged(budget *int) {
 		} else {
 			d = e.isqR[j]
 			j++
-			if e.tryIssueOne(d) {
+			if d.wakeAt <= e.now && e.tryIssueOne(d) {
 				e.stats.IssuedR++
 				*budget--
 				continue
@@ -184,7 +189,18 @@ func (e *Engine) tryIssueOne(d *dyn) bool {
 	if d.dispatchedAt >= e.now {
 		return false
 	}
+	// Wakeup gate: skip the dependency re-walk while the cached bound says
+	// the entry provably cannot issue yet. The bound is refreshed by the
+	// failure paths below and is always a sound lower bound on the issue
+	// cycle, so skipping changes no observable behavior (the reference
+	// loop would have failed the same checks without touching the pool).
+	if d.wakeAt > e.now {
+		return false
+	}
 	if !d.depsReady(e.now) {
+		if !e.tickLoop {
+			d.wakeAt = e.wakeBound(d)
+		}
 		return false
 	}
 
@@ -194,6 +210,9 @@ func (e *Engine) tryIssueOne(d *dyn) bool {
 		// SS2 R-thread load: no cache access; the value comes from the
 		// load-value queue once the M copy's access completed.
 		if !d.pair.completed(e.now) {
+			if !e.tickLoop && d.pair.issued {
+				d.wakeAt = d.pair.completeAt
+			}
 			return false
 		}
 		done, ok := e.pool.TryIssue(e.now, isa.OpLoad)
@@ -220,6 +239,11 @@ func (e *Engine) tryIssueOne(d *dyn) bool {
 
 	d.issued = true
 	d.completeAt = doneAt
+	e.schedule(doneAt)
+	if d.inLSQ && doneAt < e.lsqNextFree && d.inst.IsLoad() {
+		e.lsqNextFree = doneAt
+	}
+	e.progressed = true
 	if d.inst.IsLoad() && d.thread == ThreadM && !d.wrongPath {
 		e.stats.LoadIssueWaitSum += uint64(e.now - d.dispatchedAt)
 		e.stats.LoadCount++
@@ -228,14 +252,39 @@ func (e *Engine) tryIssueOne(d *dyn) bool {
 	return true
 }
 
+// wakeBound computes the earliest cycle at which d's unready source
+// operands could all be available. Producers that have issued contribute
+// their exact completion time; unissued producers force a re-check next
+// cycle (their completion is unknown until they issue, which itself marks
+// the cycle as progress).
+func (e *Engine) wakeBound(d *dyn) int64 {
+	w := e.now + 1
+	if !d.dep1.ready(e.now) {
+		if b := d.dep1.earliest(e.now); b > w {
+			w = b
+		}
+	}
+	if !d.dep2.ready(e.now) {
+		if b := d.dep2.earliest(e.now); b > w {
+			w = b
+		}
+	}
+	return w
+}
+
 // issueLoad handles M-thread (and wrong-path) loads: store-to-load
 // forwarding from the LSQ when possible, otherwise a cache access gated by
 // memory ports and MSHRs.
 func (e *Engine) issueLoad(d *dyn) (int64, bool) {
 	if !d.wrongPath {
-		if st, found := e.youngerMatchingStore(d); found {
+		if st, found := e.forwardingStore(d); found {
 			if !st.completed(e.now) {
-				// The producing store has not generated its data yet.
+				// The producing store has not generated its data yet. The
+				// store cannot retire (and so cannot stop matching) before
+				// it completes, so its completion bounds the load's issue.
+				if !e.tickLoop && st.issued {
+					d.wakeAt = st.completeAt
+				}
 				return 0, false
 			}
 			done, ok := e.pool.TryIssue(e.now, isa.OpLoad)
@@ -261,6 +310,35 @@ func (e *Engine) issueLoad(d *dyn) (int64, bool) {
 		panic("core: functional unit vanished between Available and TryIssue")
 	}
 	return ready, true
+}
+
+// forwardingStore resolves the load's store-to-load forwarding source,
+// memoizing the LSQ scan across retried issue attempts (see dyn.fwdState).
+func (e *Engine) forwardingStore(d *dyn) (*dyn, bool) {
+	if e.tickLoop {
+		return e.youngerMatchingStore(d)
+	}
+	switch d.fwdState {
+	case fwdFromStore:
+		st := d.fwdStore.d
+		if st.gen == d.fwdStore.gen {
+			return st, true
+		}
+		// The source retired, which in-order retirement only permits
+		// after every older store retired too: no match can remain.
+		d.fwdState = fwdNone
+		return nil, false
+	case fwdNone:
+		return nil, false
+	}
+	st, found := e.youngerMatchingStore(d)
+	if found {
+		d.fwdState = fwdFromStore
+		d.fwdStore = depRef{d: st, gen: st.gen}
+	} else {
+		d.fwdState = fwdNone
+	}
+	return st, found
 }
 
 // youngerMatchingStore returns the youngest older store in the LSQ whose
@@ -312,7 +390,9 @@ func (e *Engine) checkerIssue(budget *int) {
 		}
 		d.checkIssued = true
 		d.checkedAt = done
+		e.schedule(done)
 		e.checkCount++
+		e.progressed = true
 		*budget--
 		e.stats.IssuedChecker++
 	}

@@ -183,8 +183,11 @@ func (e *Engine) commitStore(d *dyn) bool {
 }
 
 // finishRetire performs in-order bookkeeping common to all modes: LSQ
-// release and branch predictor training.
+// release and branch predictor training. Every retirement path runs
+// through here, so it also marks the cycle as having made forward
+// progress for the cycle-skipping loop.
 func (e *Engine) finishRetire(d *dyn) {
+	e.progressed = true
 	if d.inLSQ {
 		// Completed loads may already have been swept from the LSQ; any
 		// still-resident older loads are completed by in-order

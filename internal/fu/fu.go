@@ -13,6 +13,7 @@ package fu
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/isa"
 )
@@ -209,6 +210,34 @@ func (p *Pool) TryIssue(now int64, op isa.OpClass) (doneAt int64, ok bool) {
 
 // Latency returns the configured execution latency for op.
 func (p *Pool) Latency(op isa.OpClass) int { return p.cfg.Latency[op] }
+
+// NextCompletion returns the earliest cycle strictly after now at which a
+// unit held by an unpipelined operation frees up, or math.MaxInt64 when no
+// unit is held. Pipelined units are never held across cycles (their
+// per-cycle reservations reset every cycle), so this is the pool's only
+// self-scheduled future event — the cycle-skipping engine loop folds it
+// into its event horizon.
+func (p *Pool) NextCompletion(now int64) int64 {
+	next := int64(math.MaxInt64)
+	for c := range p.busyUntil {
+		for _, until := range p.busyUntil[c] {
+			if until > now && until < next {
+				next = until
+			}
+		}
+	}
+	return next
+}
+
+// AddRefused adds k repetitions of the per-class refusal deltas d. The
+// cycle-skipping engine loop uses it to account the issue attempts the
+// reference per-cycle loop would have made during provably-idle stall
+// cycles, keeping the refusal counters identical between the two loops.
+func (p *Pool) AddRefused(d [NumClasses]uint64, k uint64) {
+	for c := range d {
+		p.refused[c] += d[c] * k
+	}
+}
 
 // Issued returns the number of operations issued per class.
 func (p *Pool) Issued() [NumClasses]uint64 { return p.issued }

@@ -339,6 +339,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"uptime_s":       time.Since(s.start).Seconds(),
 		"runs":           s.sims.Runs(),
 		"hits":           s.sims.Hits(),
+		"cache_hits":     s.sims.CacheHits(),
+		"cache_misses":   s.sims.CacheMisses(),
+		"dedup_waits":    s.sims.DedupWaits(),
+		"store_hits":     s.sims.StoreHits(),
 		"store_errors":   s.sims.StoreErrors(),
 		"max_concurrent": s.cfg.MaxConcurrent,
 	})
@@ -355,6 +359,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP shrecd_sim_hits_total Requests served from memory, store, or an in-flight duplicate.\n")
 	fmt.Fprintf(w, "# TYPE shrecd_sim_hits_total counter\n")
 	fmt.Fprintf(w, "shrecd_sim_hits_total %d\n", s.sims.Hits())
+	fmt.Fprintf(w, "# HELP shrecd_sim_cache_hits_total Requests served from the in-memory striped result cache.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_cache_hits_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_cache_hits_total %d\n", s.sims.CacheHits())
+	fmt.Fprintf(w, "# HELP shrecd_sim_cache_misses_total Requests that found neither a cached result nor an in-flight duplicate.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_cache_misses_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_cache_misses_total %d\n", s.sims.CacheMisses())
+	fmt.Fprintf(w, "# HELP shrecd_sim_dedup_waits_total Requests coalesced onto an in-flight duplicate run (singleflight).\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_dedup_waits_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_dedup_waits_total %d\n", s.sims.DedupWaits())
+	fmt.Fprintf(w, "# HELP shrecd_sim_store_hits_total Cache misses served from the persistent store.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_store_hits_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_store_hits_total %d\n", s.sims.StoreHits())
 	fmt.Fprintf(w, "# HELP shrecd_sim_store_errors_total Failed persistent-store writes.\n")
 	fmt.Fprintf(w, "# TYPE shrecd_sim_store_errors_total counter\n")
 	fmt.Fprintf(w, "shrecd_sim_store_errors_total %d\n", s.sims.StoreErrors())

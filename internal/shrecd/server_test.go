@@ -271,7 +271,10 @@ func TestHealthz(t *testing.T) {
 	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
 		t.Fatalf("healthz = %d: %s", w.Code, w.Body)
 	}
-	for _, key := range []string{`"runs"`, `"hits"`, `"store_errors"`} {
+	for _, key := range []string{
+		`"runs"`, `"hits"`, `"store_errors"`,
+		`"cache_hits"`, `"cache_misses"`, `"dedup_waits"`, `"store_hits"`,
+	} {
 		if !strings.Contains(w.Body.String(), key) {
 			t.Errorf("healthz missing %s: %s", key, w.Body)
 		}
@@ -297,6 +300,10 @@ func TestMetrics(t *testing.T) {
 	for _, want := range []string{
 		"shrecd_sim_runs_total 1",
 		"shrecd_sim_hits_total 1",
+		"shrecd_sim_cache_hits_total 1",
+		"shrecd_sim_cache_misses_total 1",
+		"shrecd_sim_dedup_waits_total 0",
+		"shrecd_sim_store_hits_total 0",
 		"shrecd_sim_store_errors_total 0",
 		"shrecd_results_cached 1",
 		"shrecd_uptime_seconds",

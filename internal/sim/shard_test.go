@@ -49,10 +49,60 @@ func TestConcurrentGetSingleflight(t *testing.T) {
 	if got := s.Hits(); got != callers-1 {
 		t.Fatalf("hits = %d, want %d", got, callers-1)
 	}
+	// The split counters must agree: exactly one cache miss (the owner),
+	// and every other caller either joined the in-flight run or hit the
+	// cache after it finished.
+	if got := s.CacheMisses(); got != 1 {
+		t.Fatalf("cache misses = %d, want 1", got)
+	}
+	if hits, waits := s.CacheHits(), s.DedupWaits(); hits+waits != callers-1 {
+		t.Fatalf("cache hits %d + dedup waits %d != %d", hits, waits, callers-1)
+	}
 	for i := 1; i < callers; i++ {
 		if results[i].Stats != results[0].Stats {
 			t.Fatalf("caller %d observed a different result", i)
 		}
+	}
+}
+
+// The cache-effectiveness counters must classify each serving path:
+// in-memory hit, miss-to-run, and miss-to-store.
+func TestCacheCounterSplit(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	s := NewSuite(tinyOpts()).WithStore(st)
+	m := config.SS1()
+	p, _ := workload.ByName("gzip-graphic")
+	ctx := context.Background()
+
+	if _, err := s.Get(ctx, m, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, m, p); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheMisses() != 1 || s.CacheHits() != 1 || s.Runs() != 1 || s.StoreHits() != 0 {
+		t.Fatalf("after warm get: misses=%d hits=%d runs=%d storeHits=%d, want 1/1/1/0",
+			s.CacheMisses(), s.CacheHits(), s.Runs(), s.StoreHits())
+	}
+
+	// A fresh suite over the same store must classify the serve as a
+	// cache miss satisfied by the store, not a run.
+	s2 := NewSuite(tinyOpts()).WithStore(st)
+	if _, err := s2.Get(ctx, m, p); err != nil {
+		t.Fatal(err)
+	}
+	if s2.CacheMisses() != 1 || s2.StoreHits() != 1 || s2.Runs() != 0 {
+		t.Fatalf("store-backed get: misses=%d storeHits=%d runs=%d, want 1/1/0",
+			s2.CacheMisses(), s2.StoreHits(), s2.Runs())
+	}
+	if s2.Hits() != 1 {
+		t.Fatalf("aggregate hits = %d, want 1", s2.Hits())
 	}
 }
 

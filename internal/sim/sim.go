@@ -129,9 +129,12 @@ type Suite struct {
 
 	disk *store.Store // optional cross-process persistence (nil = off)
 
-	runs      atomic.Uint64 // underlying simulations actually executed
-	hits      atomic.Uint64 // requests served from memory, disk, or singleflight
-	storeErrs atomic.Uint64 // failed persistent-store writes (results still served)
+	runs       atomic.Uint64 // underlying simulations actually executed
+	cacheHits  atomic.Uint64 // requests served from the in-memory striped cache
+	cacheMiss  atomic.Uint64 // requests that found neither a result nor an in-flight run
+	dedupWaits atomic.Uint64 // requests served by joining an in-flight duplicate run
+	storeHits  atomic.Uint64 // cache misses served from the persistent store
+	storeErrs  atomic.Uint64 // failed persistent-store writes (results still served)
 }
 
 // NewSuite builds a suite with the given options.
@@ -165,7 +168,25 @@ func (s *Suite) Runs() uint64 { return s.runs.Load() }
 // Hits reports how many requests were served without a fresh simulation:
 // from the in-memory cache, the persistent store, or by joining an
 // in-flight duplicate run.
-func (s *Suite) Hits() uint64 { return s.hits.Load() }
+func (s *Suite) Hits() uint64 {
+	return s.cacheHits.Load() + s.dedupWaits.Load() + s.storeHits.Load()
+}
+
+// CacheHits reports requests served directly from the in-memory striped
+// result cache.
+func (s *Suite) CacheHits() uint64 { return s.cacheHits.Load() }
+
+// CacheMisses reports requests that found neither a cached result nor an
+// in-flight duplicate and went on to the store or a fresh simulation.
+func (s *Suite) CacheMisses() uint64 { return s.cacheMiss.Load() }
+
+// DedupWaits reports requests served by waiting on an in-flight duplicate
+// run (singleflight coalescing) instead of executing their own.
+func (s *Suite) DedupWaits() uint64 { return s.dedupWaits.Load() }
+
+// StoreHits reports cache misses that were served from the persistent
+// store rather than a fresh simulation.
+func (s *Suite) StoreHits() uint64 { return s.storeHits.Load() }
 
 // StoreErrors reports how many results failed to persist to the attached
 // store (they were still computed and served from memory).
@@ -209,7 +230,7 @@ func (s *Suite) GetOpt(ctx context.Context, m config.Machine, p trace.Profile, o
 		sh.mu.Lock()
 		if res, ok := sh.results[k]; ok {
 			sh.mu.Unlock()
-			s.hits.Add(1)
+			s.cacheHits.Add(1)
 			return res, nil
 		}
 		if c, ok := sh.inflight[k]; ok {
@@ -217,7 +238,7 @@ func (s *Suite) GetOpt(ctx context.Context, m config.Machine, p trace.Profile, o
 			select {
 			case <-c.done:
 				if c.err == nil {
-					s.hits.Add(1)
+					s.dedupWaits.Add(1)
 					return c.res, nil
 				}
 				// The owning caller was cancelled; if we are still live,
@@ -236,6 +257,7 @@ func (s *Suite) GetOpt(ctx context.Context, m config.Machine, p trace.Profile, o
 		c := &call{done: make(chan struct{})}
 		sh.inflight[k] = c
 		sh.mu.Unlock()
+		s.cacheMiss.Add(1)
 
 		c.res, c.err = s.execute(ctx, m, p, opt)
 		sh.mu.Lock()
@@ -257,7 +279,7 @@ func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, 
 		dk = digest(m, p, opt)
 		var res Result
 		if ok, err := s.disk.Get(dk, &res); err == nil && ok {
-			s.hits.Add(1)
+			s.storeHits.Add(1)
 			return res, nil
 		}
 	}
