@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-cycle bench-baseline bench-gate fmt vet examples ci
+.PHONY: build test test-full race bench bench-cycle bench-baseline bench-gate fmt vet examples docs docs-check ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,17 @@ bench-gate:
 	$(GO) test -json -bench='^BenchmarkCycle$$' -benchtime=$(CYCLE_ITERS) -run='^$$' . | \
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json
 
+# Regenerate the generated documentation (the experiment catalog) from
+# the experiment registry. Commit the result; CI enforces it is current.
+docs:
+	$(GO) run ./cmd/experiments -docs -o docs/EXPERIMENTS.md
+
+# Fail when committed generated docs drift from the registry (the CI
+# docs-drift gate; run `make docs` and commit to fix).
+docs-check: docs
+	@git diff --exit-code -- docs/EXPERIMENTS.md || \
+		{ echo "docs/EXPERIMENTS.md is stale: run 'make docs' and commit"; exit 1; }
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -61,4 +72,4 @@ examples:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
 
-ci: build vet fmt test examples
+ci: build vet fmt test examples docs-check

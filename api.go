@@ -6,9 +6,11 @@
 //
 // The facade re-exports the pieces a downstream user needs: machine
 // configurations (SS1, SS2 with the paper's X/S/C/B factors, SHREC), the 25
-// synthetic SPEC2K-like workloads, the simulation driver, and the
-// experiment harness that regenerates every table and figure of the paper
-// as typed report.Report values.
+// synthetic SPEC2K-like workloads, the simulation driver, the experiment
+// harness that regenerates every table and figure of the paper as typed
+// report.Report values, and Monte Carlo fault-injection campaigns that
+// quantify detection coverage with confidence bounds
+// (Client.Campaign).
 //
 // The Client is the recommended entry point — it owns one shared result
 // cache, so sweeps and experiments that revisit a configuration reuse
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -333,6 +336,47 @@ func (c *Client) Metrics() ClientMetrics {
 		StoreHits:   c.sims.StoreHits(),
 		StoreErrors: c.sims.StoreErrors(),
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault campaigns.
+
+// CampaignSpec describes a Monte Carlo fault-injection campaign: machine,
+// workload, trial count, fault rate, master seed, run lengths, injection
+// window, and hang budget (see campaign.Spec for field semantics and
+// defaults).
+type CampaignSpec = campaign.Spec
+
+// CampaignResult is one completed campaign: the normalized spec, the
+// fault-free golden run, every classified trial, and resume provenance.
+// Its Report method renders the outcome classification and the
+// Wilson-bounded coverage estimate as a typed *Report.
+type CampaignResult = campaign.Result
+
+// CampaignProgress is a running campaign snapshot delivered to the
+// progress callback of Client.Campaign.
+type CampaignProgress = campaign.Progress
+
+// CampaignTrial is one classified fault-injection trial.
+type CampaignTrial = campaign.Trial
+
+// TrialOutcome classifies one campaign trial: detected, squashed, masked,
+// sdc, hang, or clean.
+type TrialOutcome = campaign.Outcome
+
+// Campaign runs (or resumes) a Monte Carlo fault-injection campaign.
+// Trials fan out through the client's shared simulation cache and
+// parallelism bound; with a store attached (WithStore), finished trials
+// persist, so an interrupted campaign resumes where it left off instead
+// of re-simulating. The progress callback, when non-nil, receives a
+// serialized snapshot after every finished trial; pass nil when polling
+// is not needed.
+func (c *Client) Campaign(ctx context.Context, spec CampaignSpec, progress func(CampaignProgress)) (*CampaignResult, error) {
+	eng := campaign.New(c.suite())
+	if c.st != nil {
+		eng.WithStore(c.st)
+	}
+	return eng.Run(ctx, spec, progress)
 }
 
 // ---------------------------------------------------------------------------

@@ -277,3 +277,49 @@ func TestFacadeTraceCapture(t *testing.T) {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
+
+func TestClientCampaign(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewClient(
+		WithOptions(Options{WarmupInstrs: 2_000, MeasureInstrs: 5_000}),
+		WithStore(filepath.Join(dir, "trials.jsonl")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	spec := CampaignSpec{Machine: "shrec", Benchmark: "crafty", Trials: 6, FaultRate: 2e-4, Seed: 9}
+	var snaps int
+	res, err := c.Campaign(context.Background(), spec, func(p CampaignProgress) { snaps++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 6 || res.Executed != 6 || snaps == 0 {
+		t.Fatalf("campaign: %d trials, %d executed, %d snapshots", len(res.Trials), res.Executed, snaps)
+	}
+	if c := res.Counts(); c.SDC != 0 {
+		t.Fatalf("SHREC produced SDC: %+v", c)
+	}
+	rep := res.Report()
+	if rep.Name != "campaign" || len(rep.Tables) == 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+
+	// A second client over the same store resumes every trial.
+	c2, err := NewClient(
+		WithOptions(Options{WarmupInstrs: 2_000, MeasureInstrs: 5_000}),
+		WithStore(filepath.Join(dir, "trials.jsonl")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res2, err := c2.Campaign(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != 6 || res2.Executed != 0 {
+		t.Fatalf("resume: resumed %d, executed %d", res2.Resumed, res2.Executed)
+	}
+}

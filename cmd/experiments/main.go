@@ -4,15 +4,20 @@
 //
 //	experiments [-run fig2,table2,...|all] [-format text|json|csv] [-o file]
 //	            [-n instrs] [-warmup instrs] [-par N] [-quick]
-//	            [-store results.jsonl]
+//	            [-store results.jsonl] [-docs]
 //
 // Each experiment produces a typed report rendered as fixed-width text
-// (the default, matching the paper's rows/series; see EXPERIMENTS.md for
-// the paper-vs-measured comparison), a JSON array of report objects, or
-// one tidy CSV stream. With -store, simulation results persist to a
-// JSON-lines file and later runs (of any experiment sharing
-// configurations) reuse them instead of resimulating. Ctrl-C cancels
-// in-flight simulations promptly.
+// (the default, matching the paper's rows/series; see docs/EXPERIMENTS.md
+// for the generated catalog), a JSON array of report objects, or one tidy
+// CSV stream. With -store, simulation results persist to a JSON-lines
+// file and later runs (of any experiment sharing configurations) reuse
+// them instead of resimulating. Ctrl-C cancels in-flight simulations
+// promptly.
+//
+// -docs runs no simulations: it emits the experiment catalog as Markdown
+// (to stdout or -o), generated from the same registry that drives
+// dispatch — `make docs` writes docs/EXPERIMENTS.md with it, and CI
+// regenerates and diffs the file so the catalog cannot drift.
 package main
 
 import (
@@ -46,8 +51,22 @@ func main() {
 		par       = flag.Int("par", 0, "max parallel simulations (default GOMAXPROCS)")
 		quick     = flag.Bool("quick", false, "short runs (100k measured) for a fast smoke pass")
 		storePath = flag.String("store", "", "persist simulation results to this JSON-lines file and reuse them across runs")
+		docs      = flag.Bool("docs", false, "emit the experiment catalog as Markdown (no simulations) and exit")
 	)
 	flag.Parse()
+
+	if *docs {
+		md := catalogMarkdown()
+		if *outPath != "" {
+			if err := writeFileAtomic(*outPath, []byte(md)); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print(md)
+		return
+	}
 
 	if *format != "text" && *format != "json" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q (have text, json, csv)\n", *format)
@@ -140,6 +159,41 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, msg+")")
 	}
+}
+
+// catalogMarkdown renders docs/EXPERIMENTS.md from the experiment
+// registry: name, title, prose description, and the flag invocation for
+// every runnable experiment. Generated output only — the registry in
+// internal/experiments is the single source of truth, and the CI
+// docs-drift job fails when the committed file disagrees with it.
+func catalogMarkdown() string {
+	var b strings.Builder
+	b.WriteString("# Experiment catalog\n\n")
+	b.WriteString("<!-- Generated by `make docs` (cmd/experiments -docs). Do not edit:\n")
+	b.WriteString("     edit the registry in internal/experiments/experiments.go and\n")
+	b.WriteString("     regenerate. CI fails when this file drifts from the registry. -->\n\n")
+	b.WriteString("Every table and figure of the paper's evaluation (plus two\n")
+	b.WriteString("extensions) is a named experiment: runnable from the command line,\n")
+	b.WriteString("from Go via `repro.Client.Experiment`, and over HTTP via shrecd's\n")
+	b.WriteString("`GET /experiments/{name}`. All three dispatch through the same\n")
+	b.WriteString("registry this catalog is generated from.\n\n")
+	b.WriteString("| Name | Title |\n| --- | --- |\n")
+	for _, e := range experiments.Catalog() {
+		fmt.Fprintf(&b, "| [`%s`](#%s) | %s |\n", e.Name, e.Name, e.Title)
+	}
+	b.WriteString("\n")
+	for _, e := range experiments.Catalog() {
+		fmt.Fprintf(&b, "## %s\n\n", e.Name)
+		fmt.Fprintf(&b, "**%s**\n\n", e.Title)
+		fmt.Fprintf(&b, "%s\n\n", e.Doc)
+		fmt.Fprintf(&b, "```sh\ngo run ./cmd/experiments -run %s          # full scale\n", e.Name)
+		fmt.Fprintf(&b, "go run ./cmd/experiments -run %s -quick   # smoke scale\n", e.Name)
+		fmt.Fprintf(&b, "curl -s localhost:8080/experiments/%s     # via shrecd (JSON)\n```\n\n", e.Name)
+	}
+	b.WriteString("Common flags: `-format text|json|csv`, `-o file`, `-store results.jsonl`\n")
+	b.WriteString("(persist and reuse simulation runs), `-n`/`-warmup` (run lengths),\n")
+	b.WriteString("`-par` (parallelism). See `go run ./cmd/experiments -h`.\n")
+	return b.String()
 }
 
 // writeFileAtomic writes data to path via a temp file + rename, so a

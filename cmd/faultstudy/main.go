@@ -1,44 +1,52 @@
 // Command faultstudy sweeps transient-fault injection rates across the
-// redundant machines and reports detection coverage, mean detection
-// latency, recovery cost, and the throughput overhead of recovery — an
-// extension beyond the paper's performance-only evaluation, validating
-// that the protection the machines pay for actually works.
+// redundant machines and reports statistically grounded detection
+// coverage — an extension beyond the paper's performance-only evaluation,
+// validating that the protection the machines pay for actually works.
+//
+// It is a thin preset over the Monte Carlo campaign engine
+// (internal/campaign): each (machine, rate) cell runs a campaign of
+// -trials independent fault-injection trials, classifies every trial
+// (detected / squashed / masked / SDC / hang / clean) against a
+// fault-free golden run, and reports coverage with Wilson 95% confidence
+// bounds. With -store, finished trials persist and an interrupted sweep
+// resumes where it left off.
 //
 // Usage:
 //
-//	faultstudy [-bench crafty] [-n instrs] [-rates 1e-6,1e-5,1e-4]
+//	faultstudy [-bench crafty] [-machines ss1,ss2+s,o3rs,shrec,diva]
+//	           [-rates 1e-5,1e-4,1e-3] [-trials 40] [-n instrs]
+//	           [-warmup instrs] [-seed N] [-store trials.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
-	"sync"
+	"syscall"
 
-	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/campaign"
+	"repro/internal/report"
 	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
 		bench    = flag.String("bench", "crafty", "benchmark to inject into")
-		n        = flag.Uint64("n", 500_000, "measured instructions")
-		warm     = flag.Uint64("warmup", 200_000, "warmup instructions")
-		rateList = flag.String("rates", "1e-6,1e-5,1e-4,1e-3", "comma-separated fault rates")
+		machines = flag.String("machines", "ss1,ss2+s,o3rs,shrec,diva", "comma-separated machines to sweep")
+		n        = flag.Uint64("n", 50_000, "measured instructions per trial")
+		warm     = flag.Uint64("warmup", 20_000, "warmup instructions per trial")
+		rateList = flag.String("rates", "1e-5,1e-4,1e-3", "comma-separated fault rates")
+		trials   = flag.Int("trials", 40, "fault-injection trials per (machine, rate) cell")
+		seed     = flag.Uint64("seed", 0xF00D, "campaign master seed")
+		storeP   = flag.String("store", "", "persist per-trial results to this JSON-lines file (resumable)")
 	)
 	flag.Parse()
 
-	p, err := workload.ByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "faultstudy:", err)
-		os.Exit(1)
-	}
 	var rates []float64
 	for _, s := range strings.Split(*rateList, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -49,98 +57,63 @@ func main() {
 		rates = append(rates, r)
 	}
 
-	machines := []config.Machine{
-		config.SS1(),
-		config.SS2(config.Factors{S: true}),
-		config.O3RS(),
-		config.SHREC(),
-		config.DIVA(),
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	// Fault-free baselines for overhead computation.
-	baseline := map[string]float64{}
-	for _, m := range machines {
-		res, err := sim.Run(m, p, sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n})
+	sims := sim.NewSuite(sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n})
+	eng := campaign.New(sims)
+	if *storeP != "" {
+		st, err := store.Open(*storeP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faultstudy:", err)
 			os.Exit(1)
 		}
-		baseline[m.Name] = res.IPC()
+		defer st.Close()
+		sims.WithStore(st)
+		eng.WithStore(st)
 	}
 
-	type row struct {
-		machine  string
-		rate     float64
-		st       core.Stats
-		overhead float64
-	}
-	var mu sync.Mutex
-	var rows []row
-	var wg sync.WaitGroup
-	for _, m := range machines {
-		for _, r := range rates {
-			wg.Add(1)
-			go func(m config.Machine, r float64) {
-				defer wg.Done()
-				mc := m
-				mc.FaultRate = r
-				mc.FaultSeed = 0xF0_0D
-				e := core.New(mc, trace.New(p))
-				if err := e.Warmup(*warm); err != nil {
-					fmt.Fprintln(os.Stderr, "faultstudy:", err)
-					os.Exit(1)
-				}
-				st, err := e.Run(*n)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "faultstudy:", err)
-					os.Exit(1)
-				}
-				mu.Lock()
-				rows = append(rows, row{m.Name, r, st, 100 * (baseline[m.Name] - st.IPC()) / baseline[m.Name]})
-				mu.Unlock()
-			}(m, r)
-		}
-	}
-	wg.Wait()
+	rep := report.New("faultstudy",
+		fmt.Sprintf("Transient-fault campaigns on %s (%d trials per cell, %d instructions per trial)",
+			*bench, *trials, *n))
+	tb := rep.AddTable("Coverage by machine and rate",
+		"machine@rate", "faulted", "det", "sq", "mask", "sdc", "hang",
+		"cov%", "lo%", "hi%", "lat(cy)", "ovh%")
+	tb.Verb = "%.4g"
 
-	tb := stats.NewTable(
-		fmt.Sprintf("Transient-fault study on %s (%d instructions per cell)", p.Name, *n),
-		"machine", "rate", "IPC", "injected", "detected", "silent", "coverage", "det.lat(cy)", "overhead%")
-	for _, m := range machines {
-		for _, r := range rates {
-			for _, rw := range rows {
-				if rw.machine != m.Name || rw.rate != r {
-					continue
-				}
-				st := rw.st
-				cov := "n/a"
-				// Faults squashed by an unrelated recovery (and those still
-				// in flight at run end) never reach a compare; coverage is
-				// over faults that did.
-				if eligible := st.FaultsInjected - st.FaultsSquashed; eligible > 0 {
-					pct := 100 * float64(st.FaultsDetected) / float64(eligible)
-					if pct > 100 {
-						pct = 100 // in-flight remainder at run end
-					}
-					cov = fmt.Sprintf("%.0f%%", pct)
-				}
-				tb.AddRow(m.Name,
-					fmt.Sprintf("%.0e", r),
-					fmt.Sprintf("%.2f", st.IPC()),
-					fmt.Sprintf("%d", st.FaultsInjected),
-					fmt.Sprintf("%d", st.FaultsDetected),
-					fmt.Sprintf("%d", st.SilentCorruptions),
-					cov,
-					fmt.Sprintf("%.0f", st.AvgFaultDetectLatency()),
-					fmt.Sprintf("%.1f", rw.overhead),
-				)
+	for _, mname := range strings.Split(*machines, ",") {
+		mname = strings.TrimSpace(mname)
+		for _, rate := range rates {
+			res, err := eng.Run(ctx, campaign.Spec{
+				Machine:   mname,
+				Benchmark: *bench,
+				Trials:    *trials,
+				FaultRate: rate,
+				Seed:      *seed,
+			}, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "faultstudy:", err)
+				os.Exit(1)
 			}
+			c := res.Counts()
+			cov := res.Coverage()
+			agg := res.Aggregates()
+			tb.AddRow(fmt.Sprintf("%s@%.0e", res.Golden.Machine, rate),
+				float64(cov.N), float64(c.Detected), float64(c.Squashed),
+				float64(c.Masked), float64(c.SDC), float64(c.Hang),
+				100*cov.Point, 100*cov.Lo, 100*cov.Hi, agg.DetectLatency, agg.Overhead)
 		}
-		tb.AddSeparator()
+		tb.AddRule()
 	}
-	fmt.Print(tb.String())
-	fmt.Println("\nSS1 detects nothing (all faults are silent corruptions); the")
-	fmt.Println("redundant machines detect every injected fault. Detection latency is")
-	fmt.Println("the injection-to-compare distance; overhead is the IPC lost to")
-	fmt.Println("soft-exception recovery relative to the machine's fault-free run.")
+
+	rep.AddNote("coverage = (detected + squashed + masked) / faulted trials, Wilson 95%% bounds;")
+	rep.AddNote("SS1 detects nothing (faults retire as silent corruptions caught by the")
+	rep.AddNote("golden-signature oracle); the redundant machines detect or squash every")
+	rep.AddNote("fault. lat is mean injection-to-detection distance; ovh is IPC lost to")
+	rep.AddNote("soft-exception recovery relative to each machine's fault-free golden run.")
+	fmt.Print(rep.String())
+	if *storeP != "" {
+		fmt.Fprintf(os.Stderr, "(%d simulated, %d store hits; store %s)\n",
+			sims.Runs(), sims.StoreHits(), *storeP)
+	}
 }

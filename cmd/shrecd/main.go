@@ -13,6 +13,11 @@
 //	GET  /experiments/{name}  regenerate one paper table/figure as a typed
 //	                          report (?format=text|json|csv or Accept)
 //	POST /experiments/{name}  deprecated pre-report shape (text wrapped in JSON)
+//	POST /campaigns           start an async fault-injection campaign
+//	                          {"machine":"shrec","benchmark":"swim","trials":1000}
+//	GET  /campaigns           list campaign jobs with progress
+//	GET  /campaigns/{id}      one job: progress, coverage, report when done
+//	                          (?format=text|csv renders just the report)
 //	GET  /results             every cached result plus cache metrics
 //	GET  /healthz             liveness, pool configuration, cache counters
 //	GET  /metrics             Prometheus text: runs, hits, store errors
@@ -47,6 +52,8 @@ func main() {
 		par       = flag.Int("par", 0, "max parallel simulations in the engine (default GOMAXPROCS)")
 		workers   = flag.Int("workers", 16, "max concurrently served simulation requests")
 		maxInstrs = flag.Int64("maxinstrs", 0, "cap on per-request warmup+measure instructions (0 = default 10M, negative = uncapped)")
+		maxTrials = flag.Int("maxtrials", 0, "cap on per-campaign trial count (0 = default 10000)")
+		maxCamps  = flag.Int("maxcampaigns", 0, "bound on tracked campaign jobs (0 = default 64)")
 		storePath = flag.String("store", "", "persist results to this JSON-lines file across restarts")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	)
@@ -62,8 +69,10 @@ func main() {
 	opt.Parallelism = *par
 
 	sims := sim.NewSuite(opt)
+	var st *store.Store
 	if *storePath != "" {
-		st, err := store.Open(*storePath)
+		var err error
+		st, err = store.Open(*storePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "shrecd:", err)
 			os.Exit(1)
@@ -77,7 +86,11 @@ func main() {
 		DefaultOptions: opt,
 		MaxConcurrent:  *workers,
 		MaxInstrs:      *maxInstrs,
+		MaxTrials:      *maxTrials,
+		MaxCampaigns:   *maxCamps,
+		Store:          st,
 	}, sims)
+	defer srv.Close() // stop background campaigns; finished trials are persisted
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

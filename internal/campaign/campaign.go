@@ -1,0 +1,647 @@
+// Package campaign implements Monte Carlo transient-fault injection
+// campaigns over the simulation engine: statistically grounded protection
+// evaluation in the style of architectural vulnerability studies, rather
+// than the single-run rate sweep the repository started with.
+//
+// A campaign is described by a Spec — machine, workload, trial count,
+// fault rate, master seed, run lengths, and an injection window — and
+// expands deterministically into Trials independent simulations: trial i
+// runs the machine with a per-trial fault seed derived from the master
+// seed (TrialSeed), injecting faults only inside the window (by default
+// the measured region, so warmup state stays bit-identical to the
+// fault-free golden run). Every trial outcome is classified against that
+// golden run:
+//
+//   - detected:  the redundant machinery caught at least one fault
+//   - squashed:  faults were wiped by an unrelated recovery (benign)
+//   - masked:    faults were injected but left no architectural trace
+//   - sdc:       the architectural retirement signature diverged from the
+//     golden run — silent data corruption, detected end to end
+//   - hang:      the cycle-budget watchdog fired before the trial retired
+//     its instructions (a recovery livelock)
+//   - clean:     the Bernoulli injector never fired in the window
+//
+// Trials fan out through the shared sim.Suite, so they parallelize under
+// its semaphore, deduplicate via singleflight, and (with a store
+// attached) persist across processes. The campaign additionally persists
+// one compact Trial record per finished trial, keyed by the campaign's
+// content digest — a killed campaign picks up where it left off without
+// re-simulating finished trials, and Result.Resumed counts exactly how
+// many trials were restored rather than run.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Spec describes one fault-injection campaign. The zero values of the
+// optional fields are filled by normalization: run lengths default to the
+// suite's options, the window to the whole measured region, the trial
+// count to DefaultTrials, the fault rate to DefaultFaultRate, and the
+// cycle budget to DefaultBudgetFactor times the golden run's cycles.
+type Spec struct {
+	// Machine names the configuration under test ("shrec", "ss2+sc", ...;
+	// see config.ByName).
+	Machine string `json:"machine"`
+	// Benchmark names the workload ("swim", "crafty", ...).
+	Benchmark string `json:"benchmark"`
+	// Trials is the number of independent fault-injection runs.
+	Trials int `json:"trials,omitempty"`
+	// FaultRate is the per-instruction injection probability inside the
+	// window.
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Seed is the campaign's master seed; trial i injects with
+	// TrialSeed(Seed, i), so one seed reproduces the whole campaign
+	// trial by trial.
+	Seed uint64 `json:"seed,omitempty"`
+	// WarmupInstrs and MeasureInstrs are the per-trial run lengths
+	// (0 = the suite's defaults).
+	WarmupInstrs  uint64 `json:"warmup_instrs,omitempty"`
+	MeasureInstrs uint64 `json:"measure_instrs,omitempty"`
+	// WindowLo and WindowHi bound injection, in correct-path fetch
+	// sequence numbers relative to the start of the measured region. Both
+	// zero selects the whole measured region. The campaign additionally
+	// shifts the window's start past the warmup's in-flight fetch horizon
+	// (ROB size plus retirement overshoot): fetch runs up to a full ROB
+	// ahead of retirement, so an unshifted window would open during the
+	// warmup tail and perturb the warmup state the golden comparison
+	// depends on.
+	WindowLo uint64 `json:"window_lo,omitempty"`
+	WindowHi uint64 `json:"window_hi,omitempty"`
+	// MaxCycles is the per-trial hang watchdog in measured cycles
+	// (0 = DefaultBudgetFactor times the golden run's measured cycles).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// Campaign defaults, applied by normalization.
+const (
+	// DefaultTrials is the trial count when the spec leaves it zero.
+	DefaultTrials = 100
+	// DefaultFaultRate is the per-instruction injection probability when
+	// the spec leaves it zero.
+	DefaultFaultRate = 1e-4
+	// DefaultBudgetFactor scales the golden run's measured cycles into
+	// the per-trial hang budget when the spec leaves MaxCycles zero.
+	DefaultBudgetFactor = 4
+)
+
+// Outcome classifies one trial (see the package comment for the classes).
+type Outcome string
+
+// The trial outcome classes, from best-covered to worst.
+const (
+	OutcomeDetected Outcome = "detected"
+	OutcomeSquashed Outcome = "squashed"
+	OutcomeMasked   Outcome = "masked"
+	OutcomeSDC      Outcome = "sdc"
+	OutcomeHang     Outcome = "hang"
+	OutcomeClean    Outcome = "clean"
+)
+
+// Outcomes lists every trial class in report order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeDetected, OutcomeSquashed, OutcomeMasked,
+		OutcomeSDC, OutcomeHang, OutcomeClean}
+}
+
+// Classify maps one trial's simulation result to its outcome class, given
+// the fault-free golden run's architectural signature. Precedence runs
+// worst-observable-first: a hang is terminal regardless of what else the
+// trial logged; a diverged signature is corruption even if other faults
+// in the same trial were detected; detection outranks the benign classes.
+func Classify(res sim.Result, goldenSig uint64) Outcome {
+	st := res.Stats
+	switch {
+	case res.Hung:
+		return OutcomeHang
+	case st.FaultsInjected == 0:
+		return OutcomeClean
+	case st.ArchSig != goldenSig:
+		return OutcomeSDC
+	case st.FaultsDetected > 0:
+		return OutcomeDetected
+	case st.FaultsSquashed > 0:
+		return OutcomeSquashed
+	default:
+		return OutcomeMasked
+	}
+}
+
+// TrialSeed derives trial i's fault-injector seed from the campaign's
+// master seed: a splitmix fork, so trials sample decorrelated fault sites
+// while the whole campaign remains a pure function of (Seed, i).
+func TrialSeed(seed uint64, trial int) uint64 {
+	return rng.New(seed).Fork(uint64(trial) + 1).Uint64()
+}
+
+// Trial is the compact per-trial record a campaign aggregates and
+// persists (one store entry per trial, keyed by campaign digest + index).
+type Trial struct {
+	// Index is the trial's position in the campaign ([0, Trials)).
+	Index int `json:"index"`
+	// Seed is the trial's derived fault-injector seed.
+	Seed uint64 `json:"seed"`
+	// Outcome is the trial's classification.
+	Outcome Outcome `json:"outcome"`
+	// Faults counts injected faults; Detected and Squashed count their
+	// dispositions (Faults - Detected - Squashed were masked or escaped).
+	Faults   uint64 `json:"faults"`
+	Detected uint64 `json:"detected"`
+	Squashed uint64 `json:"squashed"`
+	// DetectLatency is the mean injection-to-detection latency in cycles
+	// over the trial's detected faults (0 when none).
+	DetectLatency float64 `json:"detect_latency,omitempty"`
+	// IPC is the trial's measured IPC (partial for hung trials).
+	IPC float64 `json:"ipc"`
+	// Cycles is the trial's measured cycle count.
+	Cycles int64 `json:"cycles"`
+	// ArchSig is the trial's architectural retirement signature.
+	ArchSig uint64 `json:"arch_sig"`
+}
+
+// Counts tallies trials per outcome class.
+type Counts struct {
+	Detected int `json:"detected"`
+	Squashed int `json:"squashed"`
+	Masked   int `json:"masked"`
+	SDC      int `json:"sdc"`
+	Hang     int `json:"hang"`
+	Clean    int `json:"clean"`
+}
+
+// add tallies one outcome.
+func (c *Counts) add(o Outcome) {
+	switch o {
+	case OutcomeDetected:
+		c.Detected++
+	case OutcomeSquashed:
+		c.Squashed++
+	case OutcomeMasked:
+		c.Masked++
+	case OutcomeSDC:
+		c.SDC++
+	case OutcomeHang:
+		c.Hang++
+	case OutcomeClean:
+		c.Clean++
+	}
+}
+
+// Faulted returns the number of trials in which at least one fault was
+// injected — the denominator of the coverage estimate.
+func (c Counts) Faulted() int {
+	return c.Detected + c.Squashed + c.Masked + c.SDC + c.Hang
+}
+
+// Estimate is a binomial proportion with its Wilson 95% confidence
+// bounds over N trials.
+type Estimate struct {
+	Point float64 `json:"point"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	N     int     `json:"n"`
+}
+
+// wilsonZ is the standard-normal quantile of the 95% interval.
+const wilsonZ = 1.96
+
+// estimate builds a Wilson-bounded proportion.
+func estimate(successes, n int) Estimate {
+	e := Estimate{N: n}
+	if n > 0 {
+		e.Point = float64(successes) / float64(n)
+	}
+	e.Lo, e.Hi = stats.Wilson(successes, n, wilsonZ)
+	return e
+}
+
+// coverage is the campaign's headline estimate: the fraction of faulted
+// trials whose faults stayed architecturally harmless (detected, wiped by
+// recovery, or masked) — everything except silent corruption and hangs.
+func (c Counts) coverage() Estimate {
+	return estimate(c.Detected+c.Squashed+c.Masked, c.Faulted())
+}
+
+// Progress is a running campaign snapshot, delivered to the progress
+// callback after every finished trial (and once for the resumed batch).
+type Progress struct {
+	// Done counts finished trials (resumed included); Total is the
+	// campaign's trial count.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Resumed counts trials restored from the store instead of run.
+	Resumed int `json:"resumed"`
+	// Counts tallies finished trials per outcome class.
+	Counts Counts `json:"counts"`
+	// Coverage is the running coverage estimate over faulted trials.
+	Coverage Estimate `json:"coverage"`
+}
+
+// Result is one completed campaign.
+type Result struct {
+	// Spec is the normalized specification (defaults filled in).
+	Spec Spec `json:"spec"`
+	// Golden is the fault-free reference run trials are compared against.
+	Golden sim.Result `json:"golden"`
+	// MaxCycles is the resolved per-trial hang budget.
+	MaxCycles int64 `json:"max_cycles"`
+	// Trials holds every trial record, ordered by index.
+	Trials []Trial `json:"trials"`
+	// Resumed counts trials restored from the persistent store; Executed
+	// counts trials actually simulated by this run. They sum to
+	// len(Trials), which is how resumption is verified.
+	Resumed  int `json:"resumed"`
+	Executed int `json:"executed"`
+}
+
+// Counts tallies the campaign's trials per outcome class.
+func (r *Result) Counts() Counts {
+	var c Counts
+	for _, t := range r.Trials {
+		c.add(t.Outcome)
+	}
+	return c
+}
+
+// Coverage returns the campaign's protection coverage — the fraction of
+// faulted trials without silent corruption or a hang — with Wilson 95%
+// bounds over the faulted-trial count.
+func (r *Result) Coverage() Estimate {
+	return r.Counts().coverage()
+}
+
+// Aggregates are the campaign-level fault and cost sums shared by every
+// renderer (Result.Report, cmd/faultstudy), kept in one place so the CLI
+// and the typed report cannot drift apart.
+type Aggregates struct {
+	// Faults and Detected total injected and detected faults over all
+	// trials.
+	Faults, Detected uint64
+	// DetectLatency is the mean injection-to-detection latency in cycles
+	// over every detected fault (0 when none was detected).
+	DetectLatency float64
+	// MeanIPC is the mean trial IPC over non-hung trials (hung trials
+	// report partial counters) and IPCTrials their count.
+	MeanIPC   float64
+	IPCTrials int
+	// Overhead is the IPC lost to fault recovery relative to the golden
+	// run, in percent (0 when not computable).
+	Overhead float64
+}
+
+// Aggregates computes the campaign's fault and cost sums.
+func (r *Result) Aggregates() Aggregates {
+	var a Aggregates
+	var latSum, ipcSum float64
+	for _, t := range r.Trials {
+		a.Faults += t.Faults
+		a.Detected += t.Detected
+		latSum += t.DetectLatency * float64(t.Detected)
+		if t.Outcome != OutcomeHang {
+			ipcSum += t.IPC
+			a.IPCTrials++
+		}
+	}
+	if a.Detected > 0 {
+		a.DetectLatency = latSum / float64(a.Detected)
+	}
+	if a.IPCTrials > 0 {
+		a.MeanIPC = ipcSum / float64(a.IPCTrials)
+		if g := r.Golden.IPC(); g > 0 {
+			a.Overhead = 100 * (g - a.MeanIPC) / g
+		}
+	}
+	return a
+}
+
+// Report renders the campaign as a typed experiment report.
+func (r *Result) Report() *report.Report {
+	rep := report.New("campaign",
+		fmt.Sprintf("Fault campaign: %s on %s (%d trials at rate %.2g)",
+			r.Golden.Machine, r.Spec.Benchmark, len(r.Trials), r.Spec.FaultRate))
+
+	c := r.Counts()
+	total := len(r.Trials)
+	ot := rep.AddTable("Trial outcomes", "outcome", "trials", "% of campaign")
+	ot.Verb = "%.0f"
+	share := func(n int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	for _, o := range Outcomes() {
+		n := map[Outcome]int{
+			OutcomeDetected: c.Detected, OutcomeSquashed: c.Squashed,
+			OutcomeMasked: c.Masked, OutcomeSDC: c.SDC,
+			OutcomeHang: c.Hang, OutcomeClean: c.Clean,
+		}[o]
+		ot.AddRow(string(o), float64(n), share(n))
+	}
+
+	cov := c.coverage()
+	agg := r.Aggregates()
+	st := rep.AddTable("Campaign summary", "metric", "value")
+	st.Verb = "%.4g"
+	st.AddRow("coverage %", 100*cov.Point)
+	st.AddRow("coverage lo % (Wilson 95)", 100*cov.Lo)
+	st.AddRow("coverage hi % (Wilson 95)", 100*cov.Hi)
+	st.AddRow("faulted trials", float64(cov.N))
+	st.AddRow("faults injected", float64(agg.Faults))
+	st.AddRow("faults detected", float64(agg.Detected))
+	if agg.Detected > 0 {
+		st.AddRow("mean detect latency (cycles)", agg.DetectLatency)
+	}
+	st.AddRow("golden IPC", r.Golden.IPC())
+	if agg.IPCTrials > 0 && r.Golden.IPC() > 0 {
+		st.AddRow("mean trial IPC", agg.MeanIPC)
+		st.AddRow("recovery overhead %", agg.Overhead)
+	}
+
+	rep.AddNote("coverage %.2f%% (Wilson 95%% CI [%.2f%%, %.2f%%]) over %d faulted trials; %d sdc, %d hangs",
+		100*cov.Point, 100*cov.Lo, 100*cov.Hi, cov.N, c.SDC, c.Hang)
+	if r.Resumed > 0 {
+		rep.AddNote("resumed %d of %d trials from the store (%d executed)",
+			r.Resumed, total, r.Executed)
+	}
+
+	rep.SetMeta("machine", r.Golden.Machine)
+	rep.SetMeta("benchmark", r.Spec.Benchmark)
+	rep.SetMeta("trials", fmt.Sprint(total))
+	rep.SetMeta("fault_rate", fmt.Sprintf("%g", r.Spec.FaultRate))
+	rep.SetMeta("seed", fmt.Sprint(r.Spec.Seed))
+	rep.SetMeta("warmup_instrs", fmt.Sprint(r.Spec.WarmupInstrs))
+	rep.SetMeta("measure_instrs", fmt.Sprint(r.Spec.MeasureInstrs))
+	rep.SetMeta("window", fmt.Sprintf("[%d, %d)", r.Spec.WindowLo, r.Spec.WindowHi))
+	rep.SetMeta("max_cycles", fmt.Sprint(r.MaxCycles))
+	rep.SetMeta("golden_arch_sig", fmt.Sprintf("%#x", r.Golden.Stats.ArchSig))
+	return rep
+}
+
+// Engine runs campaigns over a shared simulation suite. All methods are
+// safe for concurrent use; concurrent campaigns share the suite's result
+// cache and parallelism bound.
+type Engine struct {
+	sims *sim.Suite
+	st   *store.Store
+}
+
+// New builds a campaign engine over an existing simulation suite.
+func New(sims *sim.Suite) *Engine {
+	return &Engine{sims: sims}
+}
+
+// WithStore attaches a persistent store for per-trial records: finished
+// trials are written through, and a later Run of the same spec restores
+// them instead of re-simulating. Returns e for chaining.
+func (e *Engine) WithStore(st *store.Store) *Engine {
+	e.st = st
+	return e
+}
+
+// Normalize validates spec the way Run will (machine and workload
+// resolve, rate and window and budget in range) against the run-length
+// defaults def, and returns it with every default filled in — without
+// simulating anything. Servers use it to reject statically impossible
+// campaigns synchronously, and to identify jobs by the normalized spec
+// so that spelled-out defaults and omitted ones name the same campaign.
+func Normalize(spec Spec, def sim.Options) (Spec, error) {
+	ns, _, _, err := normalize(spec, def)
+	return ns, err
+}
+
+// normalize fills spec defaults from def and resolves the machine and
+// workload. The returned spec is what Result records and what the
+// campaign digest hashes.
+func normalize(spec Spec, def sim.Options) (Spec, config.Machine, trace.Profile, error) {
+	m, err := config.ByName(spec.Machine)
+	if err != nil {
+		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: %w", err)
+	}
+	p, err := workload.ByName(spec.Benchmark)
+	if err != nil {
+		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: %w", err)
+	}
+	if spec.Trials == 0 {
+		spec.Trials = DefaultTrials
+	}
+	if spec.Trials < 0 {
+		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: negative trial count %d", spec.Trials)
+	}
+	if spec.FaultRate == 0 {
+		spec.FaultRate = DefaultFaultRate
+	}
+	if spec.FaultRate < 0 || spec.FaultRate > 1 {
+		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: fault rate %g out of [0,1]", spec.FaultRate)
+	}
+	if spec.WarmupInstrs == 0 {
+		spec.WarmupInstrs = def.WarmupInstrs
+	}
+	if spec.MeasureInstrs == 0 {
+		spec.MeasureInstrs = def.MeasureInstrs
+	}
+	if spec.WindowLo == 0 && spec.WindowHi == 0 {
+		spec.WindowHi = spec.MeasureInstrs
+	}
+	if spec.WindowHi <= spec.WindowLo {
+		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: empty injection window [%d, %d)", spec.WindowLo, spec.WindowHi)
+	}
+	if spec.WindowLo+fetchHorizon(m) >= spec.WindowHi {
+		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf(
+			"campaign: injection window [%d, %d) collapses inside the warmup fetch horizon (%d); raise MeasureInstrs or WindowHi",
+			spec.WindowLo, spec.WindowHi, fetchHorizon(m))
+	}
+	if spec.MaxCycles < 0 {
+		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: negative cycle budget %d", spec.MaxCycles)
+	}
+	return spec, m, p, nil
+}
+
+// digest is the campaign's content identity: the full machine
+// configuration and workload profile plus every spec field that shapes a
+// trial — but not the trial count, so extending a campaign from 500 to
+// 1000 trials reuses the first 500 stored records.
+func digest(spec Spec, m config.Machine, p trace.Profile, budget int64) string {
+	return store.Digest("campaign.Trial.v1", m, p,
+		spec.FaultRate, spec.Seed, spec.WarmupInstrs, spec.MeasureInstrs,
+		spec.WindowLo, spec.WindowHi, budget)
+}
+
+// trialKey keys one trial record in the store.
+func trialKey(digest string, i int) string {
+	return fmt.Sprintf("%s/trial/%d", digest, i)
+}
+
+// fetchHorizon bounds how many correct-path fetch sequence numbers the
+// front end can consume beyond the current retirement count: a full ROB
+// of in-flight instructions, the retirement overshoot of the final
+// warmup cycle, the fetch buffer, and margin. The injection window's
+// start is shifted past it so no instruction fetched during warmup is
+// ever an injection site — which is what keeps the trial's warmup
+// bit-identical to the golden run's.
+func fetchHorizon(m config.Machine) uint64 {
+	return uint64(m.ROBSize + m.RetireWidth + 64)
+}
+
+// Run executes (or resumes) the campaign described by spec. The progress
+// callback, when non-nil, is invoked serially after every finished trial
+// with a running snapshot; it must return quickly. On context
+// cancellation the campaign stops with an error, but every finished
+// trial has already been persisted, so a later Run resumes from it.
+func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*Result, error) {
+	ns, m, p, err := normalize(spec, e.sims.Options())
+	if err != nil {
+		return nil, err
+	}
+	opt := e.sims.Options()
+	opt.WarmupInstrs = ns.WarmupInstrs
+	opt.MeasureInstrs = ns.MeasureInstrs
+	opt.MaxCycles = 0
+
+	// The golden run: the machine exactly as configured, fault-free, at
+	// the campaign's run lengths. It defines the architectural signature
+	// trials must match and the cycle budget of the hang watchdog. Shared
+	// through the suite, so repeated campaigns (and ordinary experiments
+	// at the same scale) reuse it.
+	golden, err := e.sims.GetOpt(ctx, m, p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: golden run: %w", err)
+	}
+	budget := ns.MaxCycles
+	if budget == 0 {
+		budget = DefaultBudgetFactor * golden.Stats.Cycles
+	}
+	ns.MaxCycles = budget
+
+	dg := digest(ns, m, p, budget)
+	res := &Result{Spec: ns, Golden: golden, MaxCycles: budget,
+		Trials: make([]Trial, ns.Trials)}
+	have := make([]bool, ns.Trials)
+	if e.st != nil {
+		for i := range res.Trials {
+			var tr Trial
+			if ok, err := e.st.Get(trialKey(dg, i), &tr); err == nil && ok {
+				res.Trials[i] = tr
+				have[i] = true
+				res.Resumed++
+			}
+		}
+	}
+
+	// Running progress state, shared by the trial goroutines.
+	var mu sync.Mutex
+	prog := Progress{Total: ns.Trials, Resumed: res.Resumed}
+	for i, tr := range res.Trials {
+		if have[i] {
+			prog.Done++
+			prog.Counts.add(tr.Outcome)
+		}
+	}
+	prog.Coverage = prog.Counts.coverage()
+	if progress != nil {
+		progress(prog)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, ns.Trials)
+	for i := range res.Trials {
+		if have[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mc := m
+			mc.FaultRate = ns.FaultRate
+			mc.FaultSeed = TrialSeed(ns.Seed, i)
+			mc.FaultWindowLo = ns.WarmupInstrs + fetchHorizon(m) + ns.WindowLo
+			mc.FaultWindowHi = ns.WarmupInstrs + ns.WindowHi
+			topt := opt
+			topt.MaxCycles = budget
+			r, err := e.sims.GetOpt(ctx, mc, p, topt)
+			if err != nil {
+				errs[i] = fmt.Errorf("trial %d: %w", i, err)
+				return
+			}
+			tr := Trial{
+				Index:         i,
+				Seed:          mc.FaultSeed,
+				Outcome:       Classify(r, golden.Stats.ArchSig),
+				Faults:        r.Stats.FaultsInjected,
+				Detected:      r.Stats.FaultsDetected,
+				Squashed:      r.Stats.FaultsSquashed,
+				DetectLatency: r.Stats.AvgFaultDetectLatency(),
+				IPC:           r.IPC(),
+				Cycles:        r.Stats.Cycles,
+				ArchSig:       r.Stats.ArchSig,
+			}
+			if e.st != nil {
+				// Best effort: a failed write costs a re-simulation on
+				// resume, never the campaign.
+				_ = e.st.Put(trialKey(dg, i), tr)
+			}
+			mu.Lock()
+			res.Trials[i] = tr
+			res.Executed++
+			prog.Done++
+			prog.Counts.add(tr.Outcome)
+			prog.Coverage = prog.Counts.coverage()
+			if progress != nil {
+				// Under the lock, so snapshots arrive serially and in
+				// Done order; the callback must return quickly.
+				progress(prog)
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	failed := make([]error, 0, len(errs))
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	if len(failed) > 0 {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Cancellation cascades into every outstanding trial; collapse
+			// the noise and keep only genuine failures (cf. sim.Batch).
+			real := failed[:0]
+			for _, err := range failed {
+				if !errors.Is(err, ctxErr) {
+					real = append(real, err)
+				}
+			}
+			return nil, errors.Join(append(real,
+				fmt.Errorf("campaign: interrupted with %d of %d trials done: %w",
+					countDone(errs), ns.Trials, ctxErr))...)
+		}
+		return nil, errors.Join(failed...)
+	}
+	// res.Trials is index-addressed throughout, so it is already in
+	// trial order.
+	return res, nil
+}
+
+// countDone counts trials without an error (finished or resumed).
+func countDone(errs []error) int {
+	n := 0
+	for _, err := range errs {
+		if err == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -139,10 +139,18 @@ type Machine struct {
 
 	// FaultRate is the per-instruction probability of injecting a
 	// transient result corruption (0 disables injection). Used by the
-	// fault-injection example and recovery tests.
+	// fault campaign engine, the fault-injection example, and recovery
+	// tests.
 	FaultRate float64
-	// FaultSeed seeds the fault injector.
+	// FaultSeed seeds the fault injector. Campaigns derive a distinct
+	// seed per trial, so trials sample independent fault sites.
 	FaultSeed uint64
+	// FaultWindowLo and FaultWindowHi bound injection to correct-path
+	// instructions whose fetch sequence number lies in [Lo, Hi); both
+	// zero means unbounded. Fault campaigns confine injection to the
+	// measured region this way, so the warmup phase stays bit-identical
+	// to the fault-free golden run it is compared against.
+	FaultWindowLo, FaultWindowHi uint64
 }
 
 // SS1 returns the paper's Table 1 baseline: an 8-wide out-of-order
@@ -318,6 +326,9 @@ func (m *Machine) Validate() error {
 	}
 	if m.FaultRate < 0 || m.FaultRate > 1 {
 		return fmt.Errorf("%s: fault rate out of [0,1]", m.Name)
+	}
+	if m.FaultWindowHi > 0 && m.FaultWindowHi <= m.FaultWindowLo {
+		return fmt.Errorf("%s: empty fault window [%d, %d)", m.Name, m.FaultWindowLo, m.FaultWindowHi)
 	}
 	return nil
 }

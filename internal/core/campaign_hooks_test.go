@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// TestArchSigDeterministic pins that two identical runs produce the same
+// architectural retirement signature, and that distinct workload seeds
+// produce distinct signatures.
+func TestArchSigDeterministic(t *testing.T) {
+	a := runOn(t, config.SS1(), testWorkload(1), testInstrs)
+	b := runOn(t, config.SS1(), testWorkload(1), testInstrs)
+	if a.ArchSig != b.ArchSig {
+		t.Fatalf("same run, different signatures: %#x vs %#x", a.ArchSig, b.ArchSig)
+	}
+	if a.ArchSig == 0 {
+		t.Fatal("signature never accumulated")
+	}
+	c := runOn(t, config.SS1(), testWorkload(2), testInstrs)
+	if a.ArchSig == c.ArchSig {
+		t.Fatalf("different workloads, same signature %#x", a.ArchSig)
+	}
+}
+
+// TestArchSigDivergesOnSilentCorruption is the SDC oracle: an unprotected
+// SS1 run that retires corrupted results must diverge from the fault-free
+// golden signature, while a SHREC run (which detects and replays every
+// fault) must not.
+func TestArchSigDivergesOnSilentCorruption(t *testing.T) {
+	p := testWorkload(7)
+	golden := runOn(t, config.SS1(), p, testInstrs)
+
+	faulty := config.SS1()
+	faulty.FaultRate = 1e-3
+	faulty.FaultSeed = 0xBAD
+	st := runOn(t, faulty, p, testInstrs)
+	if st.SilentCorruptions == 0 {
+		t.Fatal("SS1 at 1e-3 injected no escaping fault; test workload too short")
+	}
+	if st.ArchSig == golden.ArchSig {
+		t.Fatalf("silent corruptions (%d) did not diverge the signature", st.SilentCorruptions)
+	}
+
+	goldenShrec := runOn(t, config.SHREC(), p, testInstrs)
+	protected := config.SHREC()
+	protected.FaultRate = 1e-3
+	protected.FaultSeed = 0xBAD
+	pst := runOn(t, protected, p, testInstrs)
+	if pst.FaultsDetected == 0 {
+		t.Fatal("SHREC detected no faults at 1e-3")
+	}
+	if pst.ArchSig != goldenShrec.ArchSig {
+		t.Fatalf("SHREC recovered every fault but signature diverged: %#x vs %#x",
+			pst.ArchSig, goldenShrec.ArchSig)
+	}
+}
+
+// TestFaultWindow pins the injection window: a machine whose window
+// excludes the whole run injects nothing and matches the fault-free run
+// bit for bit; a window covering only the tail injects strictly fewer
+// faults than an unbounded machine.
+func TestFaultWindow(t *testing.T) {
+	p := testWorkload(3)
+	golden := runOn(t, config.SS1(), p, testInstrs)
+
+	closed := config.SS1()
+	closed.FaultRate = 1e-2
+	closed.FaultSeed = 0xF00
+	closed.FaultWindowLo = 10 * testInstrs // far past the run
+	closed.FaultWindowHi = 11 * testInstrs
+	st := runOn(t, closed, p, testInstrs)
+	if st.FaultsInjected != 0 {
+		t.Fatalf("window beyond the run still injected %d faults", st.FaultsInjected)
+	}
+	if st != golden {
+		t.Fatalf("closed-window run diverged from fault-free run:\n%+v\nvs\n%+v", st, golden)
+	}
+
+	open := config.SS1()
+	open.FaultRate = 1e-2
+	open.FaultSeed = 0xF00
+	all := runOn(t, open, p, testInstrs)
+
+	tail := open
+	tail.FaultWindowLo = testInstrs / 2
+	tail.FaultWindowHi = testInstrs
+	half := runOn(t, tail, p, testInstrs)
+	if half.FaultsInjected == 0 || half.FaultsInjected >= all.FaultsInjected {
+		t.Fatalf("tail window injected %d faults, unbounded %d", half.FaultsInjected, all.FaultsInjected)
+	}
+}
+
+// TestFaultWindowValidation pins the empty-window configuration error.
+func TestFaultWindowValidation(t *testing.T) {
+	m := config.SS1()
+	m.FaultWindowLo = 10
+	m.FaultWindowHi = 10
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty fault window passed validation")
+	}
+	m.FaultWindowHi = 9
+	if err := m.Validate(); err == nil {
+		t.Fatal("inverted fault window passed validation")
+	}
+	m.FaultWindowHi = 11
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid window rejected: %v", err)
+	}
+}
+
+// TestRunBudget pins the cycle-budget watchdog: an impossible budget
+// stops the run with ErrCycleBudget and partial stats, a generous budget
+// changes nothing.
+func TestRunBudget(t *testing.T) {
+	p := testWorkload(5)
+	e := New(config.SS1(), trace.New(p))
+	st, err := e.RunBudget(context.Background(), testInstrs, 50)
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("want ErrCycleBudget, got %v", err)
+	}
+	if st.Retired >= testInstrs {
+		t.Fatalf("budgeted run still retired all %d instructions", st.Retired)
+	}
+
+	ref := runOn(t, config.SS1(), p, testInstrs)
+	e2 := New(config.SS1(), trace.New(p))
+	st2, err := e2.RunBudget(context.Background(), testInstrs, ref.Cycles*4)
+	if err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+	if st2 != ref {
+		t.Fatal("generous budget changed the run's stats")
+	}
+
+	// Exact-edge budget: the step that retires the final instruction may
+	// carry Cycles past the budget, and that run COMPLETED — it must not
+	// be classified as hung.
+	e3 := New(config.SS1(), trace.New(p))
+	st3, err := e3.RunBudget(context.Background(), testInstrs, ref.Cycles-1)
+	if err != nil {
+		t.Fatalf("run finishing on the budget edge misclassified: %v", err)
+	}
+	if st3 != ref {
+		t.Fatal("edge-budget run changed the run's stats")
+	}
+}
+
+// TestRunBudgetAbsorbsLivelock pins the large-budget interaction with the
+// engine's stall detector: a zero-retirement recovery livelock under a
+// budget bigger than the stall limit must classify as ErrCycleBudget (a
+// hang trial), not surface as a deadlock error that would abort a whole
+// campaign.
+func TestRunBudgetAbsorbsLivelock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates >1M livelock cycles")
+	}
+	m := config.SHREC()
+	m.FaultRate = 1 // every instruction faulty: the head can never retire
+	m.FaultSeed = 1
+	e := New(m, trace.New(testWorkload(9)))
+	_, err := e.RunBudget(context.Background(), 1000, 2_000_000)
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("livelock under a >stall-limit budget returned %v, want ErrCycleBudget", err)
+	}
+}

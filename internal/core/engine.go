@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -90,6 +91,18 @@ type Engine struct {
 	// sweep scan entirely. Unused under WithTickLoop.
 	lsqNextFree int64
 
+	// retireHook, when non-nil, observes every retiring program
+	// instruction (test instrumentation for retired-stream oracles).
+	retireHook func(d *dyn)
+
+	// sigLimit bounds the ArchSig fold to the first sigLimit retirements
+	// of the current run target (set by RunBudget). The final cycle of a
+	// run may retire up to RetireWidth instructions past the target, and
+	// how many depends on retirement alignment — which faults perturb —
+	// so folding the overshoot would diverge signatures of runs whose
+	// first n retirements are identical.
+	sigLimit uint64
+
 	stats Stats
 }
 
@@ -160,6 +173,16 @@ type Stats struct {
 	// arrive promptly.
 	LoadIssueWaitSum uint64
 	LoadCount        uint64
+
+	// ArchSig is a running hash of the architectural effects committed at
+	// retirement: each retired program instruction folds its opcode,
+	// destination register, memory address, and whether its result was
+	// corrupted by an injected fault. Two runs that retire the same
+	// instruction stream with the same (un)corrupted results have equal
+	// signatures, so comparing a fault-injected run's signature against a
+	// fault-free golden run detects silent data corruption end to end —
+	// independently of the inline SilentCorruptions counter.
+	ArchSig uint64
 }
 
 // IPC returns retired instructions per cycle.
@@ -311,16 +334,49 @@ const ctxCheckInterval = 4096
 // The engine's state stays consistent on cancellation (it halts between
 // cycles) and the accumulated stats are returned with the context error.
 func (e *Engine) RunContext(ctx context.Context, n uint64) (Stats, error) {
+	return e.RunBudget(ctx, n, 0)
+}
+
+// ErrCycleBudget reports that a budgeted run (RunBudget) exhausted its
+// cycle allowance before retiring the requested instructions. Fault
+// campaigns use it as the hang watchdog: a trial whose recovery storm
+// blows past a multiple of the fault-free run's cycle count is classified
+// as hung rather than simulated indefinitely.
+var ErrCycleBudget = errors.New("cycle budget exhausted")
+
+// RunBudget is RunContext with a hang watchdog: if maxCycles > 0 and
+// Stats.Cycles (cycles since the last ResetStats) exceeds the budget
+// before n instructions retire, the run stops with an error wrapping
+// ErrCycleBudget and the stats accumulated so far. The budget is checked
+// after every step, so a fast-forward may overshoot it by one skip span.
+func (e *Engine) RunBudget(ctx context.Context, n uint64, maxCycles int64) (Stats, error) {
 	const stallLimit = 1_000_000
+	e.sigLimit = n
 	lastRetired := e.stats.Retired
 	lastProgress := e.now
 	nextCheck := e.now + ctxCheckInterval
 	for e.stats.Retired < n {
 		e.step()
+		// The budget only fires on an unfinished run: the step that
+		// retires the n-th instruction may legitimately carry Cycles past
+		// the budget, and that run completed.
+		if maxCycles > 0 && e.stats.Cycles > maxCycles && e.stats.Retired < n {
+			return e.stats, fmt.Errorf("core: %s retired %d of %d within %d cycles: %w",
+				e.cfg.Name, e.stats.Retired, n, maxCycles, ErrCycleBudget)
+		}
 		if e.stats.Retired != lastRetired {
 			lastRetired = e.stats.Retired
 			lastProgress = e.now
 		} else if e.now-lastProgress > stallLimit {
+			if maxCycles > 0 {
+				// Under an active hang budget a retirement-free stretch this
+				// long IS the hang the watchdog exists to classify — at
+				// large budgets (> stallLimit) a fault-induced livelock
+				// would otherwise surface as a deadlock error and abort the
+				// whole campaign instead of scoring one hung trial.
+				return e.stats, fmt.Errorf("core: %s made no retirement progress for %d cycles (budget %d): %w",
+					e.cfg.Name, stallLimit, maxCycles, ErrCycleBudget)
+			}
 			return e.stats, fmt.Errorf("core: %s deadlocked at cycle %d (retired %d of %d)",
 				e.cfg.Name, e.now, e.stats.Retired, n)
 		}
@@ -625,11 +681,16 @@ func (e *Engine) softException() {
 
 	// Capture correct-path instructions in program order for replay,
 	// accounting in-flight faults that this squash wipes (their replays
-	// execute cleanly).
+	// execute cleanly). The capture must go in FRONT of any entries still
+	// queued from a previous soft exception: in-flight ROB instructions
+	// (and the fetch buffer) are strictly older than a replay remnant,
+	// which has not dispatched yet — appending would scramble program
+	// order whenever a second fault is detected mid-replay.
+	captured := make([]isa.Inst, 0, e.robM.len()+1+len(e.replay))
 	for i := e.robM.head; i < len(e.robM.buf); i++ {
 		d := e.robM.buf[i]
 		if !d.wrongPath {
-			e.replay = append(e.replay, d.inst)
+			captured = append(captured, d.inst)
 		}
 		if d.faulty || d.faulty2 {
 			e.stats.FaultsSquashed++
@@ -641,9 +702,10 @@ func (e *Engine) softException() {
 		}
 	}
 	if e.fetchBuf != nil && !e.fetchBuf.wrongPath {
-		e.replay = append(e.replay, e.fetchBuf.inst)
+		captured = append(captured, e.fetchBuf.inst)
 	}
 	e.fetchBuf = nil
+	e.replay = append(captured, e.replay...)
 
 	e.robM.clear(e.free)
 	e.robR.clear(e.free)

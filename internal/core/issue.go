@@ -93,7 +93,7 @@ func (e *Engine) tryIssueSecond(d *dyn) bool {
 	d.complete2At = done
 	e.schedule(done)
 	e.progressed = true
-	if e.cfg.FaultRate > 0 && !d.wrongPath && e.frng.Bool(e.cfg.FaultRate) {
+	if e.faultEligible(d) && e.frng.Bool(e.cfg.FaultRate) {
 		d.faulty2 = true
 		if !d.faulty {
 			d.faultAt = e.now
@@ -413,9 +413,10 @@ func checkOp(c isa.OpClass) isa.OpClass {
 
 // injectFault corrupts the instruction's result with the configured
 // probability. Faults are injected only on correct-path instructions (a
-// wrong-path fault is architecturally invisible).
+// wrong-path fault is architecturally invisible) inside the configured
+// injection window.
 func (e *Engine) injectFault(d *dyn) {
-	if e.cfg.FaultRate <= 0 || d.wrongPath {
+	if !e.faultEligible(d) {
 		return
 	}
 	if e.frng.Bool(e.cfg.FaultRate) {
@@ -423,4 +424,19 @@ func (e *Engine) injectFault(d *dyn) {
 		d.faultAt = e.now
 		e.stats.FaultsInjected++
 	}
+}
+
+// faultEligible reports whether d is a legal injection site: injection
+// enabled, correct path, and fetch sequence number inside the machine's
+// fault window. The window check precedes the rng draw, so a windowed
+// machine consumes no fault-stream randomness outside its window — its
+// pre-window execution is bit-identical to a fault-free machine's.
+func (e *Engine) faultEligible(d *dyn) bool {
+	if e.cfg.FaultRate <= 0 || d.wrongPath {
+		return false
+	}
+	if hi := e.cfg.FaultWindowHi; hi > 0 && (d.seq < e.cfg.FaultWindowLo || d.seq >= hi) {
+		return false
+	}
+	return true
 }

@@ -183,11 +183,31 @@ func (e *Engine) commitStore(d *dyn) bool {
 }
 
 // finishRetire performs in-order bookkeeping common to all modes: LSQ
-// release and branch predictor training. Every retirement path runs
-// through here, so it also marks the cycle as having made forward
-// progress for the cycle-skipping loop.
+// release, branch predictor training, and the architectural-state
+// signature fold. Every retirement path runs through here, so it also
+// marks the cycle as having made forward progress for the cycle-skipping
+// loop.
 func (e *Engine) finishRetire(d *dyn) {
 	e.progressed = true
+	// Fold this instruction's committed architectural effect into the
+	// retirement signature (see Stats.ArchSig). One FNV-1a-style fold over
+	// PC, opcode, destination, address, and the corruption flags: a faulty
+	// result that escapes to retirement (SS1's silent corruptions) makes
+	// the trial's signature diverge from the fault-free golden run's.
+	// Only the run target's first sigLimit retirements fold: the final
+	// cycle may overshoot the target by up to RetireWidth, and the
+	// overshoot depends on retirement alignment rather than architecture.
+	if e.stats.Retired < e.sigLimit {
+		x := d.inst.PC ^ d.inst.Addr<<16 ^
+			uint64(d.inst.Class)<<56 ^ uint64(uint8(d.inst.Dest))<<48
+		if d.faulty || d.faulty2 {
+			x ^= 1 << 63
+		}
+		e.stats.ArchSig = (e.stats.ArchSig ^ x) * 1099511628211
+	}
+	if e.retireHook != nil {
+		e.retireHook(d)
+	}
 	if d.inLSQ {
 		// Completed loads may already have been swept from the LSQ; any
 		// still-resident older loads are completed by in-order

@@ -9,9 +9,9 @@ import (
 )
 
 // tinySuite uses very short runs: these tests validate harness plumbing
-// and output structure, not the paper's numbers (see EXPERIMENTS.md and
-// the full-scale cmd/experiments run for those). In -short mode (CI) the
-// runs shrink further: structure assertions hold at any scale.
+// and output structure, not the paper's numbers (see docs/EXPERIMENTS.md
+// and the full-scale cmd/experiments run for those). In -short mode (CI)
+// the runs shrink further: structure assertions hold at any scale.
 func tinySuite() *Suite {
 	opt := sim.Options{WarmupInstrs: 2000, MeasureInstrs: 5000, Parallelism: 16}
 	if testing.Short() {
@@ -30,6 +30,19 @@ func TestNamesComplete(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("names[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCatalogDocs pins that every registry entry carries the prose the
+// generated docs/EXPERIMENTS.md catalog is built from.
+func TestCatalogDocs(t *testing.T) {
+	for _, e := range Catalog() {
+		if e.Doc == "" {
+			t.Errorf("%s: empty Doc", e.Name)
+		}
+		if e.Title == "" {
+			t.Errorf("%s: empty Title", e.Name)
 		}
 	}
 }

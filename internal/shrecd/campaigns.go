@@ -1,0 +1,271 @@
+package shrecd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/store"
+)
+
+// Campaign job states.
+const (
+	campaignRunning = "running"
+	campaignDone    = "done"
+	campaignFailed  = "failed"
+)
+
+// campaignJob tracks one asynchronous campaign from POST to completion.
+type campaignJob struct {
+	id      string
+	spec    campaign.Spec
+	started time.Time
+
+	mu       sync.Mutex
+	state    string
+	progress campaign.Progress
+	result   *campaign.Result
+	errText  string
+	finished time.Time
+}
+
+// campaignStatus is the GET /campaigns/{id} (and list-entry) shape.
+type campaignStatus struct {
+	ID    string        `json:"id"`
+	State string        `json:"state"`
+	Spec  campaign.Spec `json:"spec"`
+	// Progress carries trials done/total, resume provenance, the running
+	// outcome counts, and the running Wilson-bounded coverage estimate.
+	Progress campaign.Progress `json:"progress"`
+	Error    string            `json:"error,omitempty"`
+	// Report is the typed campaign report, present once the job is done.
+	Report    json.RawMessage `json:"report,omitempty"`
+	StartedAt time.Time       `json:"started_at"`
+	ElapsedS  float64         `json:"elapsed_s"`
+}
+
+// status snapshots the job for serving.
+func (j *campaignJob) status(withReport bool) campaignStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := campaignStatus{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Progress:  j.progress,
+		Error:     j.errText,
+		StartedAt: j.started,
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	s.ElapsedS = end.Sub(j.started).Seconds()
+	if withReport && j.result != nil {
+		if raw, err := json.Marshal(j.result.Report()); err == nil {
+			s.Report = raw
+		}
+	}
+	return s
+}
+
+// campaignID derives the job identity from the normalized spec, so
+// POSTing the same campaign twice — defaults spelled out or omitted —
+// joins the running (or finished) job instead of spawning a duplicate.
+func campaignID(spec campaign.Spec) string {
+	return store.Digest("shrecd.campaign.v1", spec)[:16]
+}
+
+// handleCampaignStart serves POST /campaigns: validate the spec, cap its
+// cost, and start (or join) the asynchronous job. The response is 202
+// with the job id and a polling URL; trials run detached from the request
+// context under the server's lifetime context, bounded by the suite's
+// simulation parallelism rather than the request worker pool.
+func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<10)
+	var raw campaign.Spec
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	// Normalize first: statically impossible specs (unknown machine or
+	// benchmark, bad rate or window) fail with 400 instead of burning an
+	// async job slot on a campaign that can only fail, the cost caps
+	// apply to the values as they will run (a zero Trials defaults to
+	// campaign.DefaultTrials, which must not slip past an operator cap
+	// below the default), and the job id hashes the normalized spec so
+	// spelled-out defaults and omitted ones join the same job.
+	spec, err := campaign.Normalize(raw, s.cfg.DefaultOptions)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Trials > s.cfg.MaxTrials {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("trials %d outside [1, %d]", spec.Trials, s.cfg.MaxTrials))
+		return
+	}
+	if cap := s.cfg.MaxInstrs; cap > 0 {
+		if spec.WarmupInstrs > uint64(cap) || spec.MeasureInstrs > uint64(cap) ||
+			spec.WarmupInstrs+spec.MeasureInstrs > uint64(cap) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("requested instruction count exceeds the server cap of %d", cap))
+			return
+		}
+		// The hang budget is a cost cap of the same kind: an uncapped
+		// client-supplied MaxCycles would let one trial simulate
+		// arbitrarily many cycles regardless of the instruction caps.
+		// Cycle counts are the same order as instruction counts, so a
+		// generous multiple of MaxInstrs bounds it without constraining
+		// legitimate watchdog headroom.
+		if maxBudget := 64 * cap; spec.MaxCycles > maxBudget {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("max_cycles %d exceeds the server cap of %d", spec.MaxCycles, maxBudget))
+			return
+		}
+	}
+
+	id := campaignID(spec)
+	s.jobsMu.Lock()
+	job, ok := s.jobs[id]
+	if ok {
+		// Join the existing job unless it failed, in which case a fresh
+		// POST retries it in place — reusing its own table slot (finished
+		// trials resume from the store).
+		job.mu.Lock()
+		failed := job.state == campaignFailed
+		job.mu.Unlock()
+		if !failed {
+			s.jobsMu.Unlock()
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"id": id, "state": job.status(false).State, "url": "/campaigns/" + id,
+			})
+			return
+		}
+	} else if !s.reserveJobSlotLocked() {
+		// Only a new id needs a slot.
+		s.jobsMu.Unlock()
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("campaign job table full (%d running); retry when one finishes", s.cfg.MaxCampaigns))
+		return
+	}
+	job = &campaignJob{id: id, spec: spec, started: time.Now(), state: campaignRunning}
+	s.jobs[id] = job
+	s.jobsMu.Unlock()
+
+	go s.runCampaign(job)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": id, "state": campaignRunning, "url": "/campaigns/" + id,
+	})
+}
+
+// reserveJobSlotLocked bounds the jobs table (jobsMu held): when it is
+// full, the oldest finished job is evicted to make room — its trial
+// records persist in the store, so its campaign remains resumable by a
+// fresh POST. With every slot occupied by a running job the table cannot
+// shrink, and the caller must reject the request instead.
+func (s *Server) reserveJobSlotLocked() bool {
+	if len(s.jobs) < s.cfg.MaxCampaigns {
+		return true
+	}
+	var oldest *campaignJob
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		done := j.state != campaignRunning
+		j.mu.Unlock()
+		if done && (oldest == nil || j.started.Before(oldest.started)) {
+			oldest = j
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	delete(s.jobs, oldest.id)
+	return true
+}
+
+// runCampaign drives one job to completion under the server's lifetime
+// context.
+func (s *Server) runCampaign(job *campaignJob) {
+	res, err := s.camp.Run(s.baseCtx, job.spec, func(p campaign.Progress) {
+		job.mu.Lock()
+		job.progress = p
+		job.mu.Unlock()
+	})
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.finished = time.Now()
+	if err != nil {
+		job.state = campaignFailed
+		job.errText = err.Error()
+		return
+	}
+	job.state = campaignDone
+	job.result = res
+}
+
+// handleCampaignGet serves GET /campaigns/{id}: the job status with
+// progress, plus the typed report once done. ?format=text|csv renders
+// just the finished report instead (409 while still running).
+func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.jobsMu.Lock()
+	job, ok := s.jobs[id]
+	s.jobsMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "":
+		writeJSON(w, http.StatusOK, job.status(true))
+	case "text", "csv":
+		job.mu.Lock()
+		res := job.result
+		job.mu.Unlock()
+		if res == nil {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("campaign %q is %s; no report yet", id, job.status(false).State))
+			return
+		}
+		rep := res.Report()
+		if format == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			_ = rep.CSV(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = rep.Text(w)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (have text, csv)", format))
+	}
+}
+
+// handleCampaignList serves GET /campaigns: every job, newest first,
+// without the (potentially large) reports.
+func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	jobs := make([]*campaignJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobsMu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].started.After(jobs[b].started) })
+	out := make([]campaignStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "campaigns": out})
+}
+
+// Close stops the server's background campaigns. In-flight trials halt at
+// their next engine checkpoint; finished trials have already been
+// persisted (when a store is attached), so a restarted server resumes
+// them.
+func (s *Server) Close() {
+	s.baseStop()
+}

@@ -2,13 +2,17 @@
 // simulation engine: POST /simulate runs one (machine, benchmark) pair,
 // GET /experiments/{name} regenerates one of the paper's tables or
 // figures as a typed report (negotiated as JSON, CSV, or text),
-// GET /experiments lists the catalog, GET /results lists every cached
-// result, and GET /metrics exposes the cache counters. All endpoints are
-// backed by one sharded, deduplicating sim.Suite, so duplicate in-flight
-// requests for the same (machine, benchmark, options) key execute the
-// simulation once, and request cancellation propagates into the engine's
-// step loop. A bounded worker pool caps concurrently-served simulation
-// requests independently of the suite's own run parallelism.
+// GET /experiments lists the catalog, POST /campaigns starts an
+// asynchronous Monte Carlo fault-injection campaign (polled via
+// GET /campaigns/{id} for trials done/total and running coverage),
+// GET /results lists every cached result, and GET /metrics exposes the
+// cache counters. All endpoints are backed by one sharded, deduplicating
+// sim.Suite, so duplicate in-flight requests for the same (machine,
+// benchmark, options) key execute the simulation once, and request
+// cancellation propagates into the engine's step loop. A bounded worker
+// pool caps concurrently-served simulation requests independently of the
+// suite's own run parallelism; campaigns run in the background under the
+// suite's parallelism alone, bounded in number by their spec caps.
 package shrecd
 
 import (
@@ -18,13 +22,16 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -39,16 +46,35 @@ type Config struct {
 	// MaxInstrs caps request-supplied warmup+measure lengths so one
 	// request cannot monopolize the pool (default 10M, <0 disables).
 	MaxInstrs int64
+	// MaxTrials caps the trial count of POST /campaigns requests
+	// (<=0 means 10000).
+	MaxTrials int
+	// MaxCampaigns bounds the campaign job table (<=0 means 64). When it
+	// fills, the oldest finished job is evicted; with every slot running,
+	// new campaigns are rejected with 429.
+	MaxCampaigns int
+	// Store, when non-nil, persists per-trial campaign records so killed
+	// campaigns resume across server restarts. Attach the same store to
+	// the suite for simulation-level persistence.
+	Store *store.Store
 }
 
-// Server serves simulation and experiment requests over one shared
-// result cache.
+// Server serves simulation, experiment, and fault-campaign requests over
+// one shared result cache.
 type Server struct {
 	cfg   Config
 	sims  *sim.Suite
 	exp   *experiments.Suite
+	camp  *campaign.Engine
 	sem   chan struct{}
 	start time.Time
+
+	// baseCtx bounds background campaign jobs to the server's lifetime
+	// (Close cancels it); jobs tracks them for the status endpoints.
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	jobsMu   sync.Mutex
+	jobs     map[string]*campaignJob
 }
 
 // New builds a server with a fresh sim.Suite.
@@ -71,17 +97,32 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 	if cfg.MaxInstrs == 0 {
 		cfg.MaxInstrs = 10_000_000
 	}
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = 10_000
+	}
+	if cfg.MaxCampaigns <= 0 {
+		cfg.MaxCampaigns = 64
+	}
 	// The cap bounds per-request overrides; the operator-configured
 	// defaults must always be servable, so raise the cap to cover them.
 	if sum := cfg.DefaultOptions.WarmupInstrs + cfg.DefaultOptions.MeasureInstrs; cfg.MaxInstrs > 0 && sum > uint64(cfg.MaxInstrs) {
 		cfg.MaxInstrs = int64(sum)
 	}
+	camp := campaign.New(sims)
+	if cfg.Store != nil {
+		camp.WithStore(cfg.Store)
+	}
+	ctx, stop := context.WithCancel(context.Background())
 	return &Server{
-		cfg:   cfg,
-		sims:  sims,
-		exp:   experiments.NewSuiteWith(sims),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		start: time.Now(),
+		cfg:      cfg,
+		sims:     sims,
+		exp:      experiments.NewSuiteWith(sims),
+		camp:     camp,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		start:    time.Now(),
+		baseCtx:  ctx,
+		baseStop: stop,
+		jobs:     make(map[string]*campaignJob),
 	}
 }
 
@@ -95,6 +136,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", s.handleCatalog)
 	mux.HandleFunc("GET /experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("POST /experiments/{name}", s.handleExperimentLegacy)
+	mux.HandleFunc("POST /campaigns", s.handleCampaignStart)
+	mux.HandleFunc("GET /campaigns", s.handleCampaignList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignGet)
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

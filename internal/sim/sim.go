@@ -36,7 +36,13 @@ type Options struct {
 	// MeasureInstrs are executed with counters enabled.
 	MeasureInstrs uint64
 	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	// It does not affect results and is excluded from cache keys.
 	Parallelism int
+	// MaxCycles, when positive, is a hang watchdog on the measured phase:
+	// a run that exceeds this many cycles before retiring MeasureInstrs
+	// stops early and returns a Result with Hung set instead of an error.
+	// Fault campaigns use it to classify recovery livelocks.
+	MaxCycles int64
 }
 
 // DefaultOptions returns the experiment-scale run lengths.
@@ -51,15 +57,25 @@ func QuickOptions() Options {
 
 // Result is the outcome of one simulation.
 type Result struct {
+	// Benchmark is the workload's name ("swim", "gcc-166", ...).
 	Benchmark string
-	Class     trace.Class
-	HighIPC   bool
-	Machine   string
+	// Class is the workload's benchmark class (integer or floating point).
+	Class trace.Class
+	// HighIPC marks workloads the paper groups into its high-IPC
+	// aggregate.
+	HighIPC bool
+	// Machine is the machine configuration's display name.
+	Machine string
 	// Options records the run lengths that produced this result, so rows
 	// for the same (machine, benchmark) at different scales stay
 	// distinguishable in listings.
 	Options Options
-	Stats   core.Stats
+	// Hung reports that the run exhausted Options.MaxCycles before
+	// retiring the requested instructions; Stats then holds the partial
+	// counters accumulated up to the watchdog.
+	Hung bool
+	// Stats holds the run's detailed performance counters.
+	Stats core.Stats
 }
 
 // IPC returns the run's instructions per cycle.
@@ -85,9 +101,17 @@ func RunContext(ctx context.Context, m config.Machine, p trace.Profile, opt Opti
 			return Result{}, fmt.Errorf("sim: warmup: %w", err)
 		}
 	}
-	st, err := e.RunContext(ctx, opt.MeasureInstrs)
+	st, err := e.RunBudget(ctx, opt.MeasureInstrs, opt.MaxCycles)
+	hung := false
 	if err != nil {
-		return Result{}, fmt.Errorf("sim: %w", err)
+		if !errors.Is(err, core.ErrCycleBudget) {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+		// A blown cycle budget is a classifiable outcome (the campaign
+		// engine's hang class), not a driver failure: return the partial
+		// counters with Hung set, so the result caches and persists like
+		// any other and a resumed campaign never re-simulates the hang.
+		hung = true
 	}
 	return Result{
 		Benchmark: p.Name,
@@ -95,6 +119,7 @@ func RunContext(ctx context.Context, m config.Machine, p trace.Profile, opt Opti
 		HighIPC:   p.HighIPC,
 		Machine:   m.Name,
 		Options:   opt,
+		Hung:      hung,
 		Stats:     st,
 	}, nil
 }
@@ -192,11 +217,16 @@ func (s *Suite) StoreHits() uint64 { return s.storeHits.Load() }
 // store (they were still computed and served from memory).
 func (s *Suite) StoreErrors() uint64 { return s.storeErrs.Load() }
 
-// key identifies one (machine, benchmark, options) simulation. Run lengths
-// are part of the key so one suite can serve requests at several scales
-// (the shrecd server does) without conflating their results.
+// key identifies one (machine, benchmark, options) simulation. Run
+// lengths and the cycle budget are part of the key so one suite can serve
+// requests at several scales (the shrecd server does) without conflating
+// their results, and so are the machine's fault-injection fields: a
+// campaign fans out hundreds of trials that differ only in FaultSeed and
+// window, which must not collide on the shared display name.
 func key(m config.Machine, p trace.Profile, opt Options) string {
-	return fmt.Sprintf("%s\x00%s\x00%d\x00%d", m.Name, p.Name, opt.WarmupInstrs, opt.MeasureInstrs)
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%d\x00%g\x00%d\x00%d\x00%d",
+		m.Name, p.Name, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
+		m.FaultRate, m.FaultSeed, m.FaultWindowLo, m.FaultWindowHi)
 }
 
 func (s *Suite) shardFor(k string) *shard {
@@ -208,11 +238,13 @@ func (s *Suite) shardFor(k string) *shard {
 // digest builds the persistent-store key. Unlike the in-memory key it
 // hashes the full machine configuration and workload profile, so renamed
 // or edited configurations never collide across processes. Only the run
-// lengths of the options participate: Parallelism does not affect
-// results, and hashing it would make store lookups miss across machines
-// with different core counts.
+// lengths and cycle budget of the options participate: Parallelism does
+// not affect results, and hashing it would make store lookups miss across
+// machines with different core counts. The schema label is v2: v1
+// results predate the Hung flag, the architectural signature, and the
+// fault window, so they must be recomputed rather than misread.
 func digest(m config.Machine, p trace.Profile, opt Options) string {
-	return store.Digest("sim.Result.v1", m, p, opt.WarmupInstrs, opt.MeasureInstrs)
+	return store.Digest("sim.Result.v2", m, p, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles)
 }
 
 // Get returns the cached result, running the simulation if needed.
@@ -425,6 +457,8 @@ func (s *Suite) IPC(ctx context.Context, m config.Machine, p trace.Profile) (flo
 // ClassAverages holds the paper's three harmonic-mean aggregates for one
 // benchmark class (integer or floating point).
 type ClassAverages struct {
+	// All is the harmonic-mean IPC over every profile in the class; High
+	// and Low restrict it to the paper's high- and low-IPC groups.
 	All, High, Low float64
 }
 

@@ -11,6 +11,34 @@ import (
 	"sort"
 )
 
+// Wilson returns the Wilson score interval for a binomial proportion:
+// successes out of n trials, at the confidence whose standard-normal
+// quantile is z (1.96 for 95%). Unlike the naive normal approximation it
+// never leaves [0, 1] and stays informative at proportions near 0 or 1 —
+// exactly where fault-campaign coverage estimates live (a campaign that
+// detects 400 of 400 faults has a lower bound meaningfully below 100%).
+// With n == 0 nothing is known and the interval is the whole [0, 1].
+func Wilson(successes, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	pm := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - pm) / denom
+	hi = (center + pm) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // HarmonicMean returns the harmonic mean of xs. It returns 0 for an empty
 // slice and panics if any value is not strictly positive, because a zero or
 // negative IPC indicates a simulator bug rather than a degenerate average.

@@ -7,8 +7,9 @@
 // that its single-thread (SS1) IPC and its sensitivities to the paper's
 // X/C/B/S factors land in the band the paper reports for the benchmark of
 // the same name. The tuning targets are the SS1 IPCs read off the paper's
-// Figure 2 and the per-class factor effects of Table 3. See EXPERIMENTS.md
-// for measured values.
+// Figure 2 and the per-class factor effects of Table 3. See
+// docs/EXPERIMENTS.md for the experiment catalog that reports the
+// measured values.
 package workload
 
 import (
