@@ -66,10 +66,15 @@ vet:
 	$(GO) vet ./...
 
 # Examples smoke: the published examples must build, vet, and (for the
-# quickstart, which runs at QuickOptions scale) actually execute.
+# quickstart and the pareto-explore search, which run in seconds) actually
+# execute. pareto-explore writes its resumable store to the working
+# directory; remove it so repeated smoke runs start fresh.
 examples:
 	$(GO) vet ./examples/...
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
+	rm -f pareto-explore.jsonl
+	$(GO) run ./examples/pareto-explore
+	rm -f pareto-explore.jsonl
 
 ci: build vet fmt test examples docs-check

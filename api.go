@@ -8,9 +8,10 @@
 // configurations (SS1, SS2 with the paper's X/S/C/B factors, SHREC), the 25
 // synthetic SPEC2K-like workloads, the simulation driver, the experiment
 // harness that regenerates every table and figure of the paper as typed
-// report.Report values, and Monte Carlo fault-injection campaigns that
-// quantify detection coverage with confidence bounds
-// (Client.Campaign).
+// report.Report values, Monte Carlo fault-injection campaigns that
+// quantify detection coverage with confidence bounds (Client.Campaign),
+// and design-space explorations that search machine-configuration spaces
+// for Pareto-efficient resource sharing (Client.Explore).
 //
 // The Client is the recommended entry point — it owns one shared result
 // cache, so sweeps and experiments that revisit a configuration reuse
@@ -36,6 +37,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -373,6 +375,61 @@ type TrialOutcome = campaign.Outcome
 // is not needed.
 func (c *Client) Campaign(ctx context.Context, spec CampaignSpec, progress func(CampaignProgress)) (*CampaignResult, error) {
 	eng := campaign.New(c.suite())
+	if c.st != nil {
+		eng.WithStore(c.st)
+	}
+	return eng.Run(ctx, spec, progress)
+}
+
+// ---------------------------------------------------------------------------
+// Design-space exploration.
+
+// ExploreSpace is a typed, enumerable parameter space over Machine: base
+// machines crossed with optional modifier axes (X scaling, stagger
+// depth, FU pool scaling, MSHR and memory-port geometry, fault rate).
+type ExploreSpace = explore.Space
+
+// ExploreSpec describes a design-space exploration: the space, search
+// strategy ("grid" or "halving"), benchmarks, run lengths, seed, budget,
+// and per-point coverage trials (see explore.Spec for defaults).
+type ExploreSpec = explore.Spec
+
+// ExploreResult is one completed exploration: every full-fidelity
+// evaluation, the Pareto frontier indices, and resume provenance. Its
+// Report method renders the frontier as a typed *Report.
+type ExploreResult = explore.Result
+
+// ExploreEval is one point's scored evaluation (IPC, slowdown vs the
+// plain-SS2 baseline, hardware-cost proxy, optional coverage).
+type ExploreEval = explore.Eval
+
+// ExploreProgress is a running exploration snapshot delivered to the
+// progress callback of Client.Explore.
+type ExploreProgress = explore.Progress
+
+// ExploreStrategies lists the selectable search strategies.
+func ExploreStrategies() []string { return explore.Strategies() }
+
+// MachineSpec returns m's canonical specification string — parseable by
+// MachineByName, so derived machines (WithXScale, WithStagger, ...)
+// round-trip through names.
+func MachineSpec(m Machine) string { return m.Spec() }
+
+// ExploreCost is the deterministic hardware-cost proxy explorations
+// minimize (see explore.Cost).
+func ExploreCost(m Machine) float64 { return explore.Cost(m) }
+
+// Explore runs (or resumes) a design-space exploration: the space's
+// points are evaluated through the client's shared simulation cache and
+// parallelism bound — exhaustively, or screened by seeded successive
+// halving — and the Pareto-efficient configurations (maximum IPC and
+// coverage, minimum cost) are extracted. With a store attached
+// (WithStore), finished point evaluations persist, so an interrupted
+// exploration resumes where it left off instead of re-evaluating. The
+// progress callback, when non-nil, receives a serialized snapshot after
+// every finished evaluation; pass nil when polling is not needed.
+func (c *Client) Explore(ctx context.Context, spec ExploreSpec, progress func(ExploreProgress)) (*ExploreResult, error) {
+	eng := explore.New(c.suite())
 	if c.st != nil {
 		eng.WithStore(c.st)
 	}

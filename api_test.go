@@ -323,3 +323,66 @@ func TestClientCampaign(t *testing.T) {
 		t.Fatalf("resume: resumed %d, executed %d", res2.Resumed, res2.Executed)
 	}
 }
+
+func TestClientExplore(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewClient(
+		WithOptions(Options{WarmupInstrs: 2_000, MeasureInstrs: 5_000}),
+		WithStore(filepath.Join(dir, "evals.jsonl")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	spec := ExploreSpec{
+		Space: ExploreSpace{
+			Bases:   []string{"ss2", "shrec"},
+			XScales: []float64{0.5, 1},
+		},
+		Strategy: "halving",
+		Seed:     9,
+	}
+	var snaps int
+	res, err := c.Explore(context.Background(), spec, func(p ExploreProgress) { snaps++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 4 || len(res.Evals) != 2 || snaps == 0 {
+		t.Fatalf("explore: %d points, %d evals, %d snapshots", res.Points, len(res.Evals), snaps)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	rep := res.Report()
+	if rep.Name != "explore" || len(rep.Tables) != 2 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	// Every frontier point's spec round-trips through the facade parser.
+	for _, ev := range res.FrontierEvals() {
+		m, err := MachineByName(ev.Spec)
+		if err != nil {
+			t.Fatalf("frontier spec %q does not parse: %v", ev.Spec, err)
+		}
+		if MachineSpec(m) != ev.Spec {
+			t.Fatalf("spec not canonical: %q -> %q", ev.Spec, MachineSpec(m))
+		}
+	}
+
+	// A second client over the same store resumes every evaluation.
+	c2, err := NewClient(
+		WithOptions(Options{WarmupInstrs: 2_000, MeasureInstrs: 5_000}),
+		WithStore(filepath.Join(dir, "evals.jsonl")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res2, err := c2.Explore(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resumed != res.Resumed+res.Executed || res2.Executed != 0 {
+		t.Fatalf("resume: resumed %d, executed %d", res2.Resumed, res2.Executed)
+	}
+}

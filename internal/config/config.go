@@ -240,10 +240,19 @@ func DIVA() Machine {
 	return m
 }
 
-// WithXScale returns the machine with issue width and functional unit
-// counts scaled by f (Figure 8's 0.5X-2X sweep). Issue width is rounded to
-// the nearest integer with a floor of one.
+// WithXScale returns the machine with issue width, functional unit
+// counts, and memory ports scaled by f (Figure 8's 0.5X-2X sweep), each
+// rounded to the nearest integer with a floor of one. The result is named
+// with the canonical "@x" spec modifier ("SHREC@x1.5"), so ByName parses
+// it back.
 func (m Machine) WithXScale(f float64) Machine {
+	out := m.xScaled(f)
+	out.Name = specName(m.Name, out, modXScale, f, true)
+	return out
+}
+
+// xScaled applies the X-scaling field changes without renaming.
+func (m Machine) xScaled(f float64) Machine {
 	out := m
 	w := int(float64(m.IssueWidth)*f + 0.5)
 	if w < 1 {
@@ -256,55 +265,105 @@ func (m Machine) WithXScale(f float64) Machine {
 		p = 1
 	}
 	out.Mem.MemPorts = p
-	out.Name = fmt.Sprintf("%s@%.1fX", m.Name, f)
 	return out
 }
 
 // WithStagger returns the machine with the given maximum stagger (Figure
-// 5's sweep).
+// 5's sweep), named with the canonical "+stagger" spec modifier.
 func (m Machine) WithStagger(n int) Machine {
 	out := m
 	out.MaxStagger = n
-	out.Name = fmt.Sprintf("%s(stagger=%d)", m.Name, n)
+	out.Name = specName(m.Name, out, modStagger, float64(n), false)
 	return out
 }
 
-// ByName parses a machine specification string: "ss1", "ss2",
-// "ss2+<factors>" (e.g. "ss2+sc", "ss2+xscb"), "shrec", "diva", or
-// "o3rs", case-insensitively. It is the shared parser behind
-// cmd/shrecsim's -machine flag and shrecd's request decoding.
+// WithFUScale returns the machine with the functional unit pool alone
+// scaled by f (issue width and memory ports untouched, unlike WithXScale),
+// named with the canonical "+fux" spec modifier. The explorer uses it to
+// separate FU-pool pressure from issue bandwidth.
+func (m Machine) WithFUScale(f float64) Machine {
+	out := m
+	out.FU = m.FU.Scale(f)
+	out.Name = specName(m.Name, out, modFUScale, f, true)
+	return out
+}
+
+// modified applies one modifier's field changes without renaming; apply
+// composes these, so the grammar's semantics live in exactly one place
+// per kind (shared with the With* helpers where the change is one line).
+func (m Machine) modified(k modKind, v float64) Machine {
+	out := m
+	switch k {
+	case modXScale:
+		out = m.xScaled(v)
+	case modStagger:
+		out.MaxStagger = int(v)
+	case modFUScale:
+		out.FU = m.FU.Scale(v)
+	case modMSHR:
+		out.Mem.MSHREntries = int(v)
+	case modPorts:
+		out.Mem.MemPorts = int(v)
+	case modRate:
+		out.FaultRate = v
+	}
+	return out
+}
+
+// WithMSHRs returns the machine with the data-side MSHR file resized to n
+// entries, named with the canonical "+mshr" spec modifier.
+func (m Machine) WithMSHRs(n int) Machine {
+	out := m
+	out.Mem.MSHREntries = n
+	out.Name = specName(m.Name, out, modMSHR, float64(n), false)
+	return out
+}
+
+// WithMemPorts returns the machine with n memory ports, named with the
+// canonical "+ports" spec modifier.
+func (m Machine) WithMemPorts(n int) Machine {
+	out := m
+	out.Mem.MemPorts = n
+	out.Name = specName(m.Name, out, modPorts, float64(n), false)
+	return out
+}
+
+// WithFaultRate returns the machine with the per-instruction fault
+// injection rate set, named with the canonical "+rate" spec modifier.
+// Campaigns set the rate field directly (their trial identity lives in
+// the sim cache key, not the name); this helper is for explore points and
+// other callers whose machines are identified by spec string.
+func (m Machine) WithFaultRate(r float64) Machine {
+	out := m
+	out.FaultRate = r
+	out.Name = specName(m.Name, out, modRate, r, false)
+	return out
+}
+
+// ByName parses a machine specification string: a base machine — "ss1",
+// "ss2", "ss2+<factors>" (e.g. "ss2+sc", "ss2+xscb"), "shrec", "diva",
+// or "o3rs" — followed by optional modifiers in any order: "@x<f>"
+// (issue/FU/port scaling), "+stagger<n>", "+fux<f>" (FU pool scaling),
+// "+mshr<n>", "+ports<n>", and "+rate<f>" (fault injection), all
+// case-insensitive. "shrec@x1.5+stagger2" is the SHREC machine at 1.5X
+// issue bandwidth with a 2-instruction stagger bound. It is the shared
+// parser behind cmd/shrecsim's -machine flag, shrecd's request decoding,
+// and the exploration engine's point decoding; Machine.Spec renders the
+// inverse.
 func ByName(name string) (Machine, error) {
 	lower := strings.ToLower(strings.TrimSpace(name))
-	switch {
-	case lower == "ss1":
-		return SS1(), nil
-	case lower == "shrec":
-		return SHREC(), nil
-	case lower == "diva":
-		return DIVA(), nil
-	case lower == "o3rs":
-		return O3RS(), nil
-	case lower == "ss2":
-		return SS2(Factors{}), nil
-	case strings.HasPrefix(lower, "ss2+"):
-		var f Factors
-		for _, c := range lower[len("ss2+"):] {
-			switch c {
-			case 'x':
-				f.X = true
-			case 's':
-				f.S = true
-			case 'c':
-				f.C = true
-			case 'b':
-				f.B = true
-			default:
-				return Machine{}, fmt.Errorf("config: unknown factor %q in %q", c, name)
-			}
-		}
-		return SS2(f), nil
+	base, mods, err := splitSpec(lower)
+	if err != nil {
+		return Machine{}, err
 	}
-	return Machine{}, fmt.Errorf("config: unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs)", name)
+	m, ok, err := baseByName(base)
+	if err != nil {
+		return Machine{}, err
+	}
+	if !ok {
+		return Machine{}, fmt.Errorf("config: unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs, with optional @x/+stagger/+fux/+mshr/+ports/+rate modifiers)", name)
+	}
+	return mods.apply(m)
 }
 
 // Validate reports structural configuration errors.

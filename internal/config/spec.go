@@ -1,0 +1,275 @@
+// Machine specification strings: a canonical, parseable grammar that
+// names every machine the repository can build, including the modified
+// machines the With* helpers produce. Before this grammar existed,
+// WithXScale and WithStagger minted display-only names ("SHREC@1.5X",
+// "SS2+SC(stagger=256)") that ByName could not parse back, so derived
+// machines could not be requested over HTTP, keyed in stores, or named in
+// exploration reports. The grammar is
+//
+//	spec     := base modifier*
+//	base     := "ss1" | "ss2" | "ss2+"<factors> | "shrec" | "diva" | "o3rs"
+//	modifier := "@x"<float>       issue width, FU pool, and memory ports
+//	                              scaled (WithXScale)
+//	          | "+stagger"<int>   maximum dispatch stagger (WithStagger)
+//	          | "+fux"<float>     FU pool alone scaled (WithFUScale)
+//	          | "+mshr"<int>      MSHR entry count (WithMSHRs)
+//	          | "+ports"<int>     memory port count (WithMemPorts)
+//	          | "+rate"<float>    fault-injection rate (WithFaultRate)
+//
+// parsed case-insensitively with modifiers in any order, at most one of
+// each kind. The canonical rendering — Machine.Spec — uses the upper-case
+// base, lower-case modifier tokens, and the fixed order above, so two
+// routes to the same configuration produce byte-identical spec strings.
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// modKind indexes the modifier tokens in canonical order.
+type modKind int
+
+const (
+	modXScale modKind = iota
+	modStagger
+	modFUScale
+	modMSHR
+	modPorts
+	modRate
+	numModKinds
+)
+
+// modToken is the spec token of each modifier kind, in canonical order.
+var modToken = [numModKinds]string{"@x", "+stagger", "+fux", "+mshr", "+ports", "+rate"}
+
+// intMod reports whether the kind's value renders as an integer.
+func (k modKind) intMod() bool {
+	return k == modStagger || k == modMSHR || k == modPorts
+}
+
+// specMods is one parsed modifier set. present[k] guards vals[k].
+type specMods struct {
+	present [numModKinds]bool
+	vals    [numModKinds]float64
+}
+
+// set records one modifier value (replacing any previous one).
+func (m *specMods) set(k modKind, v float64) {
+	m.present[k] = true
+	m.vals[k] = v
+}
+
+// formatModValue renders a modifier value the canonical way: integers
+// without a decimal point, floats in the shortest 'g' form (the same
+// rendering strconv.ParseFloat round-trips).
+func formatModValue(k modKind, v float64) string {
+	if k.intMod() {
+		return strconv.Itoa(int(v))
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// render produces the canonical spec string for a base name and modifier
+// set.
+func (m specMods) render(base string) string {
+	var b strings.Builder
+	b.WriteString(base)
+	for k := modKind(0); k < numModKinds; k++ {
+		if m.present[k] {
+			b.WriteString(modToken[k])
+			b.WriteString(formatModValue(k, m.vals[k]))
+		}
+	}
+	return b.String()
+}
+
+// splitSpec separates a lower-cased spec string into its base name and
+// modifier set. It scans for the earliest modifier token; everything
+// before it is the base (factor suffixes like "ss2+scb" contain no
+// modifier keyword, so they stay with the base).
+func splitSpec(lower string) (base string, mods specMods, err error) {
+	rest := lower
+	cut := len(rest)
+	for _, tok := range modToken {
+		if i := strings.Index(rest, tok); i >= 0 && i < cut {
+			cut = i
+		}
+	}
+	base, rest = rest[:cut], rest[cut:]
+	for rest != "" {
+		kind := modKind(-1)
+		for k := modKind(0); k < numModKinds; k++ {
+			if strings.HasPrefix(rest, modToken[k]) {
+				kind = k
+				break
+			}
+		}
+		if kind < 0 {
+			return "", specMods{}, fmt.Errorf("config: unknown modifier at %q", rest)
+		}
+		if mods.present[kind] {
+			return "", specMods{}, fmt.Errorf("config: duplicate %q modifier", strings.TrimLeft(modToken[kind], "@+"))
+		}
+		rest = rest[len(modToken[kind]):]
+		// The value runs to the next modifier delimiter.
+		end := len(rest)
+		if i := strings.IndexAny(rest, "@+"); i >= 0 {
+			end = i
+		}
+		v, perr := strconv.ParseFloat(rest[:end], 64)
+		if perr != nil {
+			return "", specMods{}, fmt.Errorf("config: bad %q value %q", strings.TrimLeft(modToken[kind], "@+"), rest[:end])
+		}
+		if kind.intMod() && v != float64(int(v)) {
+			return "", specMods{}, fmt.Errorf("config: %q takes an integer, got %q", strings.TrimLeft(modToken[kind], "@+"), rest[:end])
+		}
+		mods.set(kind, v)
+		rest = rest[end:]
+	}
+	return base, mods, nil
+}
+
+// validate checks one modifier value's range.
+func (k modKind) validate(v float64) error {
+	switch k {
+	case modXScale, modFUScale:
+		if v <= 0 {
+			return fmt.Errorf("config: non-positive %q scale %g", strings.TrimLeft(modToken[k], "@+"), v)
+		}
+	case modStagger:
+		if v < 0 {
+			return fmt.Errorf("config: negative stagger %g", v)
+		}
+	case modMSHR, modPorts:
+		if v < 1 {
+			return fmt.Errorf("config: non-positive %q count %g", strings.TrimLeft(modToken[k], "@+"), v)
+		}
+	case modRate:
+		if v < 0 || v > 1 {
+			return fmt.Errorf("config: fault rate %g out of [0,1]", v)
+		}
+	}
+	return nil
+}
+
+// apply builds the machine: the base machine with every present modifier
+// applied in canonical order (the order the With* helpers compose in),
+// named canonically.
+func (m specMods) apply(base Machine) (Machine, error) {
+	out := base
+	for k := modKind(0); k < numModKinds; k++ {
+		if !m.present[k] {
+			continue
+		}
+		if err := k.validate(m.vals[k]); err != nil {
+			return Machine{}, err
+		}
+		out = out.modified(k, m.vals[k])
+	}
+	out.Name = m.render(base.Name)
+	return out, nil
+}
+
+// baseByName resolves the grammar's base names (no modifiers).
+func baseByName(lower string) (Machine, bool, error) {
+	switch {
+	case lower == "ss1":
+		return SS1(), true, nil
+	case lower == "shrec":
+		return SHREC(), true, nil
+	case lower == "diva":
+		return DIVA(), true, nil
+	case lower == "o3rs":
+		return O3RS(), true, nil
+	case lower == "ss2":
+		return SS2(Factors{}), true, nil
+	case strings.HasPrefix(lower, "ss2+"):
+		var f Factors
+		for _, c := range lower[len("ss2+"):] {
+			switch c {
+			case 'x':
+				f.X = true
+			case 's':
+				f.S = true
+			case 'c':
+				f.C = true
+			case 'b':
+				f.B = true
+			default:
+				return Machine{}, true, fmt.Errorf("config: unknown factor %q in %q", c, lower)
+			}
+		}
+		return SS2(f), true, nil
+	}
+	return Machine{}, false, nil
+}
+
+// sameShape reports whether two machines are structurally identical,
+// ignoring the display name and the fault fields a spec string cannot
+// carry (seed and window). The fault rate does participate: it has a
+// spec token.
+func sameShape(a, b Machine) bool {
+	a.Name, b.Name = "", ""
+	a.FaultSeed, b.FaultSeed = 0, 0
+	a.FaultWindowLo, b.FaultWindowLo = 0, 0
+	a.FaultWindowHi, b.FaultWindowHi = 0, 0
+	return a == b
+}
+
+// specName computes a modified machine's display name: when the current
+// name parses under the spec grammar, the modifier is folded in (replacing
+// a previous token of the same kind; relative scales multiply into it) and
+// the name re-rendered canonically — but only if the candidate name parses
+// back to exactly the machine out, so a name can never claim a
+// configuration it is not (repeated scaling, for example, can diverge from
+// a single combined scale under integer rounding). Otherwise the token is
+// appended verbatim: still descriptive, just not canonical.
+func specName(cur string, out Machine, kind modKind, val float64, relative bool) string {
+	if base, mods, err := splitSpec(strings.ToLower(strings.TrimSpace(cur))); err == nil {
+		v := val
+		if relative && mods.present[kind] {
+			v = mods.vals[kind] * val
+		}
+		mods.set(kind, v)
+		// ByName re-renders with the canonical upper-case base name.
+		if got, err := ByName(mods.render(base)); err == nil && sameShape(got, out) {
+			return got.Name
+		}
+	}
+	return cur + modToken[kind] + formatModValue(kind, val)
+}
+
+// Spec returns the machine's canonical specification string — a name
+// ByName parses back to this exact configuration (fault seed and window
+// aside, which no spec can carry). Explore points, store keys, and report
+// rows all use it, so every layer names the same point the same way. For
+// machines whose Name does not parse (hand-built configurations with
+// custom names, or helper chains whose rounding defeated canonical
+// naming), Spec returns the display name unchanged; ParseSpec reports
+// whether a given name is canonical.
+func (m Machine) Spec() string {
+	lower := strings.ToLower(strings.TrimSpace(m.Name))
+	base, mods, err := splitSpec(lower)
+	if err != nil {
+		return m.Name
+	}
+	bm, ok, err := baseByName(base)
+	if !ok || err != nil {
+		return m.Name
+	}
+	built, err := mods.apply(bm)
+	if err != nil || !sameShape(built, m) {
+		return m.Name
+	}
+	return built.Name
+}
+
+// ParseSpec parses a canonical specification string into its machine,
+// reporting an error for names outside the grammar. It is ByName under a
+// name that states the contract: ParseSpec(m.Spec()) reproduces m for
+// every machine the named constructors and With* helpers can build.
+func ParseSpec(spec string) (Machine, error) {
+	return ByName(spec)
+}

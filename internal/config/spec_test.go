@@ -1,0 +1,148 @@
+package config_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestSpecRoundTrip pins the contract of the satellite fix: every machine
+// the named constructors and With* helpers build has a canonical Spec
+// that ByName parses back to the identical configuration — so explore
+// points, store keys, and report rows all name the same point.
+func TestSpecRoundTrip(t *testing.T) {
+	machines := []config.Machine{
+		config.SS1(),
+		config.SS2(config.Factors{}),
+		config.SS2(config.Factors{X: true, S: true, C: true, B: true}),
+		config.SHREC(),
+		config.DIVA(),
+		config.O3RS(),
+		config.SHREC().WithXScale(1.5).WithStagger(2),
+		config.SHREC().WithStagger(2).WithXScale(1.5), // order-independent
+		config.SS2(config.Factors{S: true, C: true}).WithStagger(0),
+		config.SS2(config.Factors{}).WithXScale(0.5),
+		config.SS1().WithMSHRs(16).WithMemPorts(2),
+		config.DIVA().WithFUScale(0.5),
+		config.SHREC().WithFaultRate(1e-4),
+		// Repeated relative scaling folds into the product when truthful.
+		config.SHREC().WithXScale(0.5).WithXScale(0.5),
+	}
+	for _, m := range machines {
+		spec := m.Spec()
+		got, err := config.ByName(spec)
+		if err != nil {
+			t.Errorf("ByName(%q) [Name %q]: %v", spec, m.Name, err)
+			continue
+		}
+		// The parsed machine must be structurally identical (names and the
+		// spec-invisible fault seed/window aside).
+		a, b := m, got
+		a.Name, b.Name = "", ""
+		if a != b {
+			t.Errorf("ByName(%q) diverged from the machine that produced it:\n got %+v\nwant %+v", spec, b, a)
+		}
+		if got.Spec() != spec {
+			t.Errorf("Spec not idempotent: %q -> %q", spec, got.Spec())
+		}
+	}
+}
+
+// TestSpecCanonicalForm pins the canonical renderings the example in the
+// issue promises.
+func TestSpecCanonicalForm(t *testing.T) {
+	cases := map[string]string{
+		config.SHREC().WithXScale(1.5).WithStagger(2).Spec():               "SHREC@x1.5+stagger2",
+		config.SHREC().WithStagger(2).WithXScale(1.5).Spec():               "SHREC@x1.5+stagger2",
+		config.SS2(config.Factors{S: true, C: true}).WithStagger(0).Spec(): "SS2+SC+stagger0",
+		config.SS1().WithMemPorts(2).WithMSHRs(16).Spec():                  "SS1+mshr16+ports2",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("canonical spec = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestByNameModifiers pins the parsing side of the grammar.
+func TestByNameModifiers(t *testing.T) {
+	m, err := config.ByName("shrec@x1.5+stagger2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IssueWidth != 12 || m.MaxStagger != 2 {
+		t.Fatalf("shrec@x1.5+stagger2 = width %d stagger %d", m.IssueWidth, m.MaxStagger)
+	}
+	// Any modifier order parses to the same canonical machine.
+	swapped, err := config.ByName("SHREC+stagger2@X1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped != m {
+		t.Fatalf("modifier order changed the machine:\n%+v\n%+v", swapped, m)
+	}
+	mp, err := config.ByName("ss1+mshr8+ports2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Mem.MSHREntries != 8 || mp.Mem.MemPorts != 2 {
+		t.Fatalf("mshr/ports not applied: %+v", mp.Mem)
+	}
+	fr, err := config.ByName("shrec+rate1e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.FaultRate != 1e-4 {
+		t.Fatalf("rate not applied: %g", fr.FaultRate)
+	}
+	fx, err := config.ByName("diva+fux0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.FU.Counts[0] >= config.DIVA().FU.Counts[0] {
+		t.Fatal("fux scale not applied")
+	}
+	if fx.IssueWidth != config.DIVA().IssueWidth {
+		t.Fatal("fux leaked into issue width")
+	}
+}
+
+// TestByNameModifierErrors pins rejection of malformed modifiers.
+func TestByNameModifierErrors(t *testing.T) {
+	for _, bad := range []string{
+		"shrec@x",                 // missing value
+		"shrec@x0",                // non-positive scale
+		"shrec@xfast",             // non-numeric
+		"shrec+stagger-1",         // negative
+		"shrec+stagger1.5",        // non-integer
+		"shrec+stagger2+stagger4", // duplicate
+		"shrec+mshr0",             // below one
+		"shrec+ports0",            // below one
+		"shrec+rate2",             // out of [0,1]
+		"ss2+q@x1.5",              // bad factor under a modifier
+	} {
+		if _, err := config.ByName(bad); err == nil {
+			t.Errorf("ByName(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSpecFallsBackOnCustomNames verifies hand-built machines keep their
+// display names rather than acquiring a spec that lies about them.
+func TestSpecFallsBackOnCustomNames(t *testing.T) {
+	m := config.SS1()
+	m.Name = "my-custom-machine"
+	if m.Spec() != "my-custom-machine" {
+		t.Fatalf("custom name rewritten to %q", m.Spec())
+	}
+	// A parseable name over a structurally edited machine must not be
+	// presented as canonical either.
+	edited := config.SHREC()
+	edited.ROBSize = 123
+	if spec := edited.Spec(); spec != "SHREC" {
+		t.Fatalf("edited machine spec = %q", spec)
+	}
+	if _, err := config.ParseSpec(edited.Spec()); err != nil {
+		t.Fatal(err)
+	}
+}

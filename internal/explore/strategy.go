@@ -1,0 +1,121 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// strategy is the one interface both searches implement: given the run,
+// decide — running whatever cheaper passes it needs — which points
+// receive a full-fidelity evaluation. The engine evaluates the returned
+// points and extracts the frontier; a strategy never returns more points
+// than the spec's budget.
+type strategy interface {
+	// name is the spec string selecting this strategy.
+	name() string
+	// plan returns the points to evaluate at full fidelity.
+	plan(ctx context.Context, r *run) ([]Point, error)
+}
+
+// strategyFor resolves a normalized strategy name.
+func strategyFor(name string) (strategy, error) {
+	switch name {
+	case StrategyGrid:
+		return gridStrategy{}, nil
+	case StrategyHalving:
+		return halvingStrategy{}, nil
+	}
+	return nil, fmt.Errorf("explore: unknown strategy %q (have %v)", name, Strategies())
+}
+
+// gridStrategy evaluates the whole space exhaustively. Normalization has
+// already verified the space fits the budget.
+type gridStrategy struct{}
+
+func (gridStrategy) name() string { return StrategyGrid }
+
+func (gridStrategy) plan(_ context.Context, r *run) ([]Point, error) {
+	return r.points, nil
+}
+
+// halvingStrategy is seeded successive halving: every point is screened
+// at run lengths divided by ScreenDiv, the screened evaluations are
+// ranked by Pareto dominance (stats.ParetoRanks over the same objectives
+// the frontier uses, so a cheap-but-slow frontier candidate is never
+// starved out by a single scalar score), and the top half — capped by
+// the budget — graduates to full fidelity. Ties within a rank break by
+// a permutation derived from the exploration seed, so the survivor set
+// is a pure function of (spec, seed).
+type halvingStrategy struct{}
+
+func (halvingStrategy) name() string { return StrategyHalving }
+
+func (halvingStrategy) plan(ctx context.Context, r *run) ([]Point, error) {
+	screen, err := r.evalAll(ctx, r.points, true)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.screen = screen
+	r.mu.Unlock()
+
+	// The screen skips campaigns, so its objectives are IPC and cost
+	// even when the space injects faults; coverage is measured on the
+	// survivors at full fidelity.
+	vecs := make([][]float64, len(screen))
+	for i, ev := range screen {
+		vecs[i] = objectives(ev, false)
+	}
+	ranks := stats.ParetoRanks(vecs)
+
+	// Seeded deterministic tie-break within each rank.
+	perm := seededPerm(len(screen), r.spec.Seed)
+	order := make([]int, len(screen))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if ranks[ia] != ranks[ib] {
+			return ranks[ia] < ranks[ib]
+		}
+		return perm[ia] < perm[ib]
+	})
+
+	keep := (len(r.points) + 1) / 2
+	if keep > r.spec.Budget {
+		keep = r.spec.Budget
+	}
+	if keep > len(order) {
+		keep = len(order)
+	}
+	survivors := make([]Point, keep)
+	for i := 0; i < keep; i++ {
+		survivors[i] = r.points[order[i]]
+	}
+	return survivors, nil
+}
+
+// seededPerm returns a deterministic pseudo-random permutation priority
+// for n elements (Fisher-Yates over the splitmix stream).
+func seededPerm(n int, seed uint64) []int {
+	r := rng.New(seed ^ 0x5EEDED)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// Invert: priority[point] = position in the shuffled order.
+	prio := make([]int, n)
+	for pos, p := range perm {
+		prio[p] = pos
+	}
+	return prio
+}

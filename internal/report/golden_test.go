@@ -1,0 +1,164 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGoldens rewrites the testdata files from the current renderers:
+//
+//	go test ./internal/report -run Golden -update-report-goldens
+var updateGoldens = flag.Bool("update-report-goldens", false, "rewrite internal/report/testdata goldens")
+
+// paretoLike builds a multi-table report with every awkward shape the
+// exploration Pareto report produces: non-ASCII labels, NaN cells
+// (coverage of points without fault injection), and ±Inf cells
+// (protection odds at total coverage, negated cost deltas).
+func paretoLike() *Report {
+	r := New("pareto", "Exploration Pareto frontier — résumé")
+	ft := r.AddTable("Frontière de Pareto", "configuração", "IPC", "coverage %", "odds", "cost")
+	ft.Verb = "%.4g"
+	ft.AddRow("SHREC@x1.5+stagger2", 2.25, 100, math.Inf(1), 96)
+	ft.AddRow("SS2+SC — baseline «étendu»", 1.75, math.NaN(), math.NaN(), 120)
+	ft.Add(Row{Label: "覆盖率-point", Class: "fp", High: true, Values: []float64{1.5, 97.5, 39, 80}})
+	ft.AddRule()
+	ft.Add(Row{Label: "harmonic µ", Aggregate: true, Values: []float64{1.8, 98.75, math.Inf(-1), 98.67}})
+
+	at := r.AddTable("All points – Δ vs SS2", "spec", "slowdown", "Δcost")
+	at.AddRow("DIVA+fux0.5", 1.08, -26)
+	at.AddRow("naïve Ω-point", math.Inf(1), math.Inf(-1))
+
+	r.AddNote("2 of 4 points on the frontier; NaN coverage = no injection (λ=0)")
+	r.SetMeta("stratégie", "halving")
+	return r
+}
+
+// golden compares got with the named testdata file.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (rerun with -update-report-goldens after intentional renderer changes): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverged from golden\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestJSONGoldenNonFinite pins the JSON rendering of a multi-table
+// report with non-ASCII labels and NaN/Inf cells: non-finite values must
+// encode as the strings "NaN"/"+Inf"/"-Inf" instead of failing the whole
+// encode (encoding/json rejects non-finite numbers).
+func TestJSONGoldenNonFinite(t *testing.T) {
+	var b bytes.Buffer
+	if err := paretoLike().JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "pareto.json.golden", b.Bytes())
+}
+
+// TestCSVGoldenNonFinite pins the tidy CSV rendering of the same report:
+// strconv renders the non-finite cells as NaN/+Inf/-Inf tokens and the
+// non-ASCII labels pass through as UTF-8.
+func TestCSVGoldenNonFinite(t *testing.T) {
+	var b bytes.Buffer
+	if err := paretoLike().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "pareto.csv.golden", b.Bytes())
+}
+
+// TestJSONRoundTripNonFinite verifies a report with non-finite cells
+// decodes back to the same values (NaN compared by IsNaN).
+func TestJSONRoundTripNonFinite(t *testing.T) {
+	var b bytes.Buffer
+	orig := paretoLike()
+	if err := orig.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tables) != len(orig.Tables) {
+		t.Fatalf("tables: %d != %d", len(back.Tables), len(orig.Tables))
+	}
+	for ti, tab := range orig.Tables {
+		for ri, row := range tab.Rows {
+			got := back.Tables[ti].Rows[ri]
+			if got.Label != row.Label || got.Class != row.Class || got.High != row.High || got.Aggregate != row.Aggregate {
+				t.Fatalf("table %d row %d metadata diverged: %+v != %+v", ti, ri, got, row)
+			}
+			for vi, v := range row.Values {
+				g := got.Values[vi]
+				if math.IsNaN(v) != math.IsNaN(g) || (!math.IsNaN(v) && g != v) {
+					t.Fatalf("table %d row %d value %d: %g != %g", ti, ri, vi, g, v)
+				}
+			}
+		}
+	}
+}
+
+// TestJSONFiniteEncodingUnchanged guards the wire format: for reports
+// without non-finite cells the custom Row encoder must be byte-identical
+// to the plain struct encoding clients already parse.
+func TestJSONFiniteEncodingUnchanged(t *testing.T) {
+	r := New("plain", "finite")
+	tb := r.AddTable("t", "label", "v1", "v2")
+	tb.Add(Row{Label: "a", Class: "int", High: true, Values: []float64{1.25, -3}})
+	tb.Add(Row{Label: "b", Aggregate: true, Values: []float64{0, 2e-9}})
+
+	var b bytes.Buffer
+	if err := r.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The shadow encoding mirrors Row's fields exactly; re-encoding the
+	// decoded generic structure with the same field set must reproduce it.
+	type plainRow struct {
+		Label     string    `json:"label"`
+		Class     string    `json:"class,omitempty"`
+		High      bool      `json:"high,omitempty"`
+		Aggregate bool      `json:"aggregate,omitempty"`
+		Values    []float64 `json:"values"`
+	}
+	want, err := json.Marshal(plainRow{Label: "a", Class: "int", High: true, Values: []float64{1.25, -3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), string(want)) {
+		// Indentation differs between the two encodings; compare compacted.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, b.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(compact.String(), string(want)) {
+			t.Fatalf("finite row encoding drifted:\nwant fragment %s\nin %s", want, compact.String())
+		}
+	}
+}
+
+// TestTextRenderingNonFinite confirms the fixed-width text renderer
+// prints non-finite cells as NaN/ +Inf/-Inf rather than panicking.
+func TestTextRenderingNonFinite(t *testing.T) {
+	s := paretoLike().String()
+	for _, want := range []string{"NaN", "+Inf", "-Inf", "覆盖率-point [high]", "Frontière"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("text rendering lacks %q:\n%s", want, s)
+		}
+	}
+}

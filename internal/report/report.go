@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -73,6 +74,89 @@ type Row struct {
 	// per-benchmark data rows.
 	Aggregate bool      `json:"aggregate,omitempty"`
 	Values    []float64 `json:"values"`
+}
+
+// jsonFloat is a float64 whose JSON encoding tolerates non-finite
+// values: finite values are ordinary JSON numbers, while NaN and ±Inf —
+// which encoding/json rejects outright — encode as the strings "NaN",
+// "+Inf", and "-Inf". Reports legitimately carry both (the Pareto
+// exploration report renders NaN coverage for points without fault
+// injection and +Inf protection odds for fully covered ones), and a
+// report that cannot be serialized would take the whole shrecd response
+// down with it.
+type jsonFloat float64
+
+// MarshalJSON encodes the value as a number, or as a string when
+// non-finite.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON decodes a number or one of the non-finite strings.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"NaN"`:
+		*f = jsonFloat(math.NaN())
+		return nil
+	case `"+Inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// rowEncoding mirrors Row for JSON with non-finite-safe values. Field
+// names and order match Row exactly, so reports without non-finite cells
+// encode byte-identically to the plain struct encoding.
+type rowEncoding struct {
+	Label     string      `json:"label"`
+	Class     string      `json:"class,omitempty"`
+	High      bool        `json:"high,omitempty"`
+	Aggregate bool        `json:"aggregate,omitempty"`
+	Values    []jsonFloat `json:"values"`
+}
+
+// MarshalJSON encodes the row with non-finite values as strings (see
+// jsonFloat).
+func (r Row) MarshalJSON() ([]byte, error) {
+	enc := rowEncoding{Label: r.Label, Class: r.Class, High: r.High,
+		Aggregate: r.Aggregate, Values: make([]jsonFloat, len(r.Values))}
+	for i, v := range r.Values {
+		enc.Values[i] = jsonFloat(v)
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, so structured consumers
+// round-trip reports containing non-finite cells.
+func (r *Row) UnmarshalJSON(b []byte) error {
+	var enc rowEncoding
+	if err := json.Unmarshal(b, &enc); err != nil {
+		return err
+	}
+	r.Label, r.Class, r.High, r.Aggregate = enc.Label, enc.Class, enc.High, enc.Aggregate
+	r.Values = make([]float64, len(enc.Values))
+	for i, v := range enc.Values {
+		r.Values[i] = float64(v)
+	}
+	return nil
 }
 
 // New builds an empty report.

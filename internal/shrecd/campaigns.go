@@ -4,34 +4,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/store"
 )
 
-// Campaign job states.
+// Campaign job states (aliases of the shared job states, kept for
+// readability at the call sites and in the tests).
 const (
-	campaignRunning = "running"
-	campaignDone    = "done"
-	campaignFailed  = "failed"
+	campaignRunning = jobRunning
+	campaignDone    = jobDone
+	campaignFailed  = jobFailed
 )
 
-// campaignJob tracks one asynchronous campaign from POST to completion.
-type campaignJob struct {
-	id      string
-	spec    campaign.Spec
-	started time.Time
-
-	mu       sync.Mutex
-	state    string
-	progress campaign.Progress
-	result   *campaign.Result
-	errText  string
-	finished time.Time
-}
+// campaignJob is one asynchronous campaign in the shared job table.
+type campaignJob = asyncJob[campaign.Spec, campaign.Progress, *campaign.Result]
 
 // campaignStatus is the GET /campaigns/{id} (and list-entry) shape.
 type campaignStatus struct {
@@ -48,25 +36,20 @@ type campaignStatus struct {
 	ElapsedS  float64         `json:"elapsed_s"`
 }
 
-// status snapshots the job for serving.
-func (j *campaignJob) status(withReport bool) campaignStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+// campaignStatusOf snapshots the job for serving.
+func campaignStatusOf(j *campaignJob, withReport bool) campaignStatus {
+	snap := j.snapshot()
 	s := campaignStatus{
 		ID:        j.id,
-		State:     j.state,
+		State:     snap.State,
 		Spec:      j.spec,
-		Progress:  j.progress,
-		Error:     j.errText,
+		Progress:  snap.Progress,
+		Error:     snap.Err,
 		StartedAt: j.started,
+		ElapsedS:  snap.ElapsedS,
 	}
-	end := j.finished
-	if end.IsZero() {
-		end = time.Now()
-	}
-	s.ElapsedS = end.Sub(j.started).Seconds()
-	if withReport && j.result != nil {
-		if raw, err := json.Marshal(j.result.Report()); err == nil {
+	if withReport && snap.Result != nil {
+		if raw, err := json.Marshal(snap.Result.Report()); err == nil {
 			s.Report = raw
 		}
 	}
@@ -130,82 +113,24 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := campaignID(spec)
-	s.jobsMu.Lock()
-	job, ok := s.jobs[id]
-	if ok {
-		// Join the existing job unless it failed, in which case a fresh
-		// POST retries it in place — reusing its own table slot (finished
-		// trials resume from the store).
-		job.mu.Lock()
-		failed := job.state == campaignFailed
-		job.mu.Unlock()
-		if !failed {
-			s.jobsMu.Unlock()
-			writeJSON(w, http.StatusAccepted, map[string]any{
-				"id": id, "state": job.status(false).State, "url": "/campaigns/" + id,
-			})
-			return
-		}
-	} else if !s.reserveJobSlotLocked() {
-		// Only a new id needs a slot.
-		s.jobsMu.Unlock()
-		httpError(w, http.StatusTooManyRequests,
-			fmt.Errorf("campaign job table full (%d running); retry when one finishes", s.cfg.MaxCampaigns))
+	job, started, err := s.campaigns.startOrJoin(id, spec)
+	if err != nil {
+		httpError(w, http.StatusTooManyRequests, err)
 		return
 	}
-	job = &campaignJob{id: id, spec: spec, started: time.Now(), state: campaignRunning}
-	s.jobs[id] = job
-	s.jobsMu.Unlock()
-
-	go s.runCampaign(job)
+	if started {
+		go s.runCampaign(job)
+	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
-		"id": id, "state": campaignRunning, "url": "/campaigns/" + id,
+		"id": id, "state": job.snapshot().State, "url": "/campaigns/" + id,
 	})
-}
-
-// reserveJobSlotLocked bounds the jobs table (jobsMu held): when it is
-// full, the oldest finished job is evicted to make room — its trial
-// records persist in the store, so its campaign remains resumable by a
-// fresh POST. With every slot occupied by a running job the table cannot
-// shrink, and the caller must reject the request instead.
-func (s *Server) reserveJobSlotLocked() bool {
-	if len(s.jobs) < s.cfg.MaxCampaigns {
-		return true
-	}
-	var oldest *campaignJob
-	for _, j := range s.jobs {
-		j.mu.Lock()
-		done := j.state != campaignRunning
-		j.mu.Unlock()
-		if done && (oldest == nil || j.started.Before(oldest.started)) {
-			oldest = j
-		}
-	}
-	if oldest == nil {
-		return false
-	}
-	delete(s.jobs, oldest.id)
-	return true
 }
 
 // runCampaign drives one job to completion under the server's lifetime
 // context.
 func (s *Server) runCampaign(job *campaignJob) {
-	res, err := s.camp.Run(s.baseCtx, job.spec, func(p campaign.Progress) {
-		job.mu.Lock()
-		job.progress = p
-		job.mu.Unlock()
-	})
-	job.mu.Lock()
-	defer job.mu.Unlock()
-	job.finished = time.Now()
-	if err != nil {
-		job.state = campaignFailed
-		job.errText = err.Error()
-		return
-	}
-	job.state = campaignDone
-	job.result = res
+	res, err := s.camp.Run(s.baseCtx, job.spec, job.setProgress)
+	job.finish(res, err)
 }
 
 // handleCampaignGet serves GET /campaigns/{id}: the job status with
@@ -213,26 +138,22 @@ func (s *Server) runCampaign(job *campaignJob) {
 // just the finished report instead (409 while still running).
 func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.jobsMu.Lock()
-	job, ok := s.jobs[id]
-	s.jobsMu.Unlock()
+	job, ok := s.campaigns.get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "":
-		writeJSON(w, http.StatusOK, job.status(true))
+		writeJSON(w, http.StatusOK, campaignStatusOf(job, true))
 	case "text", "csv":
-		job.mu.Lock()
-		res := job.result
-		job.mu.Unlock()
-		if res == nil {
+		snap := job.snapshot()
+		if snap.Result == nil {
 			httpError(w, http.StatusConflict,
-				fmt.Errorf("campaign %q is %s; no report yet", id, job.status(false).State))
+				fmt.Errorf("campaign %q is %s; no report yet", id, snap.State))
 			return
 		}
-		rep := res.Report()
+		rep := snap.Result.Report()
 		if format == "csv" {
 			w.Header().Set("Content-Type", "text/csv")
 			_ = rep.CSV(w)
@@ -248,24 +169,18 @@ func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
 // handleCampaignList serves GET /campaigns: every job, newest first,
 // without the (potentially large) reports.
 func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
-	s.jobsMu.Lock()
-	jobs := make([]*campaignJob, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
-	}
-	s.jobsMu.Unlock()
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].started.After(jobs[b].started) })
+	jobs := s.campaigns.all()
 	out := make([]campaignStatus, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.status(false)
+		out[i] = campaignStatusOf(j, false)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "campaigns": out})
 }
 
-// Close stops the server's background campaigns. In-flight trials halt at
-// their next engine checkpoint; finished trials have already been
-// persisted (when a store is attached), so a restarted server resumes
-// them.
+// Close stops the server's background jobs (campaigns and explorations).
+// In-flight work halts at the next engine checkpoint; finished trials
+// and point evaluations have already been persisted (when a store is
+// attached), so a restarted server resumes them.
 func (s *Server) Close() {
 	s.baseStop()
 }

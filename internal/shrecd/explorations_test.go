@@ -1,0 +1,189 @@
+package shrecd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestExplorationEndpointLifecycle(t *testing.T) {
+	s := campaignServer(t)
+	h := s.Handler()
+
+	body := `{"space":{"bases":["ss1","ss2","shrec","diva"]},"seed":7}`
+	w := postJSON(t, h, "/explorations", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /explorations = %d: %s", w.Code, w.Body.String())
+	}
+	var started struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &started); err != nil {
+		t.Fatal(err)
+	}
+	if started.ID == "" || started.URL != "/explorations/"+started.ID {
+		t.Fatalf("bad start response: %+v", started)
+	}
+
+	// A duplicate POST joins the same job — including a
+	// normalized-equivalent spec with the defaults spelled out.
+	w2 := postJSON(t, h, "/explorations",
+		`{"space":{"bases":["ss1","ss2","shrec","diva"]},"seed":7,"strategy":"grid",`+
+			`"benchmarks":["crafty"],"warmup_instrs":2000,"measure_instrs":5000,`+
+			`"screen_div":8,"budget":4,"trials":24}`)
+	var dup struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w2.Body.Bytes(), &dup); err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != started.ID {
+		t.Fatalf("duplicate POST spawned a new job: %q vs %q", dup.ID, started.ID)
+	}
+
+	// Poll until done; the snapshot carries phase progress and, at the
+	// end, the frontier specs and the typed Pareto report.
+	deadline := time.Now().Add(30 * time.Second)
+	var status explorationStatus
+	for {
+		if code := getJSON(t, h, started.URL, &status); code != http.StatusOK {
+			t.Fatalf("GET %s = %d", started.URL, code)
+		}
+		if status.State == jobDone {
+			break
+		}
+		if status.State == jobFailed {
+			t.Fatalf("exploration failed: %s", status.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("exploration did not finish; last status %+v", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status.Progress.Done != 4 || status.Progress.Total != 4 || status.Progress.Phase != "full" {
+		t.Fatalf("final progress %+v", status.Progress)
+	}
+	if len(status.Frontier) == 0 {
+		t.Fatal("done status lacks the frontier")
+	}
+	if len(status.Report) == 0 || !strings.Contains(string(status.Report), "Pareto frontier") {
+		t.Fatalf("done status lacks the report: %s", status.Report)
+	}
+
+	// The text rendering is served directly once done.
+	req := httptest.NewRequest(http.MethodGet, started.URL+"?format=text", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "All full-fidelity points") {
+		t.Fatalf("text report = %d:\n%s", rec.Code, rec.Body.String())
+	}
+
+	// The list endpoint names the job.
+	var list struct {
+		Count        int                 `json:"count"`
+		Explorations []explorationStatus `json:"explorations"`
+	}
+	if code := getJSON(t, h, "/explorations", &list); code != http.StatusOK {
+		t.Fatalf("GET /explorations = %d", code)
+	}
+	if list.Count != 1 || list.Explorations[0].ID != started.ID {
+		t.Fatalf("bad list: %+v", list)
+	}
+}
+
+// TestExplorationValidation pins synchronous rejection: statically
+// impossible or over-cap specs must fail with 400 without burning a job
+// slot.
+func TestExplorationValidation(t *testing.T) {
+	opt := sim.Options{WarmupInstrs: 2_000, MeasureInstrs: 5_000}
+	s := NewWith(Config{DefaultOptions: opt, MaxPoints: 8, MaxTrials: 50}, sim.NewSuite(opt))
+	t.Cleanup(s.Close)
+	h := s.Handler()
+	for _, body := range []string{
+		`{"space":{"bases":[]}}`,                                          // empty space
+		`{"space":{"bases":["nope"]}}`,                                    // unknown base
+		`{"space":{"bases":["ss1"]},"strategy":"random"}`,                 // unknown strategy
+		`{"space":{"bases":["ss1"]},"benchmarks":["nope"]}`,               // unknown benchmark
+		`{"space":{"bases":["ss1"],"xscales":[0]}}`,                       // bad axis
+		`{"space":{"bases":["shrec@x1.4"],"xscales":[1.2]}}`,              // base+axis modifier collision
+		`{"space":{"bases":["ss1","ss2","shrec"],"xscales":[0.5,1,1.5]}}`, // 9 points > MaxPoints 8
+		`{"space":{"bases":["ss1"]},"budget":9999}`,                       // budget over cap
+		`{"space":{"bases":["ss1"],"fault_rates":[0.0001]},"trials":51}`,  // trials over cap
+		`{"space":{"bases":["ss1"]},"warmup_instrs":99999999999}`,         // over MaxInstrs
+		`not json`,
+	} {
+		if w := postJSON(t, h, "/explorations", body); w.Code != http.StatusBadRequest {
+			t.Fatalf("bad body %q = %d, want 400: %s", body, w.Code, w.Body.String())
+		}
+	}
+	var list struct {
+		Count int `json:"count"`
+	}
+	if code := getJSON(t, h, "/explorations", &list); code != http.StatusOK || list.Count != 0 {
+		t.Fatalf("rejected specs occupy the job table: code %d, count %d", code, list.Count)
+	}
+	if code := func() int {
+		req := httptest.NewRequest(http.MethodGet, "/explorations/doesnotexist", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}(); code != http.StatusNotFound {
+		t.Fatalf("unknown exploration id = %d, want 404", code)
+	}
+}
+
+// TestExplorationJobTableBounds pins the shared job-table behavior for
+// explorations: finished jobs are evicted to make room, and the list
+// stays bounded.
+func TestExplorationJobTableBounds(t *testing.T) {
+	opt := sim.Options{WarmupInstrs: 2_000, MeasureInstrs: 5_000}
+	s := NewWith(Config{DefaultOptions: opt, MaxExplorations: 2}, sim.NewSuite(opt))
+	t.Cleanup(s.Close)
+	h := s.Handler()
+
+	for _, seed := range []string{"1", "2"} {
+		w := postJSON(t, h, "/explorations", `{"space":{"bases":["ss1"]},"seed":`+seed+`}`)
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("tiny exploration rejected: %d %s", w.Code, w.Body.String())
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var list struct {
+			Explorations []explorationStatus `json:"explorations"`
+		}
+		getJSON(t, h, "/explorations", &list)
+		done := 0
+		for _, e := range list.Explorations {
+			if e.State == jobDone {
+				done++
+			}
+		}
+		if done == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("explorations did not finish: %+v", list)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A third exploration evicts the oldest finished job.
+	w := postJSON(t, h, "/explorations", `{"space":{"bases":["ss1"]},"seed":3}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("eviction did not make room: %d %s", w.Code, w.Body.String())
+	}
+	var list struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, h, "/explorations", &list)
+	if list.Count != 2 {
+		t.Fatalf("job table holds %d entries, want 2 (bounded)", list.Count)
+	}
+}

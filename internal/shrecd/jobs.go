@@ -1,0 +1,171 @@
+package shrecd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Shared asynchronous-job machinery behind POST /campaigns and
+// POST /explorations: a bounded job table keyed by normalized-spec
+// digest, so duplicate submissions join the running (or finished) job, a
+// failed job is retried in place by a fresh POST, the oldest finished
+// job is evicted when the table fills, and a table saturated with
+// running jobs rejects new work (the handlers map that to 429). It was
+// extracted from the campaign endpoints when explorations arrived, so
+// both job kinds share one implementation instead of two copies.
+
+// Job states.
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// asyncJob tracks one asynchronous job from POST to completion: spec S,
+// progress snapshots P, and result R (a pointer type; nil until done).
+type asyncJob[S, P, R any] struct {
+	id      string
+	spec    S
+	started time.Time
+
+	mu       sync.Mutex
+	state    string
+	progress P
+	result   R
+	errText  string
+	finished time.Time
+}
+
+// setProgress records a progress snapshot.
+func (j *asyncJob[S, P, R]) setProgress(p P) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+// finish records the job's outcome.
+func (j *asyncJob[S, P, R]) finish(res R, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = jobFailed
+		j.errText = err.Error()
+		return
+	}
+	j.state = jobDone
+	j.result = res
+}
+
+// jobSnapshot is a consistent read of a job's mutable fields.
+type jobSnapshot[P, R any] struct {
+	State    string
+	Progress P
+	Result   R
+	Err      string
+	ElapsedS float64
+}
+
+// snapshot reads the job under its lock.
+func (j *asyncJob[S, P, R]) snapshot() jobSnapshot[P, R] {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return jobSnapshot[P, R]{
+		State:    j.state,
+		Progress: j.progress,
+		Result:   j.result,
+		Err:      j.errText,
+		ElapsedS: end.Sub(j.started).Seconds(),
+	}
+}
+
+// jobTable is a bounded map of asynchronous jobs keyed by
+// normalized-spec digest. All methods are safe for concurrent use.
+type jobTable[S, P, R any] struct {
+	kind string // "campaign", "exploration": error text only
+	max  int
+
+	mu   sync.Mutex
+	jobs map[string]*asyncJob[S, P, R]
+}
+
+// newJobTable builds a table bounded at max jobs.
+func newJobTable[S, P, R any](kind string, max int) *jobTable[S, P, R] {
+	return &jobTable[S, P, R]{kind: kind, max: max,
+		jobs: make(map[string]*asyncJob[S, P, R])}
+}
+
+// startOrJoin resolves the job for id: an existing live job is joined
+// (started false); a failed job is replaced in its own slot by a fresh
+// one, so a retrying POST resumes it from whatever the store kept
+// (started true); a new id reserves a slot, evicting the oldest finished
+// job when the table is full. With every slot running, err is non-nil
+// and the caller must reject the request (429).
+func (t *jobTable[S, P, R]) startOrJoin(id string, spec S) (job *asyncJob[S, P, R], started bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j, ok := t.jobs[id]; ok {
+		j.mu.Lock()
+		failed := j.state == jobFailed
+		j.mu.Unlock()
+		if !failed {
+			return j, false, nil
+		}
+		// Retry in place: reuse the failed job's slot.
+	} else if !t.reserveSlotLocked() {
+		return nil, false, fmt.Errorf("%s job table full (%d running); retry when one finishes", t.kind, t.max)
+	}
+	j := &asyncJob[S, P, R]{id: id, spec: spec, started: time.Now(), state: jobRunning}
+	t.jobs[id] = j
+	return j, true, nil
+}
+
+// reserveSlotLocked bounds the table (t.mu held): when full, the oldest
+// finished job is evicted to make room — its persisted records outlive
+// the slot, so its work remains resumable by a fresh POST. With every
+// slot occupied by a running job the table cannot shrink.
+func (t *jobTable[S, P, R]) reserveSlotLocked() bool {
+	if len(t.jobs) < t.max {
+		return true
+	}
+	var oldest *asyncJob[S, P, R]
+	for _, j := range t.jobs {
+		j.mu.Lock()
+		done := j.state != jobRunning
+		j.mu.Unlock()
+		if done && (oldest == nil || j.started.Before(oldest.started)) {
+			oldest = j
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	delete(t.jobs, oldest.id)
+	return true
+}
+
+// get returns the job for id.
+func (t *jobTable[S, P, R]) get(id string) (*asyncJob[S, P, R], bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+// all returns every job, newest first.
+func (t *jobTable[S, P, R]) all() []*asyncJob[S, P, R] {
+	t.mu.Lock()
+	jobs := make([]*asyncJob[S, P, R], 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].started.After(jobs[b].started) })
+	return jobs
+}

@@ -5,14 +5,18 @@
 // GET /experiments lists the catalog, POST /campaigns starts an
 // asynchronous Monte Carlo fault-injection campaign (polled via
 // GET /campaigns/{id} for trials done/total and running coverage),
-// GET /results lists every cached result, and GET /metrics exposes the
-// cache counters. All endpoints are backed by one sharded, deduplicating
-// sim.Suite, so duplicate in-flight requests for the same (machine,
-// benchmark, options) key execute the simulation once, and request
-// cancellation propagates into the engine's step loop. A bounded worker
-// pool caps concurrently-served simulation requests independently of the
-// suite's own run parallelism; campaigns run in the background under the
-// suite's parallelism alone, bounded in number by their spec caps.
+// POST /explorations starts an asynchronous design-space exploration
+// (polled via GET /explorations/{id} for the evaluation phase and the
+// Pareto frontier), GET /results lists every cached result, and
+// GET /metrics exposes the cache counters. All endpoints are backed by
+// one sharded, deduplicating sim.Suite, so duplicate in-flight requests
+// for the same (machine, benchmark, options) key execute the simulation
+// once, and request cancellation propagates into the engine's step loop.
+// A bounded worker pool caps concurrently-served simulation requests
+// independently of the suite's own run parallelism; campaigns and
+// explorations run in the background under the suite's parallelism
+// alone, each kind tracked in a bounded job table (jobs.go) with
+// normalized-spec dedup and cost caps.
 package shrecd
 
 import (
@@ -22,13 +26,13 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -46,13 +50,19 @@ type Config struct {
 	// MaxInstrs caps request-supplied warmup+measure lengths so one
 	// request cannot monopolize the pool (default 10M, <0 disables).
 	MaxInstrs int64
-	// MaxTrials caps the trial count of POST /campaigns requests
-	// (<=0 means 10000).
+	// MaxTrials caps the trial count of POST /campaigns requests and the
+	// per-point coverage trials of POST /explorations (<=0 means 10000).
 	MaxTrials int
 	// MaxCampaigns bounds the campaign job table (<=0 means 64). When it
 	// fills, the oldest finished job is evicted; with every slot running,
 	// new campaigns are rejected with 429.
 	MaxCampaigns int
+	// MaxExplorations bounds the exploration job table the same way
+	// (<=0 means 16).
+	MaxExplorations int
+	// MaxPoints caps the space size and full-fidelity budget of
+	// POST /explorations requests (<=0 means 1024).
+	MaxPoints int
 	// Store, when non-nil, persists per-trial campaign records so killed
 	// campaigns resume across server restarts. Attach the same store to
 	// the suite for simulation-level persistence.
@@ -66,15 +76,17 @@ type Server struct {
 	sims  *sim.Suite
 	exp   *experiments.Suite
 	camp  *campaign.Engine
+	expl  *explore.Engine
 	sem   chan struct{}
 	start time.Time
 
-	// baseCtx bounds background campaign jobs to the server's lifetime
-	// (Close cancels it); jobs tracks them for the status endpoints.
-	baseCtx  context.Context
-	baseStop context.CancelFunc
-	jobsMu   sync.Mutex
-	jobs     map[string]*campaignJob
+	// baseCtx bounds background jobs (campaigns, explorations) to the
+	// server's lifetime (Close cancels it); the tables track them for
+	// the status endpoints.
+	baseCtx      context.Context
+	baseStop     context.CancelFunc
+	campaigns    *jobTable[campaign.Spec, campaign.Progress, *campaign.Result]
+	explorations *jobTable[explore.Spec, explore.Progress, *explore.Result]
 }
 
 // New builds a server with a fresh sim.Suite.
@@ -103,26 +115,36 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 	if cfg.MaxCampaigns <= 0 {
 		cfg.MaxCampaigns = 64
 	}
+	if cfg.MaxExplorations <= 0 {
+		cfg.MaxExplorations = 16
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 1024
+	}
 	// The cap bounds per-request overrides; the operator-configured
 	// defaults must always be servable, so raise the cap to cover them.
 	if sum := cfg.DefaultOptions.WarmupInstrs + cfg.DefaultOptions.MeasureInstrs; cfg.MaxInstrs > 0 && sum > uint64(cfg.MaxInstrs) {
 		cfg.MaxInstrs = int64(sum)
 	}
 	camp := campaign.New(sims)
+	expl := explore.New(sims)
 	if cfg.Store != nil {
 		camp.WithStore(cfg.Store)
+		expl.WithStore(cfg.Store)
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	return &Server{
-		cfg:      cfg,
-		sims:     sims,
-		exp:      experiments.NewSuiteWith(sims),
-		camp:     camp,
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
-		start:    time.Now(),
-		baseCtx:  ctx,
-		baseStop: stop,
-		jobs:     make(map[string]*campaignJob),
+		cfg:          cfg,
+		sims:         sims,
+		exp:          experiments.NewSuiteWith(sims),
+		camp:         camp,
+		expl:         expl,
+		sem:          make(chan struct{}, cfg.MaxConcurrent),
+		start:        time.Now(),
+		baseCtx:      ctx,
+		baseStop:     stop,
+		campaigns:    newJobTable[campaign.Spec, campaign.Progress, *campaign.Result]("campaign", cfg.MaxCampaigns),
+		explorations: newJobTable[explore.Spec, explore.Progress, *explore.Result]("exploration", cfg.MaxExplorations),
 	}
 }
 
@@ -139,6 +161,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleCampaignStart)
 	mux.HandleFunc("GET /campaigns", s.handleCampaignList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignGet)
+	mux.HandleFunc("POST /explorations", s.handleExplorationStart)
+	mux.HandleFunc("GET /explorations", s.handleExplorationList)
+	mux.HandleFunc("GET /explorations/{id}", s.handleExplorationGet)
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -1,0 +1,89 @@
+package stats
+
+// Pareto-dominance helpers for the design-space exploration engine: a
+// machine configuration is interesting when no other configuration beats
+// it on every objective at once (IPC, coverage, hardware cost), and the
+// set of such configurations — the Pareto frontier — is what an
+// exploration reports.
+
+// Dominates reports whether point a dominates point b: a is at least as
+// good on every objective and strictly better on at least one. All
+// objectives are maximized; negate minimized objectives (cost) before
+// calling. The vectors must have equal length and finite values. Equal
+// points do not dominate each other.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		panic("stats: Dominates with mismatched objective counts")
+	}
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFront returns the indices of the non-dominated points, in input
+// order. Each point is a vector of objectives, all maximized (negate
+// minimized objectives before calling); values must be finite. Duplicate
+// points are all kept — neither dominates the other — so callers that
+// want one representative per configuration must deduplicate first.
+func ParetoFront(points [][]float64) []int {
+	front := make([]int, 0, len(points))
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// ParetoRanks peels the point set into successive frontiers: rank 0 is
+// the Pareto frontier, rank 1 the frontier once rank 0 is removed, and so
+// on (non-dominated sorting). The successive-halving explorer promotes
+// survivors rank by rank, so cheap-but-slow frontier candidates are never
+// starved out by a single scalar score.
+func ParetoRanks(points [][]float64) []int {
+	ranks := make([]int, len(points))
+	for i := range ranks {
+		ranks[i] = -1
+	}
+	remaining := len(points)
+	for rank := 0; remaining > 0; rank++ {
+		// The frontier of the not-yet-ranked points. Collect first, assign
+		// after: tagging mid-sweep would hide a frontier point from the
+		// dominance checks of later points in the same sweep.
+		var front []int
+		for i, p := range points {
+			if ranks[i] >= 0 {
+				continue
+			}
+			dominated := false
+			for j, q := range points {
+				if ranks[j] < 0 && i != j && Dominates(q, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				front = append(front, i)
+			}
+		}
+		for _, i := range front {
+			ranks[i] = rank
+		}
+		remaining -= len(front)
+	}
+	return ranks
+}

@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{2, 2}, []float64{1, 1}, true},
+		{[]float64{2, 1}, []float64{1, 1}, true},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict gain
+		{[]float64{2, 0}, []float64{1, 1}, false}, // trade-off
+		{[]float64{1, 1}, []float64{2, 2}, false},
+		{[]float64{3}, []float64{2}, true},
+	}
+	for _, tc := range cases {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDominatesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths accepted")
+		}
+	}()
+	Dominates([]float64{1}, []float64{1, 2})
+}
+
+func TestParetoFrontKnown(t *testing.T) {
+	// A classic two-objective set: (ipc, -cost).
+	points := [][]float64{
+		{1.0, -10}, // 0: cheap, slow — frontier
+		{2.0, -20}, // 1: frontier
+		{1.5, -25}, // 2: dominated by 1 (slower AND dearer)
+		{3.0, -40}, // 3: frontier
+		{2.0, -20}, // 4: duplicate of 1 — kept
+		{0.5, -15}, // 5: dominated by 0
+	}
+	got := ParetoFront(points)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParetoFrontEmptyAndSingle(t *testing.T) {
+	if f := ParetoFront(nil); len(f) != 0 {
+		t.Fatalf("frontier of nothing = %v", f)
+	}
+	if f := ParetoFront([][]float64{{1, 2, 3}}); len(f) != 1 || f[0] != 0 {
+		t.Fatalf("frontier of one point = %v", f)
+	}
+}
+
+// randomPoints builds a deterministic pseudo-random point set. Values are
+// drawn from a small grid so duplicates and ties actually occur.
+func randomPoints(r *rng.RNG, n, dims int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dims)
+		for d := range pts[i] {
+			pts[i][d] = float64(r.Uint64() % 8)
+		}
+	}
+	return pts
+}
+
+// TestParetoFrontProperties is the property test of the satellite: over
+// seeded random point sets, (1) no frontier point dominates another
+// frontier point, (2) every excluded point is dominated by some frontier
+// point, and (3) the frontier is idempotent.
+func TestParetoFrontProperties(t *testing.T) {
+	r := rng.New(0xA7E70)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + int(r.Uint64()%40)
+		dims := 1 + int(r.Uint64()%4)
+		pts := randomPoints(r, n, dims)
+		front := ParetoFront(pts)
+		if len(front) == 0 {
+			t.Fatalf("trial %d: empty frontier over %d points", trial, n)
+		}
+		onFront := make(map[int]bool, len(front))
+		for _, i := range front {
+			onFront[i] = true
+		}
+		// (1) Mutual non-dominance on the frontier.
+		for _, i := range front {
+			for _, j := range front {
+				if i != j && Dominates(pts[i], pts[j]) {
+					t.Fatalf("trial %d: frontier point %d dominates frontier point %d", trial, i, j)
+				}
+			}
+		}
+		// (2) Every excluded point is dominated by a frontier member.
+		for i := range pts {
+			if onFront[i] {
+				continue
+			}
+			covered := false
+			for _, j := range front {
+				if Dominates(pts[j], pts[i]) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: excluded point %d dominated by no frontier member", trial, i)
+			}
+		}
+		// (3) Idempotence: the frontier of the frontier is itself.
+		sub := make([][]float64, len(front))
+		for k, i := range front {
+			sub[k] = pts[i]
+		}
+		again := ParetoFront(sub)
+		if len(again) != len(front) {
+			t.Fatalf("trial %d: frontier not idempotent: %d -> %d", trial, len(front), len(again))
+		}
+	}
+}
+
+// TestParetoRanks verifies non-dominated sorting: rank 0 is the frontier,
+// each later rank is the frontier of what remains, and ranks cover every
+// point.
+func TestParetoRanks(t *testing.T) {
+	r := rng.New(0x4A11C5)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + int(r.Uint64()%30)
+		pts := randomPoints(r, n, 1+int(r.Uint64()%3))
+		ranks := ParetoRanks(pts)
+		if len(ranks) != n {
+			t.Fatalf("trial %d: %d ranks for %d points", trial, len(ranks), n)
+		}
+		maxRank := 0
+		for i, rk := range ranks {
+			if rk < 0 {
+				t.Fatalf("trial %d: point %d unranked", trial, i)
+			}
+			if rk > maxRank {
+				maxRank = rk
+			}
+		}
+		// Peeling ranks one at a time must reproduce ParetoFront at each
+		// level.
+		remaining := make([]int, 0, n)
+		for i := range pts {
+			remaining = append(remaining, i)
+		}
+		for rk := 0; rk <= maxRank; rk++ {
+			sub := make([][]float64, len(remaining))
+			for k, i := range remaining {
+				sub[k] = pts[i]
+			}
+			front := ParetoFront(sub)
+			inFront := make(map[int]bool)
+			for _, k := range front {
+				inFront[remaining[k]] = true
+			}
+			next := remaining[:0]
+			for _, i := range remaining {
+				if inFront[i] != (ranks[i] == rk) {
+					t.Fatalf("trial %d: point %d rank %d disagrees with peeled frontier %d", trial, i, ranks[i], rk)
+				}
+				if !inFront[i] {
+					next = append(next, i)
+				}
+			}
+			remaining = next
+		}
+		if len(remaining) != 0 {
+			t.Fatalf("trial %d: %d points past the last rank", trial, len(remaining))
+		}
+	}
+}
+
+// TestWilsonEdgeCases pins the interval at the boundaries the campaign
+// and exploration estimates actually hit: no data, zero successes, and
+// total success.
+func TestWilsonEdgeCases(t *testing.T) {
+	const z = 1.96
+	// n = 0: nothing is known; the interval is all of [0, 1].
+	if lo, hi := Wilson(0, 0, z); lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0, 0) = [%g, %g], want [0, 1]", lo, hi)
+	}
+	if lo, hi := Wilson(0, -1, z); lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0, -1) = [%g, %g], want [0, 1]", lo, hi)
+	}
+	// k = 0: the lower bound collapses to 0 but the upper bound stays
+	// strictly positive and shrinks as n grows.
+	lo10, hi10 := Wilson(0, 10, z)
+	if lo10 != 0 || hi10 <= 0 || hi10 >= 1 {
+		t.Fatalf("Wilson(0, 10) = [%g, %g]", lo10, hi10)
+	}
+	_, hi100 := Wilson(0, 100, z)
+	if hi100 >= hi10 {
+		t.Fatalf("upper bound did not shrink with n: %g -> %g", hi10, hi100)
+	}
+	// k = n: mirror image — upper bound 1, lower bound strictly inside.
+	lo, hi := Wilson(10, 10, z)
+	if hi != 1 || lo <= 0 || lo >= 1 {
+		t.Fatalf("Wilson(10, 10) = [%g, %g]", lo, hi)
+	}
+	loBig, _ := Wilson(400, 400, z)
+	if loBig <= lo || loBig >= 1 {
+		t.Fatalf("lower bound did not tighten with n: %g -> %g", lo, loBig)
+	}
+	// Symmetry: the k=0 and k=n intervals mirror around 1/2.
+	lo0, hi0 := Wilson(0, 25, z)
+	loN, hiN := Wilson(25, 25, z)
+	if math.Abs(hi0-(1-loN)) > 1e-12 || math.Abs(lo0-(1-hiN)) > 1e-12 {
+		t.Fatalf("Wilson not symmetric: [%g, %g] vs mirrored [%g, %g]", lo0, hi0, 1-hiN, 1-loN)
+	}
+}
