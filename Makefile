@@ -73,6 +73,7 @@ examples:
 	$(GO) vet ./examples/...
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/interval-parallel
 	rm -f pareto-explore.jsonl
 	$(GO) run ./examples/pareto-explore
 	rm -f pareto-explore.jsonl

@@ -9,9 +9,12 @@
 // synthetic SPEC2K-like workloads, the simulation driver, the experiment
 // harness that regenerates every table and figure of the paper as typed
 // report.Report values, Monte Carlo fault-injection campaigns that
-// quantify detection coverage with confidence bounds (Client.Campaign),
-// and design-space explorations that search machine-configuration spaces
-// for Pareto-efficient resource sharing (Client.Explore).
+// quantify detection coverage with confidence bounds
+// (Client.StartCampaign), and design-space explorations that search
+// machine-configuration spaces for Pareto-efficient resource sharing
+// (Client.StartExplore). Both long-running operations share one async
+// Job API: Start* returns a typed handle to wait on, poll, or cancel,
+// with progress delivered through the WithProgress option.
 //
 // The Client is the recommended entry point — it owns one shared result
 // cache, so sweeps and experiments that revisit a configuration reuse
@@ -168,12 +171,19 @@ func WithCache(enabled bool) ClientOption {
 	return func(c *clientConfig) { c.cache = enabled }
 }
 
-// WithConcurrency bounds concurrently executing simulations (default:
+// WithParallelism bounds concurrently executing simulations (default:
 // GOMAXPROCS). It overrides the Parallelism field of WithOptions, in
-// any argument order.
-func WithConcurrency(n int) ClientOption {
+// any argument order, and also bounds interval-parallel runs (see
+// Options.Intervals). It does not affect results.
+func WithParallelism(n int) ClientOption {
 	return func(c *clientConfig) { c.concurrency = n }
 }
+
+// WithConcurrency bounds concurrently executing simulations.
+//
+// Deprecated: use WithParallelism, which matches the Options.Parallelism
+// field it overrides.
+func WithConcurrency(n int) ClientOption { return WithParallelism(n) }
 
 // ClientMetrics is a snapshot of a client's cache effectiveness counters.
 type ClientMetrics struct {
@@ -366,19 +376,19 @@ type CampaignTrial = campaign.Trial
 // sdc, hang, or clean.
 type TrialOutcome = campaign.Outcome
 
-// Campaign runs (or resumes) a Monte Carlo fault-injection campaign.
-// Trials fan out through the client's shared simulation cache and
-// parallelism bound; with a store attached (WithStore), finished trials
-// persist, so an interrupted campaign resumes where it left off instead
-// of re-simulating. The progress callback, when non-nil, receives a
-// serialized snapshot after every finished trial; pass nil when polling
-// is not needed.
+// Campaign runs a Monte Carlo fault-injection campaign synchronously.
+// The progress callback, when non-nil, receives a serialized snapshot
+// after every finished trial.
+//
+// Deprecated: use StartCampaign, which returns a cancelable CampaignJob
+// and takes progress as a WithProgress option. This wrapper is
+// StartCampaign followed by Wait.
 func (c *Client) Campaign(ctx context.Context, spec CampaignSpec, progress func(CampaignProgress)) (*CampaignResult, error) {
-	eng := campaign.New(c.suite())
-	if c.st != nil {
-		eng.WithStore(c.st)
+	var opts []JobOption[CampaignProgress]
+	if progress != nil {
+		opts = append(opts, WithProgress(progress))
 	}
-	return eng.Run(ctx, spec, progress)
+	return c.StartCampaign(ctx, spec, opts...).Wait(ctx)
 }
 
 // ---------------------------------------------------------------------------
@@ -419,21 +429,19 @@ func MachineSpec(m Machine) string { return m.Spec() }
 // minimize (see explore.Cost).
 func ExploreCost(m Machine) float64 { return explore.Cost(m) }
 
-// Explore runs (or resumes) a design-space exploration: the space's
-// points are evaluated through the client's shared simulation cache and
-// parallelism bound — exhaustively, or screened by seeded successive
-// halving — and the Pareto-efficient configurations (maximum IPC and
-// coverage, minimum cost) are extracted. With a store attached
-// (WithStore), finished point evaluations persist, so an interrupted
-// exploration resumes where it left off instead of re-evaluating. The
-// progress callback, when non-nil, receives a serialized snapshot after
-// every finished evaluation; pass nil when polling is not needed.
+// Explore runs a design-space exploration synchronously. The progress
+// callback, when non-nil, receives a serialized snapshot after every
+// finished evaluation.
+//
+// Deprecated: use StartExplore, which returns a cancelable ExploreJob
+// and takes progress as a WithProgress option. This wrapper is
+// StartExplore followed by Wait.
 func (c *Client) Explore(ctx context.Context, spec ExploreSpec, progress func(ExploreProgress)) (*ExploreResult, error) {
-	eng := explore.New(c.suite())
-	if c.st != nil {
-		eng.WithStore(c.st)
+	var opts []JobOption[ExploreProgress]
+	if progress != nil {
+		opts = append(opts, WithProgress(progress))
 	}
-	return eng.Run(ctx, spec, progress)
+	return c.StartExplore(ctx, spec, opts...).Wait(ctx)
 }
 
 // ---------------------------------------------------------------------------

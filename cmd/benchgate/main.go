@@ -7,8 +7,11 @@
 //	go test -json -bench=. -benchtime=1x -run='^$' ./... | benchgate -extract -o BENCH_baseline.json
 //
 // Compare a fresh run against the baseline, failing (exit 1) when any
-// benchmark matching -gate regressed more than -threshold in ns/op, and
-// warning (exit 0) for every other regression:
+// benchmark matching -gate regressed more than -threshold in ns/op or
+// allocated more per op than its baseline (allocations are deterministic,
+// so any increase is a regression — this keeps the engine core's
+// zero-alloc steady state locked in), and warning (exit 0) for every
+// other regression:
 //
 //	benchgate -baseline BENCH_baseline.json -current BENCH_ci.json -gate '^BenchmarkCycle/'
 //
@@ -238,8 +241,22 @@ func main() {
 				warnings++
 			}
 		}
-		fmt.Printf("%-6s %-45s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
-			status, c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		// Allocations are deterministic, so gate them exactly: any gated
+		// benchmark allocating more per op than its baseline fails. This is
+		// what holds the engine core at zero allocs per simulated cycle.
+		allocNote := ""
+		if c.AllocsPerOp >= 0 && b.AllocsPerOp >= 0 && c.AllocsPerOp > b.AllocsPerOp {
+			allocNote = fmt.Sprintf("  allocs %.0f -> %.0f /op", b.AllocsPerOp, c.AllocsPerOp)
+			if gated && !*warnOnly {
+				status = "FAIL"
+				failures++
+			} else if status == "ok" {
+				status = "warn"
+				warnings++
+			}
+		}
+		fmt.Printf("%-6s %-45s %12.1f -> %12.1f ns/op  (%+.1f%%)%s\n",
+			status, c.Name, b.NsPerOp, c.NsPerOp, (ratio-1)*100, allocNote)
 	}
 	if compared == 0 {
 		fatal(fmt.Errorf("no benchmarks in common between baseline and current results"))

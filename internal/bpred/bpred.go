@@ -149,6 +149,16 @@ func (c *Combining) Stats() (lookups, mispredicts uint64) {
 	return c.lookups, c.mispredicts
 }
 
+// Clone returns a deep copy of the whole predictor complex (used by
+// simulation checkpoints).
+func (c *Combining) Clone() *Combining {
+	out := *c
+	out.gshare = c.gshare.Clone()
+	out.pas = c.pas.Clone()
+	out.meta = append([]Counter2(nil), c.meta...)
+	return &out
+}
+
 // MispredictRate returns the fraction of updated predictions that were
 // wrong, or 0 before any update.
 func (c *Combining) MispredictRate() float64 {

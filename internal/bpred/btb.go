@@ -95,6 +95,20 @@ func (b *BTB) touch(set uint64, w int) {
 	b.lru[set][w] = 0
 }
 
+// Clone returns a deep copy of the BTB's tags, targets, and LRU state.
+func (b *BTB) Clone() *BTB {
+	c := *b
+	c.tags = make([][]uint64, b.sets)
+	c.targets = make([][]uint64, b.sets)
+	c.lru = make([][]uint8, b.sets)
+	for i := 0; i < b.sets; i++ {
+		c.tags[i] = append([]uint64(nil), b.tags[i]...)
+		c.targets[i] = append([]uint64(nil), b.targets[i]...)
+		c.lru[i] = append([]uint8(nil), b.lru[i]...)
+	}
+	return &c
+}
+
 // HitRate returns the fraction of lookups that hit, or 0 before any lookup.
 func (b *BTB) HitRate() float64 {
 	if b.lookups == 0 {

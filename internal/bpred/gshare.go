@@ -51,6 +51,13 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 // History returns the current global history register (for tests).
 func (g *Gshare) History() uint64 { return g.history }
 
+// Clone returns a deep copy of the predictor's tables and history.
+func (g *Gshare) Clone() *Gshare {
+	c := *g
+	c.table = append([]Counter2(nil), g.table...)
+	return &c
+}
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1

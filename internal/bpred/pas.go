@@ -58,3 +58,11 @@ func (p *PAs) Update(pc uint64, taken bool) {
 	p.table[l2] = p.table[l2].Update(taken)
 	p.histories[l1] = ((p.histories[l1] << 1) | b2u(taken)) & p.histMask
 }
+
+// Clone returns a deep copy of both predictor levels.
+func (p *PAs) Clone() *PAs {
+	c := *p
+	c.histories = append([]uint64(nil), p.histories...)
+	c.table = append([]Counter2(nil), p.table...)
+	return &c
+}

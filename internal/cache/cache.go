@@ -165,6 +165,21 @@ func (c *Cache) touch(set uint64, w int) {
 	c.lru[set][w] = 0
 }
 
+// Clone returns a deep copy of the cache's tags, LRU, dirty bits, and
+// counters (used by simulation checkpoints).
+func (c *Cache) Clone() *Cache {
+	out := *c
+	out.tags = make([][]uint64, c.sets)
+	out.lru = make([][]uint8, c.sets)
+	out.dirty = make([][]bool, c.sets)
+	for i := 0; i < c.sets; i++ {
+		out.tags[i] = append([]uint64(nil), c.tags[i]...)
+		out.lru[i] = append([]uint8(nil), c.lru[i]...)
+		out.dirty[i] = append([]bool(nil), c.dirty[i]...)
+	}
+	return &out
+}
+
 // Stats returns accesses, misses, and evictions.
 func (c *Cache) Stats() (accesses, misses, evictions uint64) {
 	return c.accesses, c.misses, c.evictions

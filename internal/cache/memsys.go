@@ -92,6 +92,21 @@ func NewHierarchy(cfg Config) *Hierarchy {
 	return h
 }
 
+// Clone returns a deep copy of the whole hierarchy — cache contents,
+// in-flight MSHR state, bus/port occupancy, prefetcher tables, and counters
+// (used by simulation checkpoints).
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := *h
+	c.l1i = h.l1i.Clone()
+	c.l1d = h.l1d.Clone()
+	c.l2 = h.l2.Clone()
+	c.mshr = h.mshr.Clone()
+	if h.pf != nil {
+		c.pf = h.pf.clone()
+	}
+	return &c
+}
+
 // BeginCycle releases completed MSHRs and resets the per-cycle port count.
 func (h *Hierarchy) BeginCycle(now int64) {
 	h.mshr.Expire(now)

@@ -113,6 +113,17 @@ func (m *MSHRFile) Expire(now int64) {
 // InFlight returns the number of occupied registers.
 func (m *MSHRFile) InFlight() int { return len(m.lines) }
 
+// Clone returns a deep copy of the file, including in-flight misses.
+func (m *MSHRFile) Clone() *MSHRFile {
+	c := *m
+	c.lines = make(map[uint64]*mshrEntry, len(m.lines))
+	for line, e := range m.lines {
+		cp := *e
+		c.lines[line] = &cp
+	}
+	return &c
+}
+
 // NextReady returns the earliest completion strictly after now among the
 // outstanding misses, or math.MaxInt64 when the file is idle. Entries with
 // readyAt <= now have either been expired already or will be on the next

@@ -137,3 +137,15 @@ func (p *prefetcher) observe(lineAddr uint64) []uint64 {
 
 // Stats returns issued prefetches and the number later demanded.
 func (p *prefetcher) Stats() (issued, useful uint64) { return p.issued, p.useful }
+
+// clone returns a deep copy of the reference-prediction table and tracking
+// state.
+func (p *prefetcher) clone() *prefetcher {
+	c := *p
+	c.entries = append([]rptEntry(nil), p.entries...)
+	c.tracked = make(map[uint64]bool, len(p.tracked))
+	for line, v := range p.tracked {
+		c.tracked[line] = v
+	}
+	return &c
+}

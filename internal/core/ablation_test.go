@@ -133,20 +133,21 @@ func TestStaggerSaturation(t *testing.T) {
 func TestLVQOrderingInvariant(t *testing.T) {
 	m := config.SS2(config.Factors{S: true})
 	e := New(m, trace.New(testWorkload(35)))
+	w := &e.w
 	for e.stats.Retired < 20000 {
 		e.cycle()
-		for _, d := range e.isqR {
-			if d.inst.IsLoad() && d.issued {
+		for _, s := range e.isqSlots(ThreadR) {
+			if w.inst[s].IsLoad() && w.flags[s]&fIssued != 0 {
 				t.Fatal("issued load still in ISQ")
 			}
 		}
 		// Check issued R loads against their pairs via the ROB.
 		for i := 0; i < e.robR.len(); i++ {
-			d := e.robR.at(i)
-			if d.inst.IsLoad() && d.issued && d.pair != nil {
-				if d.pair.completeAt > d.completeAt {
+			s := e.robR.at(i)
+			if w.inst[s].IsLoad() && w.flags[s]&fIssued != 0 {
+				if p := w.pair[s]; w.live(p) && w.completeAt[p.slot] > w.completeAt[s] {
 					t.Fatalf("R load seq %d completed at %d before M pair at %d",
-						d.seq, d.completeAt, d.pair.completeAt)
+						w.seq[s], w.completeAt[s], w.completeAt[p.slot])
 				}
 			}
 		}
@@ -157,18 +158,20 @@ func TestLVQOrderingInvariant(t *testing.T) {
 func TestPairIdentityInvariant(t *testing.T) {
 	m := config.SS2(config.Factors{})
 	e := New(m, trace.New(testWorkload(37)))
+	w := &e.w
 	for e.stats.Retired < 20000 {
 		e.cycle()
 		for i := 0; i < e.robM.len(); i++ {
-			d := e.robM.at(i)
-			if d.pair == nil {
-				t.Fatalf("M instruction seq %d without pair", d.seq)
+			s := e.robM.at(i)
+			p := w.pair[s]
+			if !w.live(p) {
+				t.Fatalf("M instruction seq %d without pair", w.seq[s])
 			}
-			if d.pair.inst != d.inst {
-				t.Fatalf("pair instruction mismatch at seq %d", d.seq)
+			if w.inst[p.slot] != w.inst[s] {
+				t.Fatalf("pair instruction mismatch at seq %d", w.seq[s])
 			}
-			if d.pair.seq != d.seq {
-				t.Fatalf("pair seq mismatch: %d vs %d", d.seq, d.pair.seq)
+			if w.seq[p.slot] != w.seq[s] {
+				t.Fatalf("pair seq mismatch: %d vs %d", w.seq[s], w.seq[p.slot])
 			}
 		}
 	}
@@ -185,11 +188,11 @@ func TestCheckerPrefixInvariant(t *testing.T) {
 			t.Fatalf("checkCount %d exceeds ROB occupancy %d", e.checkCount, n)
 		}
 		for i := 0; i < n; i++ {
-			d := e.robM.at(i)
+			s := e.robM.at(i)
 			want := i < e.checkCount
-			if d.checkIssued != want {
+			if got := e.w.flags[s]&fCheckIssued != 0; got != want {
 				t.Fatalf("position %d: checkIssued=%v, want %v (checkCount=%d)",
-					i, d.checkIssued, want, e.checkCount)
+					i, got, want, e.checkCount)
 			}
 		}
 	}
@@ -259,11 +262,11 @@ func TestRenameRollbackAfterSquash(t *testing.T) {
 	e := New(config.SS1(), trace.New(p))
 	for e.stats.Retired < 20000 {
 		e.cycle()
-		if e.wpBranch == nil {
+		if e.wpBranch < 0 {
 			// After any resolution, no wrong-path producer may linger in
 			// the rename table.
-			for r, ref := range e.lastWriter[ThreadM] {
-				if ref.d != nil && ref.d.gen == ref.gen && ref.d.wrongPath {
+			for r, rf := range e.lastWriter[ThreadM] {
+				if e.w.live(rf) && e.w.flags[rf.slot]&fWrongPath != 0 {
 					t.Fatalf("wrong-path writer survives squash in r%d", r)
 				}
 			}

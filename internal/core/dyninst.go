@@ -10,10 +10,16 @@
 // ISQ/ROB/LSQ capacity, memory ports, MSHRs, bus contention, branch
 // prediction with wrong-path resource consumption, and in-order retirement
 // with pairwise result checking.
+//
+// In-flight instructions live in a struct-of-arrays window (see window): a
+// ring arena of parallel field arrays indexed by slot, so the steady-state
+// simulation loop allocates nothing and dependency wakeup is tracked with
+// per-producer consumer bitmasks instead of pointer walks.
 package core
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -43,179 +49,568 @@ func (t Thread) String() string {
 // notDone marks a completion time that has not been scheduled yet.
 const notDone = int64(math.MaxInt64)
 
-// depRef is a producer link captured at rename. The generation tag guards
-// against the producer's dyn record being recycled after retirement: a
-// mismatched generation means the producer has long since completed.
-type depRef struct {
-	d   *dyn
-	gen uint32
+// ref names one in-flight instruction: a window slot plus the generation
+// the slot held when the reference was captured. The generation tag guards
+// against slot recycling after retirement or squash: a mismatched
+// generation means the referent has long since left the window.
+type ref struct {
+	slot int32 // -1 = no referent
+	gen  uint32
 }
 
-// ready reports whether the producer's result is available at cycle now.
-func (r depRef) ready(now int64) bool {
-	if r.d == nil || r.d.gen != r.gen {
-		return true
-	}
-	return r.d.issued && r.d.completeAt <= now
-}
+// noRef is the empty reference.
+var noRef = ref{slot: -1}
 
-// earliest returns a lower bound on the cycle at which the producer's
-// result can become available, for a reference that is not ready at now.
-// An issued producer's completion time is exact. An unissued producer's
-// own wake bound propagates transitively: it cannot issue before its
-// wakeAt, so (with a minimum latency of one cycle) it cannot complete
-// before wakeAt+1 — this is what lets a whole dependence chain behind one
-// cache miss go quiescent instead of re-checking every cycle.
-func (r depRef) earliest(now int64) int64 {
-	if r.d.issued {
-		return r.d.completeAt
-	}
-	if w := r.d.wakeAt + 1; w > now+1 {
-		return w
-	}
-	return now + 1
-}
-
-// dyn is one in-flight dynamic instruction (one thread copy).
-type dyn struct {
-	gen    uint32 // recycling generation
-	seq    uint64 // program-order index (shared by both copies of a pair)
-	inst   isa.Inst
-	thread Thread
-	// wrongPath marks instructions fetched past an unresolved mispredicted
-	// branch; they consume resources but are squashed at resolution.
-	wrongPath bool
-
-	dispatchedAt int64
-	dep1, dep2   depRef
-
-	// wakeAt caches a lower bound on the cycle this entry could issue,
-	// refreshed whenever an issue attempt fails on a producer with a known
-	// completion time. The issue scans skip the full dependency re-walk
-	// while now < wakeAt. Zero means "no bound cached" (always check); the
-	// reference tick loop never writes it.
-	wakeAt int64
-
-	issued     bool
-	completeAt int64 // result availability; notDone until issued
-
-	// checkIssued/checkedAt drive the SHREC checker (M-thread entries) or
-	// record pair verification (SS2).
-	checkIssued bool
-	checkedAt   int64
-
-	// pair links the two copies of an SS2 instruction.
-	pair *dyn
-
-	// issued2/complete2At/faulty2 track the second execution of an O3RS
-	// instruction (both executions share this record and its ISQ/ROB
-	// entry).
-	issued2     bool
-	complete2At int64
-	faulty2     bool
-
-	// prevWriter supports rename rollback on squash.
-	prevWriter depRef
-
-	// mispredict marks a correct-path branch whose prediction was wrong
-	// (direction or indirect target); resolution triggers a squash.
-	mispredict bool
-
-	// faulty marks an injected transient error in this copy's result;
-	// faultAt records the injection cycle for detection-latency stats.
-	faulty  bool
-	faultAt int64
-
-	// inLSQ marks M-thread memory ops occupying an LSQ entry.
-	inLSQ bool
-
-	// fwdState/fwdStore memoize the load's store-to-load forwarding
-	// source, computed on the first issue attempt. The matching-store set
-	// of a load is fixed at dispatch (younger stores never match, and the
-	// youngest older match leaving the LSQ means every older store has
-	// retired), so one LSQ scan answers all retries; the depRef
-	// generation detects the store's retirement. Unused (fwdUnknown) in
-	// the reference tick loop, which re-scans every attempt.
-	fwdState uint8
-	fwdStore depRef
-}
-
-// Store-forwarding memo states.
+// Per-slot flag bits (window.flags).
 const (
-	fwdUnknown uint8 = iota
-	fwdFromStore
-	fwdNone
+	// fThread set marks the R (redundant) copy.
+	fThread uint16 = 1 << iota
+	// fWrongPath marks instructions fetched past an unresolved mispredicted
+	// branch; they consume resources but are squashed at resolution.
+	fWrongPath
+	fIssued
+	// fIssued2 marks the second O3RS execution as issued.
+	fIssued2
+	// fCheckIssued drives the SHREC checker (M-thread entries).
+	fCheckIssued
+	// fMispredict marks a correct-path branch whose prediction was wrong
+	// (direction or indirect target); resolution triggers a squash.
+	fMispredict
+	// fFaulty marks an injected transient error in this copy's result;
+	// fFaulty2 marks one in the second O3RS execution.
+	fFaulty
+	fFaulty2
+	// fInLSQ marks M-thread memory ops occupying an LSQ entry.
+	fInLSQ
+	// fFwdFromStore/fFwdNone memoize the load's store-to-load forwarding
+	// source (see Engine.forwardingStore): neither bit set means unknown.
+	fFwdFromStore
+	fFwdNone
 )
 
-// completed reports whether the instruction's result is available.
-func (d *dyn) completed(now int64) bool { return d.issued && d.completeAt <= now }
+// window is the struct-of-arrays storage for in-flight instructions. Slots
+// are allocated from a ring ([head, head+n) modulo capacity), so slot order
+// is age order: retirement frees at the head, wrong-path squashes rewind a
+// contiguous tail, and a soft exception resets the whole ring. Capacity is
+// ROBSize plus slack — every in-flight copy (robM, robR, pendingR) counts
+// against the shared ROB capacity, which the dispatch guards enforce.
+//
+// Dependency wakeup is bitmap based. Each slot carries waitCnt, the number
+// of its distinct unissued producers, and readyAt, the latest completion
+// time over its issued producers. A producer's consumers row records which
+// slots wait on it; when the producer issues, the row is broadcast:
+// each consumer's waitCnt drops, its readyAt folds in the completion time,
+// and at zero the consumer's bit sets in the ready mask. The issue stage
+// scans (isq AND ready) words in ring age order with trailing-zeros bit
+// iteration, so stalled dependence chains cost nothing per cycle.
+type window struct {
+	capacity int32
+	words    int32 // uint64 words per bitmask = ceil(capacity/64)
+
+	head, tail, n int32
+
+	gen   []uint32
+	seq   []uint64 // program-order index (shared by both copies of a pair)
+	inst  []isa.Inst
+	flags []uint16
+
+	dispatchedAt []int64
+	completeAt   []int64 // result availability; notDone until issued
+	complete2At  []int64 // second O3RS execution
+	checkedAt    []int64 // SHREC checker verification
+	faultAt      []int64 // injection cycle for detection-latency stats
+
+	// pair links the two copies of an SS2 instruction; prevWriter supports
+	// rename rollback on squash; dep1/dep2 retain the rename-time producer
+	// links (for unregistration on squash); fwdStore memoizes the load's
+	// forwarding source.
+	dep1, dep2, pair, prevWriter, fwdStore []ref
+
+	// waitCnt counts distinct unissued producers; readyAt lower-bounds the
+	// operand-availability cycle once every producer has issued.
+	waitCnt []uint8
+	readyAt []int64
+
+	// consumers is capacity rows of words each: bit c of row p marks slot c
+	// as waiting on producer p's issue.
+	consumers []uint64
+
+	// ready has bit s set iff waitCnt[s] == 0 (slot live); isq tracks
+	// issue-queue residency per thread. isqCount mirrors the popcounts.
+	ready    []uint64
+	isq      [2][]uint64
+	isqCount [2]int
+}
+
+func newWindow(capacity int) window {
+	c := int32(capacity)
+	words := (c + 63) / 64
+	w := window{
+		capacity:     c,
+		words:        words,
+		gen:          make([]uint32, c),
+		seq:          make([]uint64, c),
+		inst:         make([]isa.Inst, c),
+		flags:        make([]uint16, c),
+		dispatchedAt: make([]int64, c),
+		completeAt:   make([]int64, c),
+		complete2At:  make([]int64, c),
+		checkedAt:    make([]int64, c),
+		faultAt:      make([]int64, c),
+		dep1:         make([]ref, c),
+		dep2:         make([]ref, c),
+		pair:         make([]ref, c),
+		prevWriter:   make([]ref, c),
+		fwdStore:     make([]ref, c),
+		waitCnt:      make([]uint8, c),
+		readyAt:      make([]int64, c),
+		consumers:    make([]uint64, int(c)*int(words)),
+		ready:        make([]uint64, words),
+	}
+	w.isq[0] = make([]uint64, words)
+	w.isq[1] = make([]uint64, words)
+	return w
+}
+
+// live reports whether r still names the instruction it was captured from.
+func (w *window) live(r ref) bool {
+	return r.slot >= 0 && w.gen[r.slot] == r.gen
+}
+
+// thread returns the slot's thread copy.
+func (w *window) thread(s int32) Thread {
+	if w.flags[s]&fThread != 0 {
+		return ThreadR
+	}
+	return ThreadM
+}
+
+// completed reports whether the slot's result is available.
+func (w *window) completed(s int32, now int64) bool {
+	return w.flags[s]&fIssued != 0 && w.completeAt[s] <= now
+}
 
 // checked reports whether verification finished (SHREC).
-func (d *dyn) checked(now int64) bool { return d.checkedAt <= now }
-
-// depsReady reports whether both source operands are available.
-func (d *dyn) depsReady(now int64) bool {
-	return d.dep1.ready(now) && d.dep2.ready(now)
+func (w *window) checked(s int32, now int64) bool {
+	return w.checkedAt[s] <= now
 }
 
-// fifo is a FIFO of in-flight instructions with an amortized head index
-// (used for the per-thread ROB views and the LSQ).
-type fifo struct {
-	buf  []*dyn
-	head int
+// alloc claims the next ring slot and resets its fields. The caller fills
+// seq via the arguments and owns all further field writes; dispatch guards
+// must have ensured space (overflow is a model bug).
+func (w *window) alloc(seq uint64, in isa.Inst, t Thread, wrongPath bool, now int64) int32 {
+	if w.n == w.capacity {
+		panic("core: window overflow")
+	}
+	s := w.tail
+	w.tail++
+	if w.tail == w.capacity {
+		w.tail = 0
+	}
+	w.n++
+	w.seq[s] = seq
+	w.inst[s] = in
+	var f uint16
+	if t == ThreadR {
+		f |= fThread
+	}
+	if wrongPath {
+		f |= fWrongPath
+	}
+	w.flags[s] = f
+	w.dispatchedAt[s] = now
+	w.completeAt[s] = notDone
+	w.complete2At[s] = notDone
+	w.checkedAt[s] = notDone
+	w.faultAt[s] = 0
+	w.dep1[s] = noRef
+	w.dep2[s] = noRef
+	w.pair[s] = noRef
+	w.prevWriter[s] = noRef
+	w.fwdStore[s] = noRef
+	w.waitCnt[s] = 0
+	w.readyAt[s] = 0
+	return s
 }
 
-func (q *fifo) push(d *dyn) { q.buf = append(q.buf, d) }
+// releaseSlot invalidates one slot: outstanding producer links are
+// unregistered, the slot leaves every mask, its consumers row is cleared,
+// and the generation bumps so stale refs recognize the recycling. Ring
+// bookkeeping (head/tail/n) belongs to the caller.
+func (w *window) releaseSlot(s int32) {
+	w.unregisterDeps(s)
+	wi, bit := s>>6, uint64(1)<<(uint(s)&63)
+	for t := range w.isq {
+		if w.isq[t][wi]&bit != 0 {
+			w.isq[t][wi] &^= bit
+			w.isqCount[t]--
+		}
+	}
+	w.ready[wi] &^= bit
+	row := w.consumers[int(s)*int(w.words) : (int(s)+1)*int(w.words)]
+	for i := range row {
+		row[i] = 0
+	}
+	w.gen[s]++
+}
 
-func (q *fifo) len() int { return len(q.buf) - q.head }
+// unregisterDeps clears this slot's consumer bit from every still-live,
+// still-unissued producer it registered with (issued producers broadcast
+// and cleared the bit already). Safe ordering holds on squash because
+// consumers are younger than their producers and the tail rewind frees
+// youngest-first.
+func (w *window) unregisterDeps(s int32) {
+	if w.waitCnt[s] == 0 {
+		return
+	}
+	for _, r := range [4]ref{w.dep1[s], w.dep2[s], w.pair[s], w.fwdStore[s]} {
+		if w.live(r) && w.flags[r.slot]&fIssued == 0 {
+			w.consumers[int(r.slot)*int(w.words)+int(s>>6)] &^= 1 << (uint(s) & 63)
+		}
+	}
+	w.waitCnt[s] = 0
+}
 
-func (q *fifo) empty() bool { return q.len() == 0 }
+// addDep registers r as a producer of consumer s. A dead reference (the
+// producer already retired) contributes nothing; an issued producer folds
+// its completion time into the consumer's readiness bound; a live unissued
+// producer adds a wait and a consumer bit, balanced by its issue-time
+// broadcast.
+func (w *window) addDep(s int32, r ref) {
+	if !w.live(r) {
+		return
+	}
+	p := r.slot
+	if w.flags[p]&fIssued != 0 {
+		if w.completeAt[p] > w.readyAt[s] {
+			w.readyAt[s] = w.completeAt[p]
+		}
+		return
+	}
+	w.waitCnt[s]++
+	w.consumers[int(p)*int(w.words)+int(s>>6)] |= 1 << (uint(s) & 63)
+}
+
+// broadcast wakes a just-issued producer's consumers: each drops one wait
+// count, folds doneAt into its operand-readiness bound, and enters the
+// ready mask when its last producer has issued. The producer's consumer
+// row is consumed by the broadcast (each waiter is woken exactly once).
+func (w *window) broadcast(p int32, doneAt int64) {
+	row := w.consumers[int(p)*int(w.words) : (int(p)+1)*int(w.words)]
+	for wi, word := range row {
+		if word == 0 {
+			continue
+		}
+		row[wi] = 0
+		base := int32(wi) << 6
+		for word != 0 {
+			c := base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			if doneAt > w.readyAt[c] {
+				w.readyAt[c] = doneAt
+			}
+			if w.waitCnt[c]--; w.waitCnt[c] == 0 {
+				w.setReady(c)
+			}
+		}
+	}
+}
+
+// freeHead releases the oldest slot (retirement order).
+func (w *window) freeHead(s int32) {
+	if s != w.head {
+		panic("core: out-of-order window free")
+	}
+	w.releaseSlot(s)
+	w.head++
+	if w.head == w.capacity {
+		w.head = 0
+	}
+	w.n--
+}
+
+// rewindWrongPath frees the contiguous wrong-path tail of the ring (the
+// only shape a wrong-path squash can have: everything allocated after the
+// mispredicted branch is wrong path).
+func (w *window) rewindWrongPath() {
+	for w.n > 0 {
+		t := w.tail - 1
+		if t < 0 {
+			t += w.capacity
+		}
+		if w.flags[t]&fWrongPath == 0 {
+			break
+		}
+		w.releaseSlot(t)
+		w.tail = t
+		w.n--
+	}
+}
+
+// reset empties the window (soft exception), bumping live generations and
+// clearing every mask.
+func (w *window) reset() {
+	for i := int32(0); i < w.n; i++ {
+		s := w.head + i
+		if s >= w.capacity {
+			s -= w.capacity
+		}
+		w.gen[s]++
+	}
+	w.head, w.tail, w.n = 0, 0, 0
+	for i := range w.ready {
+		w.ready[i] = 0
+	}
+	for t := range w.isq {
+		for i := range w.isq[t] {
+			w.isq[t][i] = 0
+		}
+		w.isqCount[t] = 0
+	}
+	for i := range w.consumers {
+		w.consumers[i] = 0
+	}
+}
+
+// ringSlot returns the i-th oldest live slot (test/debug helper).
+func (w *window) ringSlot(i int32) int32 {
+	s := w.head + i
+	if s >= w.capacity {
+		s -= w.capacity
+	}
+	return s
+}
+
+// setReady marks the slot operand-ready (waitCnt reached zero).
+func (w *window) setReady(s int32) {
+	w.ready[s>>6] |= 1 << (uint(s) & 63)
+}
+
+// clearReady removes the slot from the ready mask (a dynamic producer was
+// discovered, e.g. an incomplete forwarding store).
+func (w *window) clearReady(s int32) {
+	w.ready[s>>6] &^= 1 << (uint(s) & 63)
+}
+
+// setISQ inserts the slot into thread t's issue queue.
+func (w *window) setISQ(t Thread, s int32) {
+	w.isq[t][s>>6] |= 1 << (uint(s) & 63)
+	w.isqCount[t]++
+}
+
+// clearISQ removes the slot from thread t's issue queue (at issue).
+func (w *window) clearISQ(t Thread, s int32) {
+	w.isq[t][s>>6] &^= 1 << (uint(s) & 63)
+	w.isqCount[t]--
+}
+
+// inISQ reports issue-queue residency (test helper).
+func (w *window) inISQ(t Thread, s int32) bool {
+	return w.isq[t][s>>6]&(1<<(uint(s)&63)) != 0
+}
+
+// forEachCandidate visits every slot set in (mask OR mask2) AND ready, in
+// ring age order (oldest first), calling visit for each; visit returning
+// false stops the scan. mask2 may be nil. Bits that change state during
+// the scan are deliberately not re-read within the current word: a
+// newly-issued producer completes no earlier than the next cycle, so a
+// same-cycle wakeup cannot make a skipped entry issueable, and the only
+// bit a visit clears is its own.
+func (w *window) forEachCandidate(mask, mask2 []uint64, visit func(int32) bool) {
+	if w.n == 0 {
+		return
+	}
+	if w.head < w.tail {
+		w.scanSeg(w.head, w.tail, mask, mask2, visit)
+		return
+	}
+	if w.scanSeg(w.head, w.capacity, mask, mask2, visit) {
+		w.scanSeg(0, w.tail, mask, mask2, visit)
+	}
+}
+
+// scanSeg scans candidate bits in [lo, hi); it returns false when visit
+// stopped the scan.
+func (w *window) scanSeg(lo, hi int32, mask, mask2 []uint64, visit func(int32) bool) bool {
+	wlo, whi := lo>>6, (hi-1)>>6
+	for wi := wlo; wi <= whi; wi++ {
+		word := mask[wi]
+		if mask2 != nil {
+			word |= mask2[wi]
+		}
+		word &= w.ready[wi]
+		if wi == wlo {
+			word &^= 1<<(uint(lo)&63) - 1
+		}
+		if wi == whi {
+			if r := uint(hi) & 63; r != 0 {
+				word &= 1<<r - 1
+			}
+		}
+		for word != 0 {
+			s := wi<<6 + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			if !visit(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maskCursor iterates the set bits of one queue mask in ring age order,
+// pull-style, so two queues can be merged by comparing their heads (the
+// lockstep issue scan). Words are snapshotted as the cursor reaches them —
+// the same staleness contract as forEachCandidate: the only bit a consumer
+// clears mid-scan is that of a slot the cursor has already returned.
+type maskCursor struct {
+	mask []uint64
+	segs [2][2]int32 // ring segments [lo, hi), oldest first
+	nseg int
+	si   int
+	wi   int32
+	word uint64
+	open bool
+}
+
+func (w *window) newMaskCursor(mask []uint64) maskCursor {
+	c := maskCursor{mask: mask}
+	if w.n == 0 {
+		return c
+	}
+	if w.head < w.tail {
+		c.segs[0] = [2]int32{w.head, w.tail}
+		c.nseg = 1
+	} else {
+		c.segs[0] = [2]int32{w.head, w.capacity}
+		c.segs[1] = [2]int32{0, w.tail}
+		c.nseg = 2
+	}
+	return c
+}
+
+// maskedWord loads word wi of the mask, clipped to the segment [lo, hi).
+func (c *maskCursor) maskedWord(wi, lo, hi int32) uint64 {
+	word := c.mask[wi]
+	if wi == lo>>6 {
+		word &^= 1<<(uint(lo)&63) - 1
+	}
+	if wi == (hi-1)>>6 {
+		if r := uint(hi) & 63; r != 0 {
+			word &= 1<<r - 1
+		}
+	}
+	return word
+}
+
+// next returns the next set slot in ring age order, or -1 when exhausted.
+func (c *maskCursor) next() int32 {
+	for {
+		if c.word != 0 {
+			s := c.wi<<6 + int32(bits.TrailingZeros64(c.word))
+			c.word &= c.word - 1
+			return s
+		}
+		if c.open && c.wi < (c.segs[c.si][1]-1)>>6 {
+			c.wi++
+			c.word = c.maskedWord(c.wi, c.segs[c.si][0], c.segs[c.si][1])
+			continue
+		}
+		if c.open {
+			c.si++
+			c.open = false
+		}
+		if c.si >= c.nseg {
+			return -1
+		}
+		c.open = true
+		lo := c.segs[c.si][0]
+		c.wi = lo >> 6
+		c.word = c.maskedWord(c.wi, lo, c.segs[c.si][1])
+	}
+}
+
+// idxFifo is a fixed-capacity ring FIFO of window slots (the per-thread
+// ROB views, the LSQ, and the pendingR stagger queue). Capacity equals the
+// window's, so pushes can never overflow and steady state allocates
+// nothing.
+type idxFifo struct {
+	buf  []int32
+	head int32
+	n    int32
+}
+
+func newIdxFifo(capacity int) idxFifo {
+	return idxFifo{buf: make([]int32, capacity)}
+}
+
+func (q *idxFifo) push(s int32) {
+	if int(q.n) == len(q.buf) {
+		panic("core: fifo overflow")
+	}
+	i := q.head + q.n
+	if int(i) >= len(q.buf) {
+		i -= int32(len(q.buf))
+	}
+	q.buf[i] = s
+	q.n++
+}
+
+func (q *idxFifo) len() int { return int(q.n) }
+
+func (q *idxFifo) empty() bool { return q.n == 0 }
 
 // front returns the oldest entry; it panics on an empty queue.
-func (q *fifo) front() *dyn { return q.buf[q.head] }
+func (q *idxFifo) front() int32 { return q.buf[q.head] }
 
 // at returns the i-th oldest entry.
-func (q *fifo) at(i int) *dyn { return q.buf[q.head+i] }
-
-// pop removes and returns the oldest entry, compacting occasionally.
-func (q *fifo) pop() *dyn {
-	d := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head++
-	if q.head > 4096 && q.head*2 > len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
+func (q *idxFifo) at(i int) int32 {
+	j := q.head + int32(i)
+	if int(j) >= len(q.buf) {
+		j -= int32(len(q.buf))
 	}
-	return d
+	return q.buf[j]
 }
 
-// clear drops all entries, invoking f on each (oldest first).
-func (q *fifo) clear(f func(*dyn)) {
-	for i := q.head; i < len(q.buf); i++ {
-		f(q.buf[i])
+// pop removes and returns the oldest entry.
+func (q *idxFifo) pop() int32 {
+	s := q.buf[q.head]
+	q.head++
+	if int(q.head) == len(q.buf) {
+		q.head = 0
 	}
-	q.buf = q.buf[:0]
-	q.head = 0
+	q.n--
+	return s
+}
+
+// clear drops all entries, invoking f on each (oldest first) when non-nil.
+func (q *idxFifo) clear(f func(int32)) {
+	if f != nil {
+		for i := 0; i < q.len(); i++ {
+			f(q.at(i))
+		}
+	}
+	q.head, q.n = 0, 0
 }
 
 // removeIf deletes entries matching pred, preserving order, and calls f on
-// each removed entry.
-func (q *fifo) removeIf(pred func(*dyn) bool, f func(*dyn)) {
-	w := q.head
-	for i := q.head; i < len(q.buf); i++ {
-		d := q.buf[i]
-		if pred(d) {
+// each removed entry when non-nil.
+func (q *idxFifo) removeIf(pred func(int32) bool, f func(int32)) {
+	w := int32(0)
+	for i := int32(0); i < q.n; i++ {
+		s := q.at(int(i))
+		if pred(s) {
 			if f != nil {
-				f(d)
+				f(s)
 			}
 			continue
 		}
-		q.buf[w] = d
+		j := q.head + w
+		if int(j) >= len(q.buf) {
+			j -= int32(len(q.buf))
+		}
+		q.buf[j] = s
 		w++
 	}
-	for i := w; i < len(q.buf); i++ {
-		q.buf[i] = nil
-	}
-	q.buf = q.buf[:w]
+	q.n = w
 }

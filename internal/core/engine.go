@@ -29,30 +29,35 @@ type Engine struct {
 
 	now int64
 
+	// w is the struct-of-arrays window holding every in-flight
+	// instruction; all queues below store window slots.
+	w window
+
 	// Per-thread ROB views. robM and robR share the configured ROB
 	// capacity; robR is unused outside SS2.
-	robM, robR fifo
-	// isqM/isqR are the issue-queue occupants in age order; entries leave
-	// at issue.
-	isqM, isqR []*dyn
+	robM, robR idxFifo
 	// lsq holds M-thread memory operations from dispatch to retirement.
-	lsq fifo
-
+	lsq idxFifo
 	// pendingR holds decoded-but-undispatched R-thread copies (SS2 with
 	// stagger). Its length is the current dispatch stagger.
-	pendingR fifo
+	pendingR idxFifo
 
 	// rename state: last writer of each architectural register, per thread.
-	lastWriter [2][isa.NumArchRegs]depRef
+	lastWriter [2][isa.NumArchRegs]ref
 
 	// fetch state
 	fetchSeq      uint64 // next correct-path sequence number
 	fetchResumeAt int64
 	lastFetchLine uint64
 	haveFetchLine bool
-	fetchBuf      *fetchedInst // one-deep decoupling buffer
-	replay        []isa.Inst   // re-fetch queue after a soft exception
-	wpBranch      *dyn         // unresolved mispredicted correct-path branch
+	// fetchBuf is the one-deep decoupling buffer; fetchTmp is scratch
+	// storage for the instruction currently moving through fetch, kept on
+	// the engine so the hot loop never heap-allocates a fetch record.
+	fetchBuf      fetchedInst
+	fetchBufValid bool
+	fetchTmp      fetchedInst
+	replay        []isa.Inst // re-fetch queue after a soft exception
+	wpBranch      int32      // unresolved mispredicted correct-path branch slot; -1 = none
 
 	// SHREC checker state: the number of check-issued but unretired
 	// entries counted from the ROB head. The oldest unchecked entry is at
@@ -62,13 +67,10 @@ type Engine struct {
 	// branch), so squashes leave it unchanged.
 	checkCount int
 
-	// freelist recycles dyn records.
-	freelist []*dyn
-
-	// tickLoop disables the cycle-skipping fast path and the wakeup
-	// cache, forcing the reference tick-by-tick loop (see Option
-	// WithTickLoop). The equivalence suite runs both loops and asserts
-	// identical results.
+	// tickLoop disables the cycle-skipping fast path and the
+	// store-forwarding memo, forcing the reference tick-by-tick loop (see
+	// Option WithTickLoop). The equivalence suite runs both loops and
+	// asserts identical results.
 	tickLoop bool
 	// progressed records whether the current cycle changed any
 	// microarchitectural state beyond the clock: a fetch, dispatch, issue,
@@ -93,7 +95,7 @@ type Engine struct {
 
 	// retireHook, when non-nil, observes every retiring program
 	// instruction (test instrumentation for retired-stream oracles).
-	retireHook func(d *dyn)
+	retireHook func(isa.Inst)
 
 	// sigLimit bounds the ArchSig fold to the first sigLimit retirements
 	// of the current run target (set by RunBudget). The final cycle of a
@@ -111,10 +113,11 @@ type Option func(*Engine)
 
 // WithTickLoop selects the reference tick-by-tick simulation loop: every
 // cycle is executed individually, with no event-horizon fast-forward and
-// no wakeup-time caching. The default loop is results-identical (the
-// equivalence suite enforces byte-identical Stats and component counters)
-// but skips provably-dead stall cycles; this option exists as the oracle
-// for that suite and as an escape hatch for debugging the skip logic.
+// no store-forwarding memoization. The default loop is results-identical
+// (the equivalence suite enforces byte-identical Stats and component
+// counters) but skips provably-dead stall cycles; this option exists as
+// the oracle for that suite and as an escape hatch for debugging the skip
+// logic.
 func WithTickLoop() Option {
 	return func(e *Engine) { e.tickLoop = true }
 }
@@ -185,6 +188,40 @@ type Stats struct {
 	ArchSig uint64
 }
 
+// Add accumulates other's counters into s field-wise. Cycle-derived sums
+// add, ArchSig is NOT combined here (interval stitching folds signatures
+// in order; see sim), so Add leaves s.ArchSig untouched.
+func (s *Stats) Add(other Stats) {
+	sig := s.ArchSig
+	s.Cycles += other.Cycles
+	s.Retired += other.Retired
+	s.Fetched += other.Fetched
+	s.WrongPathFetched += other.WrongPathFetched
+	s.CondBranches += other.CondBranches
+	s.Mispredicts += other.Mispredicts
+	s.BTBBubbles += other.BTBBubbles
+	s.Squashes += other.Squashes
+	s.SoftExceptions += other.SoftExceptions
+	s.FaultsInjected += other.FaultsInjected
+	s.FaultsDetected += other.FaultsDetected
+	s.SilentCorruptions += other.SilentCorruptions
+	s.FaultDetectLatencySum += other.FaultDetectLatencySum
+	s.FaultsSquashed += other.FaultsSquashed
+	s.IssuedM += other.IssuedM
+	s.IssuedR += other.IssuedR
+	s.IssuedChecker += other.IssuedChecker
+	s.LoadForwards += other.LoadForwards
+	s.RetireStoreStalls += other.RetireStoreStalls
+	s.ROBOccSum += other.ROBOccSum
+	s.ISQOccSum += other.ISQOccSum
+	s.LSQOccSum += other.LSQOccSum
+	s.StaggerSum += other.StaggerSum
+	s.MSHROccSum += other.MSHROccSum
+	s.LoadIssueWaitSum += other.LoadIssueWaitSum
+	s.LoadCount += other.LoadCount
+	s.ArchSig = sig
+}
+
 // IPC returns retired instructions per cycle.
 func (s Stats) IPC() float64 {
 	if s.Cycles == 0 {
@@ -234,20 +271,40 @@ func (s Stats) AvgStagger() float64 {
 	return float64(s.StaggerSum) / float64(s.Cycles)
 }
 
+// windowSlack is the window's capacity margin over ROBSize. Live slots
+// (robM + robR + pendingR occupants) never exceed the ROB capacity — the
+// dispatch guards enforce that — so any positive slack suffices; a few
+// spare slots keep the invariant failure mode a panic instead of silent
+// corruption.
+const windowSlack = 8
+
 // New builds an engine for machine m consuming instructions from source g
 // (a synthetic trace.Generator or a replayed trace.Recording).
 func New(m config.Machine, g trace.Source, opts ...Option) *Engine {
 	if err := m.Validate(); err != nil {
 		panic("core: " + err.Error())
 	}
+	capacity := m.ROBSize + windowSlack
 	e := &Engine{
-		cfg:  m,
-		gen:  g,
-		pred: bpred.NewCombining(m.Bpred),
-		btb:  bpred.NewBTB(m.Bpred.BTBSets, m.Bpred.BTBWays),
-		pool: fu.NewPool(m.FU),
-		mem:  cache.NewHierarchy(m.Mem),
-		frng: rng.New(m.FaultSeed ^ 0xfa117_5eed),
+		cfg:      m,
+		gen:      g,
+		pred:     bpred.NewCombining(m.Bpred),
+		btb:      bpred.NewBTB(m.Bpred.BTBSets, m.Bpred.BTBWays),
+		pool:     fu.NewPool(m.FU),
+		mem:      cache.NewHierarchy(m.Mem),
+		frng:     rng.New(m.FaultSeed ^ 0xfa117_5eed),
+		w:        newWindow(capacity),
+		robM:     newIdxFifo(capacity),
+		robR:     newIdxFifo(capacity),
+		lsq:      newIdxFifo(capacity),
+		pendingR: newIdxFifo(capacity),
+		wpBranch: -1,
+		events:   make([]int64, 0, 4*capacity),
+	}
+	for t := range e.lastWriter {
+		for r := range e.lastWriter[t] {
+			e.lastWriter[t][r] = noRef
+		}
 	}
 	if m.CheckerDedicatedFU {
 		e.checkerPool = fu.NewPool(m.FU)
@@ -295,25 +352,6 @@ func (e *Engine) WarmupContext(ctx context.Context, n uint64) error {
 	}
 	e.ResetStats()
 	return nil
-}
-
-// alloc obtains a recycled or fresh dyn record.
-func (e *Engine) alloc() *dyn {
-	if n := len(e.freelist); n > 0 {
-		d := e.freelist[n-1]
-		e.freelist = e.freelist[:n-1]
-		gen := d.gen + 1
-		*d = dyn{gen: gen, completeAt: notDone, checkedAt: notDone, complete2At: notDone}
-		return d
-	}
-	return &dyn{completeAt: notDone, checkedAt: notDone, complete2At: notDone}
-}
-
-// free returns a dyn record to the pool, bumping its generation so stale
-// depRefs recognize the recycling.
-func (e *Engine) free(d *dyn) {
-	d.gen++
-	e.freelist = append(e.freelist, d)
 }
 
 // Run simulates until n correct-path instructions have retired and returns
@@ -406,7 +444,7 @@ func (e *Engine) cycle() {
 
 	// Occupancy accounting.
 	e.stats.ROBOccSum += uint64(e.robM.len() + e.robR.len())
-	e.stats.ISQOccSum += uint64(len(e.isqM) + len(e.isqR))
+	e.stats.ISQOccSum += uint64(e.w.isqCount[ThreadM] + e.w.isqCount[ThreadR])
 	e.stats.LSQOccSum += uint64(e.lsq.len())
 	e.stats.StaggerSum += uint64(e.pendingR.len())
 	e.stats.MSHROccSum += uint64(e.mem.MSHR().InFlight())
@@ -475,7 +513,7 @@ func (e *Engine) fastForward() {
 	e.stats.Cycles += skip
 	e.stats.RetireStoreStalls += k * (e.stats.RetireStoreStalls - retireStallsBefore)
 	e.stats.ROBOccSum += k * uint64(e.robM.len()+e.robR.len())
-	e.stats.ISQOccSum += k * uint64(len(e.isqM)+len(e.isqR))
+	e.stats.ISQOccSum += k * uint64(e.w.isqCount[ThreadM]+e.w.isqCount[ThreadR])
 	e.stats.LSQOccSum += k * uint64(e.lsq.len())
 	e.stats.StaggerSum += k * uint64(e.pendingR.len())
 	e.stats.MSHROccSum += k * uint64(e.mem.MSHR().InFlight())
@@ -609,13 +647,13 @@ func (e *Engine) nextEventAt() int64 {
 // executes, and schedules the fetch redirect.
 func (e *Engine) resolveBranch() {
 	br := e.wpBranch
-	if br == nil || !br.completed(e.now) {
+	if br < 0 || !e.w.completed(br, e.now) {
 		return
 	}
-	e.wpBranch = nil
+	e.wpBranch = -1
 	e.progressed = true
+	resume := e.w.completeAt[br] + int64(e.cfg.Bpred.MispredictPenalty)
 	e.squashWrongPath()
-	resume := br.completeAt + int64(e.cfg.Bpred.MispredictPenalty)
 	if resume < e.now {
 		resume = e.now
 	}
@@ -627,49 +665,38 @@ func (e *Engine) resolveBranch() {
 }
 
 // squashWrongPath removes every wrong-path instruction from the pipeline
-// and rolls back rename state.
+// and rolls back rename state. Wrong-path instructions are a contiguous
+// young suffix of the window ring (everything allocated after the
+// mispredicted branch), so the window rewinds its tail; the queues drop
+// matching slots in place.
 func (e *Engine) squashWrongPath() {
+	w := &e.w
 	// Roll back rename state youngest-first so lastWriter ends up at the
-	// youngest surviving writer.
-	rollback := func(q *fifo) {
-		for i := len(q.buf) - 1; i >= q.head; i-- {
-			d := q.buf[i]
-			if !d.wrongPath {
-				break // wrong-path entries are a contiguous young suffix
+	// youngest surviving writer. Only robM/robR entries renamed (pendingR
+	// copies have not, and never touch lastWriter).
+	rollback := func(q *idxFifo) {
+		for i := q.len() - 1; i >= 0; i-- {
+			s := q.at(i)
+			if w.flags[s]&fWrongPath == 0 {
+				break
 			}
-			if d.inst.Dest != isa.RegNone {
-				e.lastWriter[d.thread][d.inst.Dest] = d.prevWriter
+			if dst := w.inst[s].Dest; dst != isa.RegNone {
+				e.lastWriter[w.thread(s)][dst] = w.prevWriter[s]
 			}
 		}
 	}
 	rollback(&e.robM)
 	rollback(&e.robR)
 
-	wp := func(d *dyn) bool { return d.wrongPath }
-	e.robM.removeIf(wp, e.free)
-	e.robR.removeIf(wp, e.free)
+	wp := func(s int32) bool { return w.flags[s]&fWrongPath != 0 }
+	e.robM.removeIf(wp, nil)
+	e.robR.removeIf(wp, nil)
 	e.lsq.removeIf(wp, nil)
-	e.pendingR.removeIf(wp, e.free)
-	e.isqM = filterISQ(e.isqM, wp)
-	e.isqR = filterISQ(e.isqR, wp)
-	if e.fetchBuf != nil && e.fetchBuf.wrongPath {
-		e.fetchBuf = nil
+	e.pendingR.removeIf(wp, nil)
+	w.rewindWrongPath()
+	if e.fetchBufValid && e.fetchBuf.wrongPath {
+		e.fetchBufValid = false
 	}
-}
-
-// filterISQ removes entries matching pred, preserving age order.
-func filterISQ(q []*dyn, pred func(*dyn) bool) []*dyn {
-	w := 0
-	for _, d := range q {
-		if !pred(d) {
-			q[w] = d
-			w++
-		}
-	}
-	for i := w; i < len(q); i++ {
-		q[i] = nil
-	}
-	return q[:w]
 }
 
 // softException squashes the entire pipeline after a detected fault and
@@ -678,6 +705,7 @@ func filterISQ(q []*dyn, pred func(*dyn) bool) []*dyn {
 func (e *Engine) softException() {
 	e.stats.SoftExceptions++
 	e.progressed = true
+	w := &e.w
 
 	// Capture correct-path instructions in program order for replay,
 	// accounting in-flight faults that this squash wipes (their replays
@@ -687,37 +715,36 @@ func (e *Engine) softException() {
 	// which has not dispatched yet — appending would scramble program
 	// order whenever a second fault is detected mid-replay.
 	captured := make([]isa.Inst, 0, e.robM.len()+1+len(e.replay))
-	for i := e.robM.head; i < len(e.robM.buf); i++ {
-		d := e.robM.buf[i]
-		if !d.wrongPath {
-			captured = append(captured, d.inst)
+	for i := 0; i < e.robM.len(); i++ {
+		s := e.robM.at(i)
+		if w.flags[s]&fWrongPath == 0 {
+			captured = append(captured, w.inst[s])
 		}
-		if d.faulty || d.faulty2 {
+		if w.flags[s]&(fFaulty|fFaulty2) != 0 {
 			e.stats.FaultsSquashed++
 		}
 	}
-	for i := e.robR.head; i < len(e.robR.buf); i++ {
-		if d := e.robR.buf[i]; d.faulty || d.faulty2 {
+	for i := 0; i < e.robR.len(); i++ {
+		if s := e.robR.at(i); w.flags[s]&(fFaulty|fFaulty2) != 0 {
 			e.stats.FaultsSquashed++
 		}
 	}
-	if e.fetchBuf != nil && !e.fetchBuf.wrongPath {
+	if e.fetchBufValid && !e.fetchBuf.wrongPath {
 		captured = append(captured, e.fetchBuf.inst)
 	}
-	e.fetchBuf = nil
+	e.fetchBufValid = false
 	e.replay = append(captured, e.replay...)
 
-	e.robM.clear(e.free)
-	e.robR.clear(e.free)
-	e.pendingR.clear(e.free)
-	e.lsq.clear(func(*dyn) {})
-	e.isqM = e.isqM[:0]
-	e.isqR = e.isqR[:0]
+	e.robM.clear(nil)
+	e.robR.clear(nil)
+	e.pendingR.clear(nil)
+	e.lsq.clear(nil)
+	w.reset()
 	e.checkCount = 0
-	e.wpBranch = nil
+	e.wpBranch = -1
 	for t := range e.lastWriter {
 		for r := range e.lastWriter[t] {
-			e.lastWriter[t][r] = depRef{}
+			e.lastWriter[t][r] = noRef
 		}
 	}
 	e.fetchResumeAt = e.now + int64(e.cfg.Bpred.MispredictPenalty)

@@ -161,7 +161,7 @@ func TestStaggerBound(t *testing.T) {
 		if e.robM.len()+e.robR.len() > m.ROBSize {
 			t.Fatalf("ROB occupancy exceeded capacity")
 		}
-		if len(e.isqM)+len(e.isqR) > m.ISQSize {
+		if e.w.isqCount[ThreadM]+e.w.isqCount[ThreadR] > m.ISQSize {
 			t.Fatalf("ISQ occupancy exceeded capacity")
 		}
 		if e.lsq.len() > m.LSQSize {
@@ -178,7 +178,7 @@ func TestLockstepOccupancyInvariants(t *testing.T) {
 		if e.robM.len()+e.robR.len() > m.ROBSize {
 			t.Fatal("ROB over capacity")
 		}
-		if len(e.isqM)+len(e.isqR) > m.ISQSize {
+		if e.w.isqCount[ThreadM]+e.w.isqCount[ThreadR] > m.ISQSize {
 			t.Fatal("ISQ over capacity")
 		}
 		if e.pendingR.len() != 0 {
@@ -200,7 +200,7 @@ func TestRetirementInProgramOrder(t *testing.T) {
 				t.Fatalf("%s: retired count decreased", m.Name)
 			}
 			if !e.robM.empty() {
-				head := int64(e.robM.front().seq)
+				head := int64(e.w.seq[e.robM.front()])
 				if head < lastSeq {
 					t.Fatalf("%s: ROB head went backwards (%d after %d)", m.Name, head, lastSeq)
 				}

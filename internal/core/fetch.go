@@ -33,7 +33,7 @@ func (e *Engine) robFree() int {
 
 // isqFree returns the number of unallocated ISQ entries.
 func (e *Engine) isqFree() int {
-	return e.cfg.ISQSize - len(e.isqM) - len(e.isqR)
+	return e.cfg.ISQSize - e.w.isqCount[ThreadM] - e.w.isqCount[ThreadR]
 }
 
 // lsqSpace reports whether a memory operation can allocate an LSQ entry,
@@ -50,16 +50,17 @@ func (e *Engine) lsqSpace() bool {
 	if !e.tickLoop && e.now < e.lsqNextFree {
 		return false
 	}
+	w := &e.w
 	now := e.now
 	next := notDone
-	e.lsq.removeIf(func(d *dyn) bool {
-		if d.inst.IsLoad() {
-			if d.completed(now) {
-				d.inLSQ = false
+	e.lsq.removeIf(func(s int32) bool {
+		if w.inst[s].IsLoad() {
+			if w.completed(s, now) {
+				w.flags[s] &^= fInLSQ
 				return true
 			}
-			if d.issued && d.completeAt < next {
-				next = d.completeAt
+			if w.flags[s]&fIssued != 0 && w.completeAt[s] < next {
+				next = w.completeAt[s]
 			}
 		}
 		return false
@@ -102,7 +103,8 @@ func (e *Engine) dispatchM(budget *int) {
 		}
 		if f.inst.Class.IsMem() && !f.wrongPath && !e.lsqSpace() {
 			// No LSQ entry: hold the instruction in the fetch buffer.
-			e.fetchBuf = f
+			e.fetchBuf = *f
+			e.fetchBufValid = true
 			return
 		}
 		if !f.predDone {
@@ -144,7 +146,8 @@ func (e *Engine) dispatchLockstep(budget *int) {
 			return
 		}
 		if f.inst.Class.IsMem() && !f.wrongPath && !e.lsqSpace() {
-			e.fetchBuf = f
+			e.fetchBuf = *f
+			e.fetchBufValid = true
 			return
 		}
 		if !f.predDone {
@@ -184,9 +187,9 @@ func (e *Engine) dispatchR(budget *int) {
 
 // postFetch applies post-dispatch fetch redirection: entering wrong-path
 // mode after a mispredicted branch and charging the BTB-miss bubble.
-func (e *Engine) postFetch(f *fetchedInst, d *dyn) {
+func (e *Engine) postFetch(f *fetchedInst, d int32) {
 	if f.mispredict && !f.wrongPath {
-		d.mispredict = true
+		e.w.flags[d] |= fMispredict
 		e.wpBranch = d
 	}
 	if f.btbBubble {
@@ -199,20 +202,23 @@ func (e *Engine) postFetch(f *fetchedInst, d *dyn) {
 
 // nextFetch returns the next instruction to dispatch, accounting for the
 // fetch-redirect timer, the replay queue, wrong-path mode, and I-cache
-// timing. A nil return means no instruction is available this cycle.
+// timing. A nil return means no instruction is available this cycle. The
+// returned pointer aliases e.fetchTmp — engine-owned scratch, valid until
+// the next nextFetch call — so the hot path heap-allocates nothing.
 func (e *Engine) nextFetch() *fetchedInst {
-	if e.fetchBuf != nil {
-		f := e.fetchBuf
-		e.fetchBuf = nil
-		return f
+	if e.fetchBufValid {
+		e.fetchTmp = e.fetchBuf
+		e.fetchBufValid = false
+		return &e.fetchTmp
 	}
 	if e.now < e.fetchResumeAt {
 		return nil
 	}
 
-	var f fetchedInst
+	f := &e.fetchTmp
+	*f = fetchedInst{}
 	switch {
-	case e.wpBranch != nil:
+	case e.wpBranch >= 0:
 		f.inst = e.gen.NextWrongPath()
 		f.wrongPath = true
 		e.stats.WrongPathFetched++
@@ -243,11 +249,12 @@ func (e *Engine) nextFetch() *fetchedInst {
 		e.haveFetchLine = true
 		if ready > e.now+int64(e.cfg.Mem.L1HitLat) {
 			e.fetchResumeAt = ready
-			e.fetchBuf = &f
+			e.fetchBuf = *f
+			e.fetchBufValid = true
 			return nil
 		}
 	}
-	return &f
+	return f
 }
 
 // predictBranch consults the direction predictor and BTB exactly once per
@@ -308,60 +315,77 @@ func (e *Engine) predictBranch(f *fetchedInst) {
 
 // dispatchInst renames and allocates one instruction into the back-end
 // structures.
-func (e *Engine) dispatchInst(f *fetchedInst, t Thread) *dyn {
-	d := e.alloc()
-	d.seq = f.seq
-	d.inst = f.inst
-	d.thread = t
-	d.wrongPath = f.wrongPath
-	d.dispatchedAt = e.now
+func (e *Engine) dispatchInst(f *fetchedInst, t Thread) int32 {
+	w := &e.w
+	s := w.alloc(f.seq, f.inst, t, f.wrongPath, e.now)
 	e.progressed = true
-	e.rename(d)
-
-	e.robM.push(d)
-	e.isqM = append(e.isqM, d)
-	if d.inst.Class.IsMem() && !d.wrongPath {
-		d.inLSQ = true
-		e.lsq.push(d)
+	e.rename(s)
+	if w.waitCnt[s] == 0 {
+		w.setReady(s)
 	}
-	return d
+	e.robM.push(s)
+	w.setISQ(ThreadM, s)
+	if f.inst.Class.IsMem() && !f.wrongPath {
+		w.flags[s] |= fInLSQ
+		e.lsq.push(s)
+	}
+	return s
 }
 
 // makeRCopy allocates the redundant copy of a just-dispatched M
-// instruction and links the pair. The copy is renamed when it dispatches.
-func (e *Engine) makeRCopy(m *dyn) *dyn {
-	r := e.alloc()
-	r.seq = m.seq
-	r.inst = m.inst
-	r.thread = ThreadR
-	r.wrongPath = m.wrongPath
-	r.pair = m
-	m.pair = r
+// instruction and links the pair. The copy is renamed when it dispatches;
+// allocating it immediately after its M copy keeps ring order equal to
+// global (seq, M-before-R) age order.
+func (e *Engine) makeRCopy(m int32) int32 {
+	w := &e.w
+	r := w.alloc(w.seq[m], w.inst[m], ThreadR, w.flags[m]&fWrongPath != 0, e.now)
+	w.pair[r] = ref{slot: m, gen: w.gen[m]}
+	w.pair[m] = ref{slot: r, gen: w.gen[r]}
 	return r
 }
 
 // dispatchRCopy renames and allocates a pending R copy.
-func (e *Engine) dispatchRCopy(r *dyn) {
-	r.dispatchedAt = e.now
+func (e *Engine) dispatchRCopy(r int32) {
+	w := &e.w
+	w.dispatchedAt[r] = e.now
 	e.progressed = true
 	e.rename(r)
+	if w.inst[r].IsLoad() {
+		// The R copy reads its value from the LVQ, available once the M
+		// copy's access completes: register the pair as a producer.
+		w.addDep(r, w.pair[r])
+	}
+	if w.waitCnt[r] == 0 {
+		w.setReady(r)
+	}
 	e.robR.push(r)
-	e.isqR = append(e.isqR, r)
+	w.setISQ(ThreadR, r)
 }
 
-// rename captures producer links for the instruction's sources and claims
-// the destination register in its thread's map.
-func (e *Engine) rename(d *dyn) {
-	lw := &e.lastWriter[d.thread]
-	in := &d.inst
+// rename captures producer links for the instruction's sources, registers
+// the consumer with each live unissued producer (issued producers fold
+// their completion time instead), and claims the destination register in
+// the thread's map.
+func (e *Engine) rename(s int32) {
+	w := &e.w
+	lw := &e.lastWriter[w.thread(s)]
+	in := &w.inst[s]
 	if in.Src1 != isa.RegNone {
-		d.dep1 = lw[in.Src1]
+		r := lw[in.Src1]
+		w.dep1[s] = r
+		w.addDep(s, r)
 	}
 	if in.Src2 != isa.RegNone {
-		d.dep2 = lw[in.Src2]
+		r := lw[in.Src2]
+		w.dep2[s] = r
+		// A shared producer registers once: one broadcast must balance
+		// exactly one waitCnt increment.
+		if r != w.dep1[s] {
+			w.addDep(s, r)
+		}
 	}
 	if in.Dest != isa.RegNone {
-		d.prevWriter = lw[in.Dest]
-		lw[in.Dest] = depRef{d: d, gen: d.gen}
+		w.prevWriter[s] = lw[in.Dest]
+		lw[in.Dest] = ref{slot: s, gen: w.gen[s]}
 	}
 }

@@ -4,21 +4,34 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/isa"
 	"repro/internal/rng"
 )
 
-func TestFifoBasics(t *testing.T) {
-	var q fifo
-	if !q.empty() || q.len() != 0 {
-		t.Fatal("zero value not empty")
+// isqSlots collects thread t's issue-queue occupants in window age order
+// (test helper shared by the invariant tests).
+func (e *Engine) isqSlots(t Thread) []int32 {
+	var out []int32
+	for i := int32(0); i < e.w.n; i++ {
+		s := e.w.ringSlot(i)
+		if e.w.inISQ(t, s) {
+			out = append(out, s)
+		}
 	}
-	a, b := &dyn{seq: 1}, &dyn{seq: 2}
-	q.push(a)
-	q.push(b)
-	if q.len() != 2 || q.front() != a || q.at(1) != b {
+	return out
+}
+
+func TestFifoBasics(t *testing.T) {
+	q := newIdxFifo(8)
+	if !q.empty() || q.len() != 0 {
+		t.Fatal("fresh fifo not empty")
+	}
+	q.push(1)
+	q.push(2)
+	if q.len() != 2 || q.front() != 1 || q.at(1) != 2 {
 		t.Fatal("push/front/at broken")
 	}
-	if q.pop() != a || q.pop() != b {
+	if q.pop() != 1 || q.pop() != 2 {
 		t.Fatal("pop order broken")
 	}
 	if !q.empty() {
@@ -29,23 +42,22 @@ func TestFifoBasics(t *testing.T) {
 // Property: any interleaving of pushes and pops preserves FIFO order.
 func TestFifoOrderProperty(t *testing.T) {
 	f := func(ops []bool, seed uint64) bool {
-		var q fifo
+		q := newIdxFifo(2*len(ops) + 4)
 		r := rng.New(seed)
-		nextPush, nextPop := uint64(0), uint64(0)
+		nextPush, nextPop := int32(0), int32(0)
 		for _, isPush := range ops {
 			if isPush || q.empty() {
-				q.push(&dyn{seq: nextPush})
+				q.push(nextPush)
 				nextPush++
 			} else {
-				d := q.pop()
-				if d.seq != nextPop {
+				if q.pop() != nextPop {
 					return false
 				}
 				nextPop++
 			}
-			// Occasionally force extra pops to exercise compaction.
+			// Occasionally force extra pops to exercise wrap.
 			if r.Bool(0.3) && !q.empty() {
-				if q.pop().seq != nextPop {
+				if q.pop() != nextPop {
 					return false
 				}
 				nextPop++
@@ -58,46 +70,48 @@ func TestFifoOrderProperty(t *testing.T) {
 	}
 }
 
-// Compaction at large head offsets must preserve contents.
-func TestFifoCompaction(t *testing.T) {
-	var q fifo
-	const n = 20000
-	for i := 0; i < n; i++ {
-		q.push(&dyn{seq: uint64(i)})
-	}
-	for i := 0; i < n-10; i++ {
-		if got := q.pop().seq; got != uint64(i) {
-			t.Fatalf("pop %d returned seq %d", i, got)
+// The ring must wrap cleanly: sustained push/pop traffic far beyond the
+// capacity preserves order and contents.
+func TestFifoWrap(t *testing.T) {
+	q := newIdxFifo(7)
+	next, want := int32(0), int32(0)
+	for round := 0; round < 100; round++ {
+		for q.len() < 5 {
+			q.push(next)
+			next++
+		}
+		for q.len() > 2 {
+			if got := q.pop(); got != want {
+				t.Fatalf("round %d: pop = %d, want %d", round, got, want)
+			}
+			want++
 		}
 	}
-	// Push after compaction and drain the remainder.
-	q.push(&dyn{seq: n})
-	want := uint64(n - 10)
 	for !q.empty() {
-		if got := q.pop().seq; got != want {
-			t.Fatalf("post-compaction pop = %d, want %d", got, want)
+		if got := q.pop(); got != want {
+			t.Fatalf("drain: pop = %d, want %d", got, want)
 		}
 		want++
 	}
-	if want != n+1 {
-		t.Fatalf("drained to %d, want %d", want, n+1)
+	if want != next {
+		t.Fatalf("drained to %d, want %d", want, next)
 	}
 }
 
 func TestFifoRemoveIf(t *testing.T) {
-	var q fifo
-	for i := 0; i < 10; i++ {
-		q.push(&dyn{seq: uint64(i), wrongPath: i%2 == 1})
+	q := newIdxFifo(16)
+	for i := int32(0); i < 10; i++ {
+		q.push(i)
 	}
-	var removed []uint64
-	q.removeIf(func(d *dyn) bool { return d.wrongPath },
-		func(d *dyn) { removed = append(removed, d.seq) })
+	var removed []int32
+	q.removeIf(func(s int32) bool { return s%2 == 1 },
+		func(s int32) { removed = append(removed, s) })
 	if q.len() != 5 {
 		t.Fatalf("len = %d", q.len())
 	}
 	for i := 0; i < q.len(); i++ {
-		if q.at(i).seq != uint64(2*i) {
-			t.Fatalf("survivor %d has seq %d", i, q.at(i).seq)
+		if q.at(i) != int32(2*i) {
+			t.Fatalf("survivor %d is %d", i, q.at(i))
 		}
 	}
 	if len(removed) != 5 || removed[0] != 1 || removed[4] != 9 {
@@ -106,27 +120,27 @@ func TestFifoRemoveIf(t *testing.T) {
 }
 
 func TestFifoRemoveIfAfterPops(t *testing.T) {
-	var q fifo
-	for i := 0; i < 8; i++ {
-		q.push(&dyn{seq: uint64(i)})
+	q := newIdxFifo(8)
+	for i := int32(0); i < 8; i++ {
+		q.push(i)
 	}
 	q.pop()
 	q.pop()
-	q.removeIf(func(d *dyn) bool { return d.seq%2 == 0 }, nil)
+	q.removeIf(func(s int32) bool { return s%2 == 0 }, nil)
 	// Remaining: 3, 5, 7.
-	if q.len() != 3 || q.front().seq != 3 || q.at(2).seq != 7 {
+	if q.len() != 3 || q.front() != 3 || q.at(2) != 7 {
 		t.Fatalf("post-pop removeIf broken: len=%d", q.len())
 	}
 }
 
 func TestFifoClear(t *testing.T) {
-	var q fifo
-	for i := 0; i < 5; i++ {
-		q.push(&dyn{seq: uint64(i)})
+	q := newIdxFifo(8)
+	for i := int32(0); i < 5; i++ {
+		q.push(i)
 	}
 	q.pop()
-	var seen []uint64
-	q.clear(func(d *dyn) { seen = append(seen, d.seq) })
+	var seen []int32
+	q.clear(func(s int32) { seen = append(seen, s) })
 	if !q.empty() {
 		t.Fatal("clear left entries")
 	}
@@ -135,27 +149,144 @@ func TestFifoClear(t *testing.T) {
 	}
 }
 
-func TestDepRefReady(t *testing.T) {
-	d := &dyn{gen: 5, completeAt: 100}
-	ref := depRef{d: d, gen: 5}
-	if ref.ready(50) {
-		t.Fatal("unissued producer reported ready")
+// Ring allocation recycles slots with generation bumps, so stale refs die
+// exactly when their slot is freed.
+func TestWindowRingRecycling(t *testing.T) {
+	w := newWindow(4)
+	var prev ref
+	for i := 0; i < 10; i++ {
+		s := w.alloc(uint64(i), isa.Inst{}, ThreadM, false, 0)
+		r := ref{slot: s, gen: w.gen[s]}
+		if !w.live(r) {
+			t.Fatalf("alloc %d: fresh ref not live", i)
+		}
+		if i > 0 && w.live(prev) {
+			t.Fatalf("alloc %d: freed ref still live", i)
+		}
+		if w.n != 1 {
+			t.Fatalf("alloc %d: n = %d", i, w.n)
+		}
+		w.freeHead(s)
+		prev = r
 	}
-	d.issued = true
-	if ref.ready(99) {
-		t.Fatal("ready before completion")
+	if w.live(noRef) {
+		t.Fatal("noRef must never be live")
 	}
-	if !ref.ready(100) {
-		t.Fatal("not ready at completion")
+}
+
+// addDep/broadcast bookkeeping: waits balance broadcasts, completion times
+// fold into readyAt, and the ready mask arms at waitCnt zero.
+func TestWindowWakeup(t *testing.T) {
+	w := newWindow(8)
+	p := w.alloc(0, isa.Inst{}, ThreadM, false, 0)
+	c := w.alloc(1, isa.Inst{}, ThreadM, false, 0)
+	w.addDep(c, ref{slot: p, gen: w.gen[p]})
+	if w.waitCnt[c] != 1 {
+		t.Fatalf("waitCnt = %d after registering one producer", w.waitCnt[c])
 	}
-	// Recycled producer (generation bumped) counts as ready.
-	d.gen++
-	d.issued = false
-	if !ref.ready(0) {
-		t.Fatal("recycled producer must be treated as completed")
+	if w.ready[c>>6]&(1<<uint(c&63)) != 0 {
+		t.Fatal("waiting consumer must not be ready")
 	}
-	if !(depRef{}).ready(0) {
-		t.Fatal("nil producer must be ready")
+	w.flags[p] |= fIssued
+	w.completeAt[p] = 42
+	w.broadcast(p, 42)
+	if w.waitCnt[c] != 0 || w.readyAt[c] != 42 {
+		t.Fatalf("broadcast left waitCnt=%d readyAt=%d", w.waitCnt[c], w.readyAt[c])
+	}
+	if w.ready[c>>6]&(1<<uint(c&63)) == 0 {
+		t.Fatal("woken consumer must be ready")
+	}
+
+	// Registering against an already-issued producer folds its completion
+	// time without waiting.
+	d := w.alloc(2, isa.Inst{}, ThreadM, false, 0)
+	w.addDep(d, ref{slot: p, gen: w.gen[p]})
+	if w.waitCnt[d] != 0 || w.readyAt[d] != 42 {
+		t.Fatalf("issued producer fold: waitCnt=%d readyAt=%d", w.waitCnt[d], w.readyAt[d])
+	}
+
+	// A stale reference (producer freed) contributes nothing.
+	stale := ref{slot: p, gen: w.gen[p] - 1}
+	w.addDep(d, stale)
+	if w.waitCnt[d] != 0 {
+		t.Fatal("stale producer registered a wait")
+	}
+}
+
+// unregisterDeps must clear consumer bits from unissued producers so a
+// squashed consumer cannot be woken into a recycled slot.
+func TestWindowUnregister(t *testing.T) {
+	w := newWindow(8)
+	p := w.alloc(0, isa.Inst{}, ThreadM, false, 0)
+	c := w.alloc(1, isa.Inst{}, ThreadM, true, 0)
+	w.dep1[c] = ref{slot: p, gen: w.gen[p]}
+	w.addDep(c, w.dep1[c])
+	w.rewindWrongPath()
+	if w.n != 1 {
+		t.Fatalf("rewind left n = %d", w.n)
+	}
+	row := w.consumers[int(p)*int(w.words) : (int(p)+1)*int(w.words)]
+	for _, word := range row {
+		if word != 0 {
+			t.Fatal("squashed consumer bit survived in producer row")
+		}
+	}
+	// Broadcast after the squash must wake nobody.
+	w.flags[p] |= fIssued
+	w.broadcast(p, 10)
+}
+
+// forEachCandidate visits ring age order — including across the wrap seam
+// — and honors early termination.
+func TestWindowScanOrder(t *testing.T) {
+	w := newWindow(5)
+	for i := 0; i < 3; i++ {
+		s := w.alloc(uint64(i), isa.Inst{}, ThreadM, false, 0)
+		w.freeHead(s)
+	}
+	// head = tail = 3: the next four allocations wrap to 3, 4, 0, 1.
+	var want []int32
+	for i := 0; i < 4; i++ {
+		s := w.alloc(uint64(10+i), isa.Inst{}, ThreadM, false, 0)
+		w.setISQ(ThreadM, s)
+		w.setReady(s)
+		want = append(want, s)
+	}
+	var got []int32
+	w.forEachCandidate(w.isq[ThreadM], nil, func(s int32) bool {
+		got = append(got, s)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v (age order across wrap)", got, want)
+		}
+	}
+
+	// Early stop after the first visit.
+	got = got[:0]
+	w.forEachCandidate(w.isq[ThreadM], nil, func(s int32) bool {
+		got = append(got, s)
+		return false
+	})
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("early stop visited %v", got)
+	}
+
+	// Union scan (second mask) sees entries from either mask.
+	extra := want[2]
+	w.clearISQ(ThreadM, extra)
+	w.setISQ(ThreadR, extra)
+	got = got[:0]
+	w.forEachCandidate(w.isq[ThreadM], w.isq[ThreadR], func(s int32) bool {
+		got = append(got, s)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("union scan visited %v, want %v", got, want)
 	}
 }
 

@@ -15,23 +15,27 @@ import (
 //     are considered in global age order, interleaving the pairs.
 //   - SS2 with stagger: static priority to the M-thread; the R-thread uses
 //     the slack.
+//
+// Candidate selection is bitmap driven: the scan walks (isq AND ready)
+// words in ring age order, so entries with unissued producers cost nothing
+// until their last producer's issue-time broadcast re-arms them.
 func (e *Engine) issue() {
 	budget := e.cfg.IssueWidth
 	switch e.cfg.Mode {
 	case config.ModeSS2:
 		if e.cfg.MaxStagger > 0 {
-			e.isqM = e.issueFrom(e.isqM, &budget, &e.stats.IssuedM)
-			e.isqR = e.issueFrom(e.isqR, &budget, &e.stats.IssuedR)
+			e.issueFrom(ThreadM, &budget, &e.stats.IssuedM)
+			e.issueFrom(ThreadR, &budget, &e.stats.IssuedR)
 		} else {
 			e.issueMerged(&budget)
 		}
 	case config.ModeSHREC:
-		e.isqM = e.issueFrom(e.isqM, &budget, &e.stats.IssuedM)
+		e.issueFrom(ThreadM, &budget, &e.stats.IssuedM)
 		e.checkerIssue(&budget)
 	case config.ModeO3RS:
 		e.issueO3RS(&budget)
 	default:
-		e.isqM = e.issueFrom(e.isqM, &budget, &e.stats.IssuedM)
+		e.issueFrom(ThreadM, &budget, &e.stats.IssuedM)
 	}
 }
 
@@ -41,46 +45,39 @@ func (e *Engine) issue() {
 // LVQ) may issue from the same cycle onward, and only then is the entry
 // released. Both executions consume issue slots and functional units.
 func (e *Engine) issueO3RS(budget *int) {
-	q := e.isqM
-	w := 0
-	for i, d := range q {
-		if *budget == 0 {
-			copy(q[w:], q[i:])
-			w += len(q) - i
-			break
-		}
-		if !d.issued {
-			if d.wakeAt <= e.now && e.tryIssueOne(d) {
+	w := &e.w
+	if *budget == 0 || w.isqCount[ThreadM] == 0 {
+		return
+	}
+	w.forEachCandidate(w.isq[ThreadM], nil, func(s int32) bool {
+		if w.flags[s]&fIssued == 0 {
+			if e.tryIssueOne(s) {
 				e.stats.IssuedM++
 				*budget--
 			}
 		}
-		if d.issued && !d.issued2 && *budget > 0 {
-			if e.tryIssueSecond(d) {
+		if w.flags[s]&(fIssued|fIssued2) == fIssued && *budget > 0 {
+			if e.tryIssueSecond(s) {
 				e.stats.IssuedR++
 				*budget--
 			}
 		}
-		if d.issued && d.issued2 {
-			continue // release the entry
+		if w.flags[s]&(fIssued|fIssued2) == fIssued|fIssued2 {
+			w.clearISQ(ThreadM, s) // release the entry
 		}
-		q[w] = d
-		w++
-	}
-	for i := w; i < len(q); i++ {
-		q[i] = nil
-	}
-	e.isqM = q[:w]
+		return *budget > 0
+	})
 }
 
 // tryIssueSecond attempts the O3RS re-execution of an already-issued
 // instruction.
-func (e *Engine) tryIssueSecond(d *dyn) bool {
-	op := d.inst.Class
-	if d.inst.IsLoad() {
+func (e *Engine) tryIssueSecond(s int32) bool {
+	w := &e.w
+	op := w.inst[s].Class
+	if w.inst[s].IsLoad() {
 		// The re-execution verifies address generation and compares the
 		// LVQ value, which requires the first access to have completed.
-		if !d.completed(e.now) {
+		if !w.completed(s, e.now) {
 			return false
 		}
 		op = isa.OpLoad // address generation slot, no cache access
@@ -89,140 +86,106 @@ func (e *Engine) tryIssueSecond(d *dyn) bool {
 	if !ok {
 		return false
 	}
-	d.issued2 = true
-	d.complete2At = done
+	w.flags[s] |= fIssued2
+	w.complete2At[s] = done
 	e.schedule(done)
 	e.progressed = true
-	if e.faultEligible(d) && e.frng.Bool(e.cfg.FaultRate) {
-		d.faulty2 = true
-		if !d.faulty {
-			d.faultAt = e.now
+	if e.faultEligible(s) && e.frng.Bool(e.cfg.FaultRate) {
+		if w.flags[s]&fFaulty == 0 {
+			w.faultAt[s] = e.now
 		}
+		w.flags[s] |= fFaulty2
 		e.stats.FaultsInjected++
 	}
 	return true
 }
 
-// issueFrom scans one queue in age order, issuing every ready entry until
-// the budget runs out. Issued entries are removed in place.
-func (e *Engine) issueFrom(q []*dyn, budget *int, counter *uint64) []*dyn {
-	if *budget == 0 || len(q) == 0 {
-		return q
+// issueFrom scans one thread's issue queue in age order, issuing every
+// ready entry until the budget runs out. Issued entries leave the queue
+// mask.
+func (e *Engine) issueFrom(t Thread, budget *int, counter *uint64) {
+	w := &e.w
+	if *budget == 0 || w.isqCount[t] == 0 {
+		return
 	}
-	w := 0
-	for i, d := range q {
-		if *budget == 0 {
-			// Keep the remainder untouched.
-			copy(q[w:], q[i:])
-			w += len(q) - i
-			break
-		}
-		// Hoisted wakeup gate: the dominant case during stalls is an
-		// entry provably waiting on a known completion; skip it without
-		// the call.
-		if d.wakeAt <= e.now && e.tryIssueOne(d) {
+	w.forEachCandidate(w.isq[t], nil, func(s int32) bool {
+		if e.tryIssueOne(s) {
 			*counter++
 			*budget--
-			continue
+			w.clearISQ(t, s)
 		}
-		q[w] = d
-		w++
-	}
-	for i := w; i < len(q); i++ {
-		q[i] = nil
-	}
-	return q[:w]
+		return *budget > 0
+	})
 }
 
 // issueMerged considers both thread queues in global (seq, thread) age
-// order — fair competition between the lockstep threads.
+// order — fair competition between the lockstep threads. Each queue is
+// walked as a stream in dispatch order and the streams merge by comparing
+// head seqs, M winning ties. The comparison is between stream HEADS, not a
+// global sort: wrong-path entries carry seq 0, so once the older M entries
+// ahead of one drain, it outranks every resident correct-path R copy.
 func (e *Engine) issueMerged(budget *int) {
-	i, j := 0, 0
-	wM, wR := 0, 0
-	for (i < len(e.isqM) || j < len(e.isqR)) && *budget > 0 {
-		var d *dyn
-		takeM := j >= len(e.isqR)
-		if !takeM && i < len(e.isqM) {
-			m, r := e.isqM[i], e.isqR[j]
-			takeM = m.seq < r.seq || (m.seq == r.seq && m.thread == ThreadM)
-		}
+	w := &e.w
+	if *budget == 0 || w.isqCount[ThreadM]+w.isqCount[ThreadR] == 0 {
+		return
+	}
+	mc := w.newMaskCursor(w.isq[ThreadM])
+	rc := w.newMaskCursor(w.isq[ThreadR])
+	m, r := mc.next(), rc.next()
+	for (m >= 0 || r >= 0) && *budget > 0 {
+		takeM := r < 0 || (m >= 0 && w.seq[m] <= w.seq[r])
 		if takeM {
-			d = e.isqM[i]
-			i++
-			if d.wakeAt <= e.now && e.tryIssueOne(d) {
+			s := m
+			m = mc.next()
+			if w.ready[s>>6]&(1<<(uint(s)&63)) != 0 && e.tryIssueOne(s) {
 				e.stats.IssuedM++
 				*budget--
-				continue
+				w.clearISQ(ThreadM, s)
 			}
-			e.isqM[wM] = d
-			wM++
 		} else {
-			d = e.isqR[j]
-			j++
-			if d.wakeAt <= e.now && e.tryIssueOne(d) {
+			s := r
+			r = rc.next()
+			if w.ready[s>>6]&(1<<(uint(s)&63)) != 0 && e.tryIssueOne(s) {
 				e.stats.IssuedR++
 				*budget--
-				continue
+				w.clearISQ(ThreadR, s)
 			}
-			e.isqR[wR] = d
-			wR++
 		}
 	}
-	// Preserve any unscanned tails.
-	wM += copy(e.isqM[wM:], e.isqM[i:])
-	wR += copy(e.isqR[wR:], e.isqR[j:])
-	for k := wM; k < len(e.isqM); k++ {
-		e.isqM[k] = nil
-	}
-	for k := wR; k < len(e.isqR); k++ {
-		e.isqR[k] = nil
-	}
-	e.isqM = e.isqM[:wM]
-	e.isqR = e.isqR[:wR]
 }
 
 // tryIssueOne attempts to issue one instruction, returning true on success.
-// On success the instruction's completion time is scheduled and fault
-// injection is applied.
-func (e *Engine) tryIssueOne(d *dyn) bool {
+// On success the instruction's completion time is scheduled, fault
+// injection is applied, and dependent consumers are woken by broadcast.
+func (e *Engine) tryIssueOne(s int32) bool {
+	w := &e.w
 	// Dispatch-to-issue takes at least one cycle.
-	if d.dispatchedAt >= e.now {
+	if w.dispatchedAt[s] >= e.now {
 		return false
 	}
-	// Wakeup gate: skip the dependency re-walk while the cached bound says
-	// the entry provably cannot issue yet. The bound is refreshed by the
-	// failure paths below and is always a sound lower bound on the issue
-	// cycle, so skipping changes no observable behavior (the reference
-	// loop would have failed the same checks without touching the pool).
-	if d.wakeAt > e.now {
-		return false
-	}
-	if !d.depsReady(e.now) {
-		if !e.tickLoop {
-			d.wakeAt = e.wakeBound(d)
-		}
+	// Readiness gates. The candidate scan already filters on the ready
+	// mask (waitCnt == 0); readyAt defers entries whose producers have all
+	// issued but not yet completed. The waitCnt check re-arms the entry
+	// defensively if a dynamic producer was registered mid-scan.
+	if w.waitCnt[s] != 0 || w.readyAt[s] > e.now {
 		return false
 	}
 
+	in := &w.inst[s]
 	var doneAt int64
 	switch {
-	case d.inst.IsLoad() && d.thread == ThreadR:
+	case in.IsLoad() && w.flags[s]&fThread != 0:
 		// SS2 R-thread load: no cache access; the value comes from the
-		// load-value queue once the M copy's access completed.
-		if !d.pair.completed(e.now) {
-			if !e.tickLoop && d.pair.issued {
-				d.wakeAt = d.pair.completeAt
-			}
-			return false
-		}
+		// load-value queue. The pair dependence registered at dispatch
+		// guarantees the M copy's access has completed by now.
 		done, ok := e.pool.TryIssue(e.now, isa.OpLoad)
 		if !ok {
 			return false
 		}
 		doneAt = done
-	case d.inst.IsLoad():
+	case in.IsLoad():
 		var ok bool
-		doneAt, ok = e.issueLoad(d)
+		doneAt, ok = e.issueLoad(s)
 		if !ok {
 			return false
 		}
@@ -230,60 +193,52 @@ func (e *Engine) tryIssueOne(d *dyn) bool {
 		// Stores perform address generation at issue; data is committed
 		// at retirement. Branches resolve on an IALU. FP/integer ops use
 		// their unit class.
-		done, ok := e.pool.TryIssue(e.now, d.inst.Class)
+		done, ok := e.pool.TryIssue(e.now, in.Class)
 		if !ok {
 			return false
 		}
 		doneAt = done
 	}
 
-	d.issued = true
-	d.completeAt = doneAt
+	w.flags[s] |= fIssued
+	w.completeAt[s] = doneAt
 	e.schedule(doneAt)
-	if d.inLSQ && doneAt < e.lsqNextFree && d.inst.IsLoad() {
+	if w.flags[s]&fInLSQ != 0 && doneAt < e.lsqNextFree && in.IsLoad() {
 		e.lsqNextFree = doneAt
 	}
 	e.progressed = true
-	if d.inst.IsLoad() && d.thread == ThreadM && !d.wrongPath {
-		e.stats.LoadIssueWaitSum += uint64(e.now - d.dispatchedAt)
+	if in.IsLoad() && w.flags[s]&(fThread|fWrongPath) == 0 {
+		e.stats.LoadIssueWaitSum += uint64(e.now - w.dispatchedAt[s])
 		e.stats.LoadCount++
 	}
-	e.injectFault(d)
+	e.injectFault(s)
+	w.broadcast(s, doneAt)
 	return true
-}
-
-// wakeBound computes the earliest cycle at which d's unready source
-// operands could all be available. Producers that have issued contribute
-// their exact completion time; unissued producers force a re-check next
-// cycle (their completion is unknown until they issue, which itself marks
-// the cycle as progress).
-func (e *Engine) wakeBound(d *dyn) int64 {
-	w := e.now + 1
-	if !d.dep1.ready(e.now) {
-		if b := d.dep1.earliest(e.now); b > w {
-			w = b
-		}
-	}
-	if !d.dep2.ready(e.now) {
-		if b := d.dep2.earliest(e.now); b > w {
-			w = b
-		}
-	}
-	return w
 }
 
 // issueLoad handles M-thread (and wrong-path) loads: store-to-load
 // forwarding from the LSQ when possible, otherwise a cache access gated by
 // memory ports and MSHRs.
-func (e *Engine) issueLoad(d *dyn) (int64, bool) {
-	if !d.wrongPath {
-		if st, found := e.forwardingStore(d); found {
-			if !st.completed(e.now) {
+func (e *Engine) issueLoad(s int32) (int64, bool) {
+	w := &e.w
+	if w.flags[s]&fWrongPath == 0 {
+		if st, found := e.forwardingStore(s); found {
+			if !w.completed(st, e.now) {
 				// The producing store has not generated its data yet. The
 				// store cannot retire (and so cannot stop matching) before
-				// it completes, so its completion bounds the load's issue.
-				if !e.tickLoop && st.issued {
-					d.wakeAt = st.completeAt
+				// it completes, so it is a dynamic producer of this load:
+				// register it and sleep until its issue broadcast (or,
+				// when already issued, until its completion time).
+				if !e.tickLoop {
+					if w.flags[st]&fIssued != 0 {
+						if w.completeAt[st] > w.readyAt[s] {
+							w.readyAt[s] = w.completeAt[st]
+						}
+					} else {
+						w.waitCnt[s]++
+						w.consumers[int(st)*int(w.words)+int(s>>6)] |= 1 << (uint(s) & 63)
+						w.clearReady(s)
+					}
 				}
 				return 0, false
 			}
@@ -300,7 +255,7 @@ func (e *Engine) issueLoad(d *dyn) (int64, bool) {
 	if !e.pool.Available(e.now, isa.OpLoad) {
 		return 0, false
 	}
-	ready, ok := e.mem.Load(e.now, d.inst.Addr)
+	ready, ok := e.mem.Load(e.now, w.inst[s].Addr)
 	if !ok {
 		return 0, false
 	}
@@ -313,30 +268,33 @@ func (e *Engine) issueLoad(d *dyn) (int64, bool) {
 }
 
 // forwardingStore resolves the load's store-to-load forwarding source,
-// memoizing the LSQ scan across retried issue attempts (see dyn.fwdState).
-func (e *Engine) forwardingStore(d *dyn) (*dyn, bool) {
+// memoizing the LSQ scan across retried issue attempts (the fFwdFromStore
+// and fFwdNone flag bits).
+func (e *Engine) forwardingStore(s int32) (int32, bool) {
+	w := &e.w
 	if e.tickLoop {
-		return e.youngerMatchingStore(d)
+		return e.youngerMatchingStore(s)
 	}
-	switch d.fwdState {
-	case fwdFromStore:
-		st := d.fwdStore.d
-		if st.gen == d.fwdStore.gen {
-			return st, true
+	switch {
+	case w.flags[s]&fFwdFromStore != 0:
+		st := w.fwdStore[s]
+		if w.live(st) {
+			return st.slot, true
 		}
 		// The source retired, which in-order retirement only permits
 		// after every older store retired too: no match can remain.
-		d.fwdState = fwdNone
-		return nil, false
-	case fwdNone:
-		return nil, false
+		w.flags[s] = w.flags[s]&^fFwdFromStore | fFwdNone
+		w.fwdStore[s] = noRef
+		return -1, false
+	case w.flags[s]&fFwdNone != 0:
+		return -1, false
 	}
-	st, found := e.youngerMatchingStore(d)
+	st, found := e.youngerMatchingStore(s)
 	if found {
-		d.fwdState = fwdFromStore
-		d.fwdStore = depRef{d: st, gen: st.gen}
+		w.flags[s] |= fFwdFromStore
+		w.fwdStore[s] = ref{slot: st, gen: w.gen[st]}
 	} else {
-		d.fwdState = fwdNone
+		w.flags[s] |= fFwdNone
 	}
 	return st, found
 }
@@ -344,18 +302,20 @@ func (e *Engine) forwardingStore(d *dyn) (*dyn, bool) {
 // youngerMatchingStore returns the youngest older store in the LSQ whose
 // address granule matches the load's (perfect disambiguation from trace
 // addresses, as in sim-outorder).
-func (e *Engine) youngerMatchingStore(d *dyn) (*dyn, bool) {
-	granule := d.inst.Addr >> 3
+func (e *Engine) youngerMatchingStore(s int32) (int32, bool) {
+	w := &e.w
+	granule := w.inst[s].Addr >> 3
+	seq := w.seq[s]
 	for i := e.lsq.len() - 1; i >= 0; i-- {
 		st := e.lsq.at(i)
-		if st.seq >= d.seq || !st.inst.IsStore() {
+		if w.seq[st] >= seq || !w.inst[st].IsStore() {
 			continue
 		}
-		if st.inst.Addr>>3 == granule {
+		if w.inst[st].Addr>>3 == granule {
 			return st, true
 		}
 	}
-	return nil, false
+	return -1, false
 }
 
 // checkerIssue runs the in-order checker: it considers up to
@@ -366,6 +326,7 @@ func (e *Engine) youngerMatchingStore(d *dyn) (*dyn, bool) {
 // strictly in order: the scan stops at the first instruction that is not
 // completed or cannot obtain a unit.
 func (e *Engine) checkerIssue(budget *int) {
+	w := &e.w
 	pool := e.pool
 	if e.checkerPool != nil {
 		// DIVA: a dedicated checker pipeline with its own issue
@@ -376,20 +337,19 @@ func (e *Engine) checkerIssue(budget *int) {
 		budget = &dedicated
 	}
 	for i := 0; i < e.cfg.CheckerWindow && *budget > 0; i++ {
-		pos := e.robM.head + e.checkCount
-		if pos >= len(e.robM.buf) {
+		if e.checkCount >= e.robM.len() {
 			return
 		}
-		d := e.robM.buf[pos]
-		if !d.completed(e.now) {
+		s := e.robM.at(e.checkCount)
+		if !w.completed(s, e.now) {
 			return
 		}
-		done, ok := pool.TryIssue(e.now, checkOp(d.inst.Class))
+		done, ok := pool.TryIssue(e.now, checkOp(w.inst[s].Class))
 		if !ok {
 			return
 		}
-		d.checkIssued = true
-		d.checkedAt = done
+		w.flags[s] |= fCheckIssued
+		w.checkedAt[s] = done
 		e.schedule(done)
 		e.checkCount++
 		e.progressed = true
@@ -415,27 +375,28 @@ func checkOp(c isa.OpClass) isa.OpClass {
 // probability. Faults are injected only on correct-path instructions (a
 // wrong-path fault is architecturally invisible) inside the configured
 // injection window.
-func (e *Engine) injectFault(d *dyn) {
-	if !e.faultEligible(d) {
+func (e *Engine) injectFault(s int32) {
+	if !e.faultEligible(s) {
 		return
 	}
 	if e.frng.Bool(e.cfg.FaultRate) {
-		d.faulty = true
-		d.faultAt = e.now
+		e.w.flags[s] |= fFaulty
+		e.w.faultAt[s] = e.now
 		e.stats.FaultsInjected++
 	}
 }
 
-// faultEligible reports whether d is a legal injection site: injection
-// enabled, correct path, and fetch sequence number inside the machine's
-// fault window. The window check precedes the rng draw, so a windowed
-// machine consumes no fault-stream randomness outside its window — its
-// pre-window execution is bit-identical to a fault-free machine's.
-func (e *Engine) faultEligible(d *dyn) bool {
-	if e.cfg.FaultRate <= 0 || d.wrongPath {
+// faultEligible reports whether the slot is a legal injection site:
+// injection enabled, correct path, and fetch sequence number inside the
+// machine's fault window. The window check precedes the rng draw, so a
+// windowed machine consumes no fault-stream randomness outside its window
+// — its pre-window execution is bit-identical to a fault-free machine's.
+func (e *Engine) faultEligible(s int32) bool {
+	w := &e.w
+	if e.cfg.FaultRate <= 0 || w.flags[s]&fWrongPath != 0 {
 		return false
 	}
-	if hi := e.cfg.FaultWindowHi; hi > 0 && (d.seq < e.cfg.FaultWindowLo || d.seq >= hi) {
+	if hi := e.cfg.FaultWindowHi; hi > 0 && (w.seq[s] < e.cfg.FaultWindowLo || w.seq[s] >= hi) {
 		return false
 	}
 	return true

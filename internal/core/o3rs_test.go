@@ -83,11 +83,12 @@ func TestO3RSIssueInvariants(t *testing.T) {
 	e := New(config.O3RS(), trace.New(testWorkload(57)))
 	for e.stats.Retired < 15000 {
 		e.cycle()
-		for _, d := range e.isqM {
-			if d.issued2 && d.issued {
+		for _, s := range e.isqSlots(ThreadM) {
+			fl := e.w.flags[s]
+			if fl&fIssued2 != 0 && fl&fIssued != 0 {
 				t.Fatal("fully issued entry still resident in ISQ")
 			}
-			if d.issued2 && !d.issued {
+			if fl&fIssued2 != 0 && fl&fIssued == 0 {
 				t.Fatal("second execution before first")
 			}
 		}

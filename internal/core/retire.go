@@ -50,24 +50,25 @@ func (e *Engine) retireDouble(budget *int) bool {
 	if e.robM.empty() {
 		return false
 	}
-	d := e.robM.front()
-	if !d.completed(e.now) || !d.issued2 || d.complete2At > e.now {
+	w := &e.w
+	s := e.robM.front()
+	if !w.completed(s, e.now) || w.flags[s]&fIssued2 == 0 || w.complete2At[s] > e.now {
 		return false
 	}
-	if d.wrongPath {
-		panic(fmt.Sprintf("core: wrong-path instruction reached O3RS retirement (seq %d)", d.seq))
+	if w.flags[s]&fWrongPath != 0 {
+		panic(fmt.Sprintf("core: wrong-path instruction reached O3RS retirement (seq %d)", w.seq[s]))
 	}
-	if d.faulty || d.faulty2 {
-		e.recordDetection(d, nil)
+	if w.flags[s]&(fFaulty|fFaulty2) != 0 {
+		e.recordDetection(s, -1)
 		e.softException()
 		return false
 	}
-	if !e.commitStore(d) {
+	if !e.commitStore(s) {
 		return false
 	}
-	e.finishRetire(d)
+	e.finishRetire(s)
 	e.robM.pop()
-	e.free(d)
+	w.freeHead(s)
 	e.stats.Retired++
 	*budget--
 	return true
@@ -79,23 +80,24 @@ func (e *Engine) retireSingle(budget *int) bool {
 	if e.robM.empty() {
 		return false
 	}
-	d := e.robM.front()
-	if !d.completed(e.now) {
+	w := &e.w
+	s := e.robM.front()
+	if !w.completed(s, e.now) {
 		return false
 	}
-	if d.wrongPath {
-		panic(fmt.Sprintf("core: wrong-path instruction reached retirement (seq %d)", d.seq))
+	if w.flags[s]&fWrongPath != 0 {
+		panic(fmt.Sprintf("core: wrong-path instruction reached retirement (seq %d)", w.seq[s]))
 	}
-	if !e.commitStore(d) {
+	if !e.commitStore(s) {
 		return false
 	}
-	if d.faulty {
+	if w.flags[s]&fFaulty != 0 {
 		// SS1 has no redundancy: the corruption escapes silently.
 		e.stats.SilentCorruptions++
 	}
-	e.finishRetire(d)
+	e.finishRetire(s)
 	e.robM.pop()
-	e.free(d)
+	w.freeHead(s)
 	e.stats.Retired++
 	*budget--
 	return true
@@ -109,18 +111,19 @@ func (e *Engine) retirePair(budget *int) bool {
 	if e.robM.empty() || e.robR.empty() {
 		return false
 	}
+	w := &e.w
 	m, r := e.robM.front(), e.robR.front()
-	if m.seq != r.seq {
-		panic(fmt.Sprintf("core: ROB heads desynchronized (M seq %d, R seq %d)", m.seq, r.seq))
+	if w.seq[m] != w.seq[r] {
+		panic(fmt.Sprintf("core: ROB heads desynchronized (M seq %d, R seq %d)", w.seq[m], w.seq[r]))
 	}
-	if m.wrongPath {
-		panic(fmt.Sprintf("core: wrong-path pair reached retirement (seq %d)", m.seq))
+	if w.flags[m]&fWrongPath != 0 {
+		panic(fmt.Sprintf("core: wrong-path pair reached retirement (seq %d)", w.seq[m]))
 	}
-	if !m.completed(e.now) || !r.completed(e.now) {
+	if !w.completed(m, e.now) || !w.completed(r, e.now) {
 		return false
 	}
 	// Compare the redundant results in program order.
-	if m.faulty || r.faulty {
+	if (w.flags[m]|w.flags[r])&fFaulty != 0 {
 		e.recordDetection(m, r)
 		e.softException()
 		return false
@@ -131,8 +134,10 @@ func (e *Engine) retirePair(budget *int) bool {
 	e.finishRetire(m)
 	e.robM.pop()
 	e.robR.pop()
-	e.free(m)
-	e.free(r)
+	// The pair occupies adjacent ring slots (the R copy is allocated
+	// immediately after its M copy), so both frees land on the ring head.
+	w.freeHead(m)
+	w.freeHead(r)
 	e.stats.Retired++
 	*budget -= 2
 	return true
@@ -143,27 +148,28 @@ func (e *Engine) retireChecked(budget *int) bool {
 	if e.robM.empty() {
 		return false
 	}
-	d := e.robM.front()
-	if !d.completed(e.now) || !d.checkIssued || !d.checked(e.now) {
+	w := &e.w
+	s := e.robM.front()
+	if !w.completed(s, e.now) || w.flags[s]&fCheckIssued == 0 || !w.checked(s, e.now) {
 		return false
 	}
-	if d.wrongPath {
-		panic(fmt.Sprintf("core: wrong-path instruction reached SHREC retirement (seq %d)", d.seq))
+	if w.flags[s]&fWrongPath != 0 {
+		panic(fmt.Sprintf("core: wrong-path instruction reached SHREC retirement (seq %d)", w.seq[s]))
 	}
 	// The checker's recomputed result is compared against the result
 	// buffer; a mismatch means the main execution was corrupted.
-	if d.faulty {
-		e.recordDetection(d, nil)
+	if w.flags[s]&fFaulty != 0 {
+		e.recordDetection(s, -1)
 		e.softException()
 		return false
 	}
-	if !e.commitStore(d) {
+	if !e.commitStore(s) {
 		return false
 	}
-	e.finishRetire(d)
+	e.finishRetire(s)
 	e.robM.pop()
 	e.checkCount--
-	e.free(d)
+	w.freeHead(s)
 	e.stats.Retired++
 	*budget--
 	return true
@@ -171,11 +177,11 @@ func (e *Engine) retireChecked(budget *int) bool {
 
 // commitStore writes a retiring store to the data cache. It returns false
 // (stalling retirement) when no memory port or MSHR is available.
-func (e *Engine) commitStore(d *dyn) bool {
-	if !d.inst.IsStore() {
+func (e *Engine) commitStore(s int32) bool {
+	if !e.w.inst[s].IsStore() {
 		return true
 	}
-	if _, ok := e.mem.Store(e.now, d.inst.Addr); !ok {
+	if _, ok := e.mem.Store(e.now, e.w.inst[s].Addr); !ok {
 		e.stats.RetireStoreStalls++
 		return false
 	}
@@ -183,11 +189,11 @@ func (e *Engine) commitStore(d *dyn) bool {
 }
 
 // finishRetire performs in-order bookkeeping common to all modes: LSQ
-// release, branch predictor training, and the architectural-state
-// signature fold. Every retirement path runs through here, so it also
-// marks the cycle as having made forward progress for the cycle-skipping
-// loop.
-func (e *Engine) finishRetire(d *dyn) {
+// release, the architectural-state signature fold, and the retire hook.
+// Every retirement path runs through here, so it also marks the cycle as
+// having made forward progress for the cycle-skipping loop.
+func (e *Engine) finishRetire(s int32) {
+	w := &e.w
 	e.progressed = true
 	// Fold this instruction's committed architectural effect into the
 	// retirement signature (see Stats.ArchSig). One FNV-1a-style fold over
@@ -198,27 +204,28 @@ func (e *Engine) finishRetire(d *dyn) {
 	// cycle may overshoot the target by up to RetireWidth, and the
 	// overshoot depends on retirement alignment rather than architecture.
 	if e.stats.Retired < e.sigLimit {
-		x := d.inst.PC ^ d.inst.Addr<<16 ^
-			uint64(d.inst.Class)<<56 ^ uint64(uint8(d.inst.Dest))<<48
-		if d.faulty || d.faulty2 {
+		in := &w.inst[s]
+		x := in.PC ^ in.Addr<<16 ^
+			uint64(in.Class)<<56 ^ uint64(uint8(in.Dest))<<48
+		if w.flags[s]&(fFaulty|fFaulty2) != 0 {
 			x ^= 1 << 63
 		}
 		e.stats.ArchSig = (e.stats.ArchSig ^ x) * 1099511628211
 	}
 	if e.retireHook != nil {
-		e.retireHook(d)
+		e.retireHook(w.inst[s])
 	}
-	if d.inLSQ {
+	if w.flags[s]&fInLSQ != 0 {
 		// Completed loads may already have been swept from the LSQ; any
 		// still-resident older loads are completed by in-order
 		// retirement, so drop them together with this entry.
 		for !e.lsq.empty() {
 			h := e.lsq.pop()
-			h.inLSQ = false
-			if h == d {
+			w.flags[h] &^= fInLSQ
+			if h == s {
 				break
 			}
-			if !h.inst.IsLoad() {
+			if !w.inst[h].IsLoad() {
 				panic("core: store left the LSQ out of order")
 			}
 		}
@@ -228,25 +235,27 @@ func (e *Engine) finishRetire(d *dyn) {
 }
 
 // recordDetection accounts one detected fault and its injection-to-
-// detection latency. For SS2 pairs either copy may carry the fault.
-func (e *Engine) recordDetection(a, b *dyn) {
+// detection latency. For SS2 pairs either copy may carry the fault; pass
+// -1 for an absent copy.
+func (e *Engine) recordDetection(a, b int32) {
+	w := &e.w
 	e.stats.FaultsDetected++
 	at := int64(-1)
-	if a != nil && (a.faulty || a.faulty2) {
-		at = a.faultAt
+	if a >= 0 && w.flags[a]&(fFaulty|fFaulty2) != 0 {
+		at = w.faultAt[a]
 	}
-	if b != nil && (b.faulty || b.faulty2) && (at < 0 || b.faultAt < at) {
-		at = b.faultAt
+	if b >= 0 && w.flags[b]&(fFaulty|fFaulty2) != 0 && (at < 0 || w.faultAt[b] < at) {
+		at = w.faultAt[b]
 	}
 	if at >= 0 && e.now >= at {
 		e.stats.FaultDetectLatencySum += uint64(e.now - at)
 	}
 	// Clear the flags so the imminent softException does not double-count
 	// this fault as squashed.
-	if a != nil {
-		a.faulty, a.faulty2 = false, false
+	if a >= 0 {
+		w.flags[a] &^= fFaulty | fFaulty2
 	}
-	if b != nil {
-		b.faulty, b.faulty2 = false, false
+	if b >= 0 {
+		w.flags[b] &^= fFaulty | fFaulty2
 	}
 }

@@ -146,6 +146,16 @@ func NewPool(cfg Config) *Pool {
 // Config returns the pool's configuration.
 func (p *Pool) Config() Config { return p.cfg }
 
+// Clone returns a deep copy of the pool, including in-flight unpipelined
+// occupancy and statistics (used by simulation checkpoints).
+func (p *Pool) Clone() *Pool {
+	c := *p
+	for cl := range c.busyUntil {
+		c.busyUntil[cl] = append([]int64(nil), p.busyUntil[cl]...)
+	}
+	return &c
+}
+
 // BeginCycle resets per-cycle issue reservations.
 func (p *Pool) BeginCycle(now int64) {
 	if now != p.cycle {

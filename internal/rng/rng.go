@@ -23,6 +23,13 @@ func New(seed uint64) *RNG {
 // Seed resets the generator to the given seed.
 func (r *RNG) Seed(seed uint64) { r.state = seed }
 
+// Clone returns an independent generator that continues r's stream from its
+// current position (used by simulation checkpoints).
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -35,6 +35,19 @@ type Options struct {
 	WarmupInstrs uint64
 	// MeasureInstrs are executed with counters enabled.
 	MeasureInstrs uint64
+	// Intervals, when > 1, splits the measured phase into that many
+	// consecutive regions of the instruction stream, each simulated by an
+	// independent engine (fresh microarchitectural state, own
+	// WarmupInstrs warmup) and stitched back together in stream order.
+	// The intervals are independent, so they run concurrently under
+	// Parallelism — this is the interval-parallel mode. It is a sampled
+	// estimator in the SimPoint tradition, not the contiguous run: each
+	// interval re-warms instead of inheriting state, so results differ
+	// slightly from Intervals <= 1 (which is the exact classic path) and
+	// the two never share cache entries. Stitched results are fully
+	// deterministic and independent of Parallelism. MaxCycles, when set,
+	// is divided evenly across intervals.
+	Intervals int
 	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
 	// It does not affect results and is excluded from cache keys.
 	Parallelism int
@@ -43,6 +56,23 @@ type Options struct {
 	// stops early and returns a Result with Hung set instead of an error.
 	// Fault campaigns use it to classify recovery livelocks.
 	MaxCycles int64
+}
+
+// intervalCount returns the effective interval count: 0 and 1 both select
+// the classic contiguous run.
+func (o Options) intervalCount() int {
+	if o.Intervals > 1 {
+		return o.Intervals
+	}
+	return 1
+}
+
+// parallelism returns the effective worker bound.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultOptions returns the experiment-scale run lengths.
@@ -95,24 +125,38 @@ func RunContext(ctx context.Context, m config.Machine, p trace.Profile, opt Opti
 	if err := m.Validate(); err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
+	if opt.intervalCount() > 1 {
+		return runIntervals(ctx, m, p, opt)
+	}
 	e := core.New(m, trace.New(p))
 	if opt.WarmupInstrs > 0 {
 		if err := e.WarmupContext(ctx, opt.WarmupInstrs); err != nil {
 			return Result{}, fmt.Errorf("sim: warmup: %w", err)
 		}
 	}
-	st, err := e.RunBudget(ctx, opt.MeasureInstrs, opt.MaxCycles)
-	hung := false
+	st, hung, err := measure(ctx, e, opt.MeasureInstrs, opt.MaxCycles)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(m, p, opt, st, hung), nil
+}
+
+// measure runs the counted phase on a warmed engine and classifies a blown
+// cycle budget as a hang rather than a driver failure: the partial
+// counters return with hung set, so the result caches and persists like
+// any other and a resumed campaign never re-simulates the hang.
+func measure(ctx context.Context, e *core.Engine, n uint64, maxCycles int64) (core.Stats, bool, error) {
+	st, err := e.RunBudget(ctx, n, maxCycles)
 	if err != nil {
 		if !errors.Is(err, core.ErrCycleBudget) {
-			return Result{}, fmt.Errorf("sim: %w", err)
+			return core.Stats{}, false, fmt.Errorf("sim: %w", err)
 		}
-		// A blown cycle budget is a classifiable outcome (the campaign
-		// engine's hang class), not a driver failure: return the partial
-		// counters with Hung set, so the result caches and persists like
-		// any other and a resumed campaign never re-simulates the hang.
-		hung = true
+		return st, true, nil
 	}
+	return st, false, nil
+}
+
+func newResult(m config.Machine, p trace.Profile, opt Options, st core.Stats, hung bool) Result {
 	return Result{
 		Benchmark: p.Name,
 		Class:     p.Class,
@@ -121,7 +165,101 @@ func RunContext(ctx context.Context, m config.Machine, p trace.Profile, opt Opti
 		Options:   opt,
 		Hung:      hung,
 		Stats:     st,
-	}, nil
+	}
+}
+
+// sigOffsetBasis seeds the interval-signature fold (the FNV-1a offset
+// basis; the multiplier below is the FNV-1a prime).
+const (
+	sigOffsetBasis = 14695981039346656037
+	sigPrime       = 1099511628211
+)
+
+// runIntervals is the interval-parallel simulation path: the measured
+// phase splits into opt.Intervals consecutive regions of the instruction
+// stream, each simulated by an independent engine over a fresh generator
+// fast-skipped to the region start, warmed for WarmupInstrs, and measured
+// for its share. Intervals run concurrently under opt.Parallelism, then
+// stitch in stream order: counters via Stats.Add, architectural
+// signatures via an order-sensitive fold, Hung by OR. Because intervals
+// share no state, the stitched result is byte-identical no matter how
+// many workers ran — the equivalence tests pin parallel == sequential.
+func runIntervals(ctx context.Context, m config.Machine, p trace.Profile, opt Options) (Result, error) {
+	k := opt.intervalCount()
+	per := opt.MeasureInstrs / uint64(k)
+	if per == 0 {
+		return Result{}, fmt.Errorf("sim: %d intervals need at least %d measured instructions, have %d",
+			k, k, opt.MeasureInstrs)
+	}
+	budget := opt.MaxCycles
+	if budget > 0 {
+		if budget /= int64(k); budget == 0 {
+			budget = 1
+		}
+	}
+
+	stats := make([]core.Stats, k)
+	hungs := make([]bool, k)
+	errs := make([]error, k)
+	par := opt.parallelism()
+	if par > k {
+		par = k
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				return
+			}
+			n := per
+			if i == k-1 {
+				// The last interval absorbs the division remainder so the
+				// stitched run measures exactly MeasureInstrs.
+				n = opt.MeasureInstrs - per*uint64(k-1)
+			}
+			stats[i], hungs[i], errs[i] = runInterval(ctx, m, p, uint64(i)*per, opt.WarmupInstrs, n, budget)
+		}(i)
+	}
+	wg.Wait()
+
+	var agg core.Stats
+	sig := uint64(sigOffsetBasis)
+	hung := false
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			return Result{}, fmt.Errorf("sim: interval %d of %d: %w", i, k, errs[i])
+		}
+		agg.Add(stats[i])
+		sig = (sig ^ stats[i].ArchSig) * sigPrime
+		hung = hung || hungs[i]
+	}
+	agg.ArchSig = sig
+	return newResult(m, p, opt, agg, hung), nil
+}
+
+// runInterval simulates one region: fast-skip the generator to the region
+// start, warm, measure.
+func runInterval(ctx context.Context, m config.Machine, p trace.Profile, skip, warm, n uint64, budget int64) (core.Stats, bool, error) {
+	src := trace.New(p)
+	for j := uint64(0); j < skip; j++ {
+		src.Next()
+		if j&0xffff == 0xffff && ctx.Err() != nil {
+			return core.Stats{}, false, ctx.Err()
+		}
+	}
+	e := core.New(m, src)
+	if warm > 0 {
+		if err := e.WarmupContext(ctx, warm); err != nil {
+			return core.Stats{}, false, fmt.Errorf("sim: warmup: %w", err)
+		}
+	}
+	return measure(ctx, e, n, budget)
 }
 
 // numShards stripes the result cache. A modest power of two keeps the
@@ -154,12 +292,29 @@ type Suite struct {
 
 	disk *store.Store // optional cross-process persistence (nil = off)
 
-	runs       atomic.Uint64 // underlying simulations actually executed
-	cacheHits  atomic.Uint64 // requests served from the in-memory striped cache
-	cacheMiss  atomic.Uint64 // requests that found neither a result nor an in-flight run
-	dedupWaits atomic.Uint64 // requests served by joining an in-flight duplicate run
-	storeHits  atomic.Uint64 // cache misses served from the persistent store
-	storeErrs  atomic.Uint64 // failed persistent-store writes (results still served)
+	// cps caches warmup checkpoints shared across fault-campaign trials:
+	// trials differ only in FaultSeed and window, and fault eligibility
+	// consults the window before drawing randomness, so every trial whose
+	// window starts after the warmup replays one shared checkpoint instead
+	// of re-simulating the warmup (see core.Checkpoint).
+	cpMu sync.Mutex
+	cps  map[string]*cpEntry
+
+	runs         atomic.Uint64 // underlying simulations actually executed
+	cacheHits    atomic.Uint64 // requests served from the in-memory striped cache
+	cacheMiss    atomic.Uint64 // requests that found neither a result nor an in-flight run
+	dedupWaits   atomic.Uint64 // requests served by joining an in-flight duplicate run
+	storeHits    atomic.Uint64 // cache misses served from the persistent store
+	storeErrs    atomic.Uint64 // failed persistent-store writes (results still served)
+	warmupShares atomic.Uint64 // runs served from a shared warmup checkpoint
+}
+
+// cpEntry is one warmup checkpoint, built once by the first requester
+// while duplicates wait on the sync.Once.
+type cpEntry struct {
+	once sync.Once
+	cp   *core.Checkpoint
+	err  error
 }
 
 // NewSuite builds a suite with the given options.
@@ -167,7 +322,7 @@ func NewSuite(opt Options) *Suite {
 	if opt.Parallelism <= 0 {
 		opt.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	s := &Suite{opt: opt, sem: make(chan struct{}, opt.Parallelism)}
+	s := &Suite{opt: opt, sem: make(chan struct{}, opt.Parallelism), cps: make(map[string]*cpEntry)}
 	for i := range s.shards {
 		s.shards[i].results = make(map[string]Result)
 		s.shards[i].inflight = make(map[string]*call)
@@ -217,16 +372,24 @@ func (s *Suite) StoreHits() uint64 { return s.storeHits.Load() }
 // store (they were still computed and served from memory).
 func (s *Suite) StoreErrors() uint64 { return s.storeErrs.Load() }
 
+// WarmupShares reports how many simulations skipped their warmup by
+// resuming a shared fault-free warmup checkpoint (fault-campaign trials
+// whose injection window starts after the warmup).
+func (s *Suite) WarmupShares() uint64 { return s.warmupShares.Load() }
+
 // key identifies one (machine, benchmark, options) simulation. Run
 // lengths and the cycle budget are part of the key so one suite can serve
 // requests at several scales (the shrecd server does) without conflating
 // their results, and so are the machine's fault-injection fields: a
 // campaign fans out hundreds of trials that differ only in FaultSeed and
 // window, which must not collide on the shared display name.
+// The interval count is keyed through intervalCount, so 0 and 1 (both the
+// classic contiguous run) share entries while sampled splits stay apart.
 func key(m config.Machine, p trace.Profile, opt Options) string {
-	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%d\x00%g\x00%d\x00%d\x00%d",
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%d\x00%g\x00%d\x00%d\x00%d\x00%d",
 		m.Name, p.Name, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
-		m.FaultRate, m.FaultSeed, m.FaultWindowLo, m.FaultWindowHi)
+		m.FaultRate, m.FaultSeed, m.FaultWindowLo, m.FaultWindowHi,
+		opt.intervalCount())
 }
 
 func (s *Suite) shardFor(k string) *shard {
@@ -240,11 +403,12 @@ func (s *Suite) shardFor(k string) *shard {
 // or edited configurations never collide across processes. Only the run
 // lengths and cycle budget of the options participate: Parallelism does
 // not affect results, and hashing it would make store lookups miss across
-// machines with different core counts. The schema label is v2: v1
-// results predate the Hung flag, the architectural signature, and the
-// fault window, so they must be recomputed rather than misread.
+// machines with different core counts. The schema label is v3: v2
+// results predate interval-split sampling, whose count now participates
+// (normalized through intervalCount so 0 and 1 collide on purpose).
 func digest(m config.Machine, p trace.Profile, opt Options) string {
-	return store.Digest("sim.Result.v2", m, p, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles)
+	return store.Digest("sim.Result.v3", m, p, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
+		opt.intervalCount())
 }
 
 // Get returns the cached result, running the simulation if needed.
@@ -321,7 +485,7 @@ func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, 
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
 	}
-	res, err := RunContext(ctx, m, p, opt)
+	res, err := s.simulate(ctx, m, p, opt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -335,6 +499,76 @@ func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, 
 		}
 	}
 	return res, nil
+}
+
+// simulate performs one underlying run, routing fault-campaign trials
+// through the shared warmup-checkpoint cache when that is provably
+// equivalent to a cold start, and everything else through RunContext.
+func (s *Suite) simulate(ctx context.Context, m config.Machine, p trace.Profile, opt Options) (Result, error) {
+	// Sharing is sound only for the classic contiguous path, with a warmup
+	// to share, for machines that inject faults (fault-free runs dedupe on
+	// the result key already), whose window cannot open during the warmup.
+	// FetchSeq runs ahead of the retired count, so the precise bound is
+	// rechecked against the built checkpoint below.
+	if opt.intervalCount() == 1 && opt.WarmupInstrs > 0 &&
+		m.FaultRate > 0 && m.FaultWindowLo >= opt.WarmupInstrs {
+		if res, ok, err := s.runFromWarmup(ctx, m, p, opt); err != nil || ok {
+			return res, err
+		}
+	}
+	return RunContext(ctx, m, p, opt)
+}
+
+// runFromWarmup serves one fault trial from the shared warmup checkpoint.
+// ok reports whether sharing applied; on ok == false (checkpoint build
+// failed, or its fetch frontier already overlaps the fault window) the
+// caller falls back to a cold run.
+func (s *Suite) runFromWarmup(ctx context.Context, m config.Machine, p trace.Profile, opt Options) (Result, bool, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, false, fmt.Errorf("sim: %w", err)
+	}
+	base := m
+	base.FaultRate, base.FaultSeed = 0, 0
+	base.FaultWindowLo, base.FaultWindowHi = 0, 0
+	ck := store.Digest("sim.warmup.v1", base, p, opt.WarmupInstrs)
+
+	s.cpMu.Lock()
+	entry, ok := s.cps[ck]
+	if !ok {
+		entry = &cpEntry{}
+		s.cps[ck] = entry
+	}
+	s.cpMu.Unlock()
+	entry.once.Do(func() {
+		e := core.New(base, trace.New(p))
+		if err := e.WarmupContext(ctx, opt.WarmupInstrs); err != nil {
+			entry.err = err
+			return
+		}
+		entry.cp, entry.err = e.Checkpoint()
+	})
+	if entry.err != nil {
+		// Drop the failed entry (it may have died on this caller's
+		// context) so a later trial rebuilds; this trial runs cold.
+		s.cpMu.Lock()
+		if s.cps[ck] == entry {
+			delete(s.cps, ck)
+		}
+		s.cpMu.Unlock()
+		return Result{}, false, nil
+	}
+	if m.FaultWindowLo < entry.cp.FetchSeq() {
+		return Result{}, false, nil
+	}
+
+	e := entry.cp.NewEngine()
+	e.SetFaultConfig(m.FaultRate, m.FaultSeed, m.FaultWindowLo, m.FaultWindowHi)
+	st, hung, err := measure(ctx, e, opt.MeasureInstrs, opt.MaxCycles)
+	if err != nil {
+		return Result{}, false, err
+	}
+	s.warmupShares.Add(1)
+	return newResult(m, p, opt, st, hung), true, nil
 }
 
 // Batch runs every (machine, profile) pair, in parallel, reusing cached

@@ -190,6 +190,22 @@ func (g *Generator) buildBlocks() {
 // Seq returns the number of correct-path instructions emitted so far.
 func (g *Generator) Seq() uint64 { return g.seq }
 
+// CloneSource returns a generator that continues both the correct-path and
+// wrong-path streams from their current positions. The block layout is
+// immutable after construction and is shared; all mutable stream state (RNG,
+// loop trip counts, block cursor, dependency rings) is copied.
+func (g *Generator) CloneSource() Source { return g.clone() }
+
+func (g *Generator) clone() *Generator {
+	c := *g
+	c.r = g.r.Clone()
+	c.loopLeft = append([]int(nil), g.loopLeft...)
+	if g.wp != nil {
+		c.wp = g.wp.clone()
+	}
+	return &c
+}
+
 // Profile returns the generator's profile.
 func (g *Generator) Profile() *Profile { return &g.p }
 

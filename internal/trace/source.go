@@ -20,6 +20,16 @@ type Source interface {
 	NextWrongPath() isa.Inst
 }
 
+// CloneSource is implemented by sources whose stream position can be
+// snapshotted. Engine checkpoints require it: a checkpointed simulation
+// resumes by continuing the clone exactly where the original stood.
+type CloneSource interface {
+	Source
+	// CloneSource returns an independent source that continues this
+	// source's streams from their current positions.
+	CloneSource() Source
+}
+
 // Recording is a finite captured trace replayed as an infinite stream:
 // when the end is reached, replay wraps to the beginning (introducing one
 // control-flow discontinuity per lap, which the timing model tolerates —
@@ -85,6 +95,13 @@ func (r *Recording) NextWrongPath() isa.Inst {
 
 // Reset rewinds replay to the beginning of both streams.
 func (r *Recording) Reset() { r.pos, r.wpos = 0, 0 }
+
+// CloneSource returns a replay that continues from the current positions.
+// The captured instruction slices are immutable and shared.
+func (r *Recording) CloneSource() Source {
+	c := *r
+	return &c
+}
 
 // Trace file format: a fixed header followed by fixed-width records.
 //
