@@ -66,9 +66,10 @@ vet:
 	$(GO) vet ./...
 
 # Examples smoke: the published examples must build, vet, and (for the
-# quickstart and the pareto-explore search, which run in seconds) actually
-# execute. pareto-explore writes its resumable store to the working
-# directory; remove it so repeated smoke runs start fresh.
+# quickstart, the pareto-explore search, and the availability-frontier
+# recovery sweep, which run in seconds) actually execute. pareto-explore
+# writes its resumable store to the working directory; remove it so
+# repeated smoke runs start fresh.
 examples:
 	$(GO) vet ./examples/...
 	$(GO) build ./examples/...
@@ -77,5 +78,6 @@ examples:
 	rm -f pareto-explore.jsonl
 	$(GO) run ./examples/pareto-explore
 	rm -f pareto-explore.jsonl
+	$(GO) run ./examples/availability-frontier
 
 ci: build vet fmt test examples docs-check

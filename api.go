@@ -10,9 +10,11 @@
 // harness that regenerates every table and figure of the paper as typed
 // report.Report values, Monte Carlo fault-injection campaigns that
 // quantify detection coverage with confidence bounds
-// (Client.StartCampaign), and design-space explorations that search
-// machine-configuration spaces for Pareto-efficient resource sharing
-// (Client.StartExplore). Both long-running operations share one async
+// (Client.StartCampaign) — optionally under a checkpoint/rollback
+// recovery policy (CampaignSpec.Recovery) that turns the campaign into
+// availability and MTTF estimates — and design-space explorations that
+// search machine-configuration spaces for Pareto-efficient resource
+// sharing (Client.StartExplore). Both long-running operations share one async
 // Job API: Start* returns a typed handle to wait on, poll, or cancel,
 // with progress delivered through the WithProgress option.
 //
@@ -41,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/explore"
+	"repro/internal/recovery"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -205,6 +208,18 @@ type ClientMetrics struct {
 	// StoreErrors counts failed persistent-store writes (results were
 	// still computed and served).
 	StoreErrors uint64 `json:"store_errors"`
+	// WarmupShares counts runs that skipped their warmup by resuming from
+	// a shared warmup checkpoint (same machine/benchmark/warmup, differing
+	// only in fault or recovery configuration).
+	WarmupShares uint64 `json:"warmup_shares"`
+	// IntervalRuns counts runs executed interval-parallel (Options.Intervals
+	// > 1).
+	IntervalRuns uint64 `json:"interval_runs"`
+	// RecoveryRuns counts runs executed under a checkpoint/rollback
+	// recovery policy (Machine.CkptInterval > 0).
+	RecoveryRuns uint64 `json:"recovery_runs"`
+	// Rollbacks counts checkpoint rollbacks across all recovery runs.
+	Rollbacks uint64 `json:"rollbacks"`
 }
 
 // Client is the unified facade over the simulation driver and the
@@ -340,13 +355,17 @@ func (c *Client) Metrics() ClientMetrics {
 		return ClientMetrics{}
 	}
 	return ClientMetrics{
-		Runs:        c.sims.Runs(),
-		Hits:        c.sims.Hits(),
-		CacheHits:   c.sims.CacheHits(),
-		CacheMisses: c.sims.CacheMisses(),
-		DedupWaits:  c.sims.DedupWaits(),
-		StoreHits:   c.sims.StoreHits(),
-		StoreErrors: c.sims.StoreErrors(),
+		Runs:         c.sims.Runs(),
+		Hits:         c.sims.Hits(),
+		CacheHits:    c.sims.CacheHits(),
+		CacheMisses:  c.sims.CacheMisses(),
+		DedupWaits:   c.sims.DedupWaits(),
+		StoreHits:    c.sims.StoreHits(),
+		StoreErrors:  c.sims.StoreErrors(),
+		WarmupShares: c.sims.WarmupShares(),
+		IntervalRuns: c.sims.IntervalRuns(),
+		RecoveryRuns: c.sims.RecoveryRuns(),
+		Rollbacks:    c.sims.Rollbacks(),
 	}
 }
 
@@ -355,8 +374,8 @@ func (c *Client) Metrics() ClientMetrics {
 
 // CampaignSpec describes a Monte Carlo fault-injection campaign: machine,
 // workload, trial count, fault rate, master seed, run lengths, injection
-// window, and hang budget (see campaign.Spec for field semantics and
-// defaults).
+// window, hang budget, and optional checkpoint/rollback recovery mode
+// (see campaign.Spec for field semantics and defaults).
 type CampaignSpec = campaign.Spec
 
 // CampaignResult is one completed campaign: the normalized spec, the
@@ -375,6 +394,35 @@ type CampaignTrial = campaign.Trial
 // TrialOutcome classifies one campaign trial: detected, squashed, masked,
 // sdc, hang, or clean.
 type TrialOutcome = campaign.Outcome
+
+// RecoveryPolicy is a checkpoint/rollback recovery policy: checkpoint
+// interval, retained depth, and the flush/restore cost assumptions that
+// turn campaign observables into availability estimates.
+type RecoveryPolicy = recovery.Policy
+
+// RecoveryTrace records what checkpoint recovery did during one run:
+// checkpoints captured, rollbacks, overruns, unrecoverable detections,
+// lost work, and a bounded per-fault event log.
+type RecoveryTrace = recovery.Trace
+
+// RecoverySummary aggregates recovery outcomes across a campaign's
+// trials; its Availability method derives the steady-state availability
+// and MTTF estimates with confidence bounds.
+type RecoverySummary = campaign.RecoverySummary
+
+// AvailabilityEstimate is a campaign-derived steady-state availability
+// estimate with Wilson-propagated bounds and the matching MTTF.
+type AvailabilityEstimate = campaign.Availability
+
+// DefaultRepairCycles is the repair-time assumption (in cycles) behind
+// availability estimates that do not specify their own.
+const DefaultRepairCycles = campaign.DefaultRepairCycles
+
+// ParseRecoveryMode parses a recovery mode string — "none" or
+// "ckpt@<interval>[+depth<d>][+flush<f>][+restore<r>]" — into a policy,
+// the inverse of RecoveryPolicy.String. It is the parser behind
+// CampaignSpec.Recovery and cmd/faultstudy's -recover flag.
+func ParseRecoveryMode(mode string) (RecoveryPolicy, error) { return recovery.ParseMode(mode) }
 
 // Campaign runs a Monte Carlo fault-injection campaign synchronously.
 // The progress callback, when non-nil, receives a serialized snapshot
@@ -396,7 +444,8 @@ func (c *Client) Campaign(ctx context.Context, spec CampaignSpec, progress func(
 
 // ExploreSpace is a typed, enumerable parameter space over Machine: base
 // machines crossed with optional modifier axes (X scaling, stagger
-// depth, FU pool scaling, MSHR and memory-port geometry, fault rate).
+// depth, FU pool scaling, MSHR and memory-port geometry, checkpoint
+// interval and depth, fault rate).
 type ExploreSpace = explore.Space
 
 // ExploreSpec describes a design-space exploration: the space, search

@@ -11,11 +11,19 @@
 // bounds. With -store, finished trials persist and an interrupted sweep
 // resumes where it left off.
 //
+// With -recover, every campaign runs under a checkpoint/rollback
+// recovery policy ("ckpt@<interval>[+depth<d>][+flush<f>][+restore<r>]"):
+// detected faults roll back to the newest preceding architectural
+// checkpoint and re-execute, and the report gains per-cell rollback
+// counts, mean recovery latency, and the steady-state availability and
+// MTTF estimates the campaign implies.
+//
 // Usage:
 //
 //	faultstudy [-bench crafty] [-machines ss1,ss2+s,o3rs,shrec,diva]
 //	           [-rates 1e-5,1e-4,1e-3] [-trials 40] [-n instrs]
-//	           [-warmup instrs] [-seed N] [-store trials.jsonl]
+//	           [-warmup instrs] [-seed N] [-recover ckpt@64k+depth2]
+//	           [-store trials.jsonl]
 package main
 
 import (
@@ -43,6 +51,7 @@ func main() {
 		rateList = flag.String("rates", "1e-5,1e-4,1e-3", "comma-separated fault rates")
 		trials   = flag.Int("trials", 40, "fault-injection trials per (machine, rate) cell")
 		seed     = flag.Uint64("seed", 0xF00D, "campaign master seed")
+		recMode  = flag.String("recover", "", `checkpoint/rollback recovery mode, e.g. "ckpt@64k+depth2" (default: none)`)
 		storeP   = flag.String("store", "", "persist per-trial results to this JSON-lines file (resumable)")
 	)
 	flag.Parse()
@@ -80,6 +89,14 @@ func main() {
 		"machine@rate", "faulted", "det", "sq", "mask", "sdc", "hang",
 		"cov%", "lo%", "hi%", "lat(cy)", "ovh%")
 	tb.Verb = "%.4g"
+	var rtb *report.Table
+	if *recMode != "" {
+		rep.SetMeta("recovery", *recMode)
+		rtb = rep.AddTable("Recovery and availability by machine and rate",
+			"machine@rate", "rollbacks", "fatal", "lost(cy)", "rec-lat(cy)",
+			"avail%", "aLo%", "aHi%", "MTTF(cy)")
+		rtb.Verb = "%.6g"
+	}
 
 	for _, mname := range strings.Split(*machines, ",") {
 		mname = strings.TrimSpace(mname)
@@ -90,6 +107,7 @@ func main() {
 				Trials:    *trials,
 				FaultRate: rate,
 				Seed:      *seed,
+				Recovery:  *recMode,
 			}, nil)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "faultstudy:", err)
@@ -98,12 +116,28 @@ func main() {
 			c := res.Counts()
 			cov := res.Coverage()
 			agg := res.Aggregates()
-			tb.AddRow(fmt.Sprintf("%s@%.0e", res.Golden.Machine, rate),
+			cell := fmt.Sprintf("%s@%.0e", res.Golden.Machine, rate)
+			tb.AddRow(cell,
 				float64(cov.N), float64(c.Detected), float64(c.Squashed),
 				float64(c.Masked), float64(c.SDC), float64(c.Hang),
 				100*cov.Point, 100*cov.Lo, 100*cov.Hi, agg.DetectLatency, agg.Overhead)
+			if rtb != nil {
+				rs := res.RecoverySummary()
+				av, ok := res.Availability(campaign.DefaultRepairCycles)
+				if rs == nil || !ok {
+					fmt.Fprintln(os.Stderr, "faultstudy: recovery campaign produced no summary for", cell)
+					os.Exit(1)
+				}
+				rtb.AddRow(cell,
+					float64(rs.Rollbacks), float64(rs.Overruns+rs.Unrecoverable),
+					float64(rs.LostWork), rs.MeanRecoveryLatency,
+					100*av.Point, 100*av.Lo, 100*av.Hi, av.MTTFCycles)
+			}
 		}
 		tb.AddRule()
+		if rtb != nil {
+			rtb.AddRule()
+		}
 	}
 
 	rep.AddNote("coverage = (detected + squashed + masked) / faulted trials, Wilson 95%% bounds;")
@@ -111,6 +145,11 @@ func main() {
 	rep.AddNote("golden-signature oracle); the redundant machines detect or squash every")
 	rep.AddNote("fault. lat is mean injection-to-detection distance; ovh is IPC lost to")
 	rep.AddNote("soft-exception recovery relative to each machine's fault-free golden run.")
+	if *recMode != "" {
+		rep.AddNote("recovery: %s; fatal = overruns + unrecoverable detections; availability", *recMode)
+		rep.AddNote("assumes a %d-cycle repair after each fatal failure (renewal model,", campaign.DefaultRepairCycles)
+		rep.AddNote("Wilson-propagated bounds); MTTF(cy) 0 means no fatal failure was observed.")
+	}
 	fmt.Print(rep.String())
 	if *storeP != "" {
 		fmt.Fprintf(os.Stderr, "(%d simulated, %d store hits; store %s)\n",

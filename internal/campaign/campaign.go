@@ -34,9 +34,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/config"
+	"repro/internal/recovery"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -83,6 +85,13 @@ type Spec struct {
 	// MaxCycles is the per-trial hang watchdog in measured cycles
 	// (0 = DefaultBudgetFactor times the golden run's measured cycles).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Recovery selects the checkpoint/rollback policy trials run under
+	// ("none", "ckpt@64k+depth2+flush8+restore64", ...; see
+	// recovery.ParseMode). It overrides any checkpoint fields the named
+	// machine carries; left empty with a checkpoint-bearing machine
+	// ("shrec+ckpt64k") it adopts the machine's policy at default costs.
+	// Normalization rewrites the field to the policy's canonical string.
+	Recovery string `json:"recovery,omitempty"`
 }
 
 // Campaign defaults, applied by normalization.
@@ -95,6 +104,10 @@ const (
 	// DefaultBudgetFactor scales the golden run's measured cycles into
 	// the per-trial hang budget when the spec leaves MaxCycles zero.
 	DefaultBudgetFactor = 4
+	// DefaultRepairCycles is the repair cost charged per fatal
+	// (non-recovered) failure in the availability estimate: the cycles a
+	// reboot-and-restore costs relative to the pipeline clock.
+	DefaultRepairCycles = 1_000_000
 )
 
 // Outcome classifies one trial (see the package comment for the classes).
@@ -121,16 +134,24 @@ func Outcomes() []Outcome {
 // worst-observable-first: a hang is terminal regardless of what else the
 // trial logged; a diverged signature is corruption even if other faults
 // in the same trial were detected; detection outranks the benign classes.
+// On a recovery trial the engine's counters describe the committed
+// timeline only — faults undone by rollback were rewound along with the
+// work — so detections recorded in the recovery trace count alongside
+// the committed ones.
 func Classify(res sim.Result, goldenSig uint64) Outcome {
 	st := res.Stats
+	var rec uint64
+	if res.Recovery != nil {
+		rec = res.Recovery.Detected()
+	}
 	switch {
 	case res.Hung:
 		return OutcomeHang
-	case st.FaultsInjected == 0:
+	case st.FaultsInjected == 0 && rec == 0:
 		return OutcomeClean
 	case st.ArchSig != goldenSig:
 		return OutcomeSDC
-	case st.FaultsDetected > 0:
+	case st.FaultsDetected > 0 || rec > 0:
 		return OutcomeDetected
 	case st.FaultsSquashed > 0:
 		return OutcomeSquashed
@@ -169,6 +190,18 @@ type Trial struct {
 	Cycles int64 `json:"cycles"`
 	// ArchSig is the trial's architectural retirement signature.
 	ArchSig uint64 `json:"arch_sig"`
+
+	// Recovery observables, present only under a recovery policy (see
+	// internal/recovery): detected faults by recovery outcome, checkpoint
+	// captures, and the cycles of work rollbacks discarded. Faults and
+	// Detected above include the rolled-back detections (one injected,
+	// detected fault per rollback) even though the committed counters
+	// rewound past them.
+	Rollbacks     uint64 `json:"rollbacks,omitempty"`
+	Overruns      uint64 `json:"overruns,omitempty"`
+	Unrecoverable uint64 `json:"unrecoverable,omitempty"`
+	Checkpoints   uint64 `json:"checkpoints,omitempty"`
+	LostWork      int64  `json:"lost_work,omitempty"`
 }
 
 // Counts tallies trials per outcome class.
@@ -326,6 +359,133 @@ func (r *Result) Aggregates() Aggregates {
 	return a
 }
 
+// RecoverySummary aggregates the campaign's recovery observables and the
+// derived rates the availability estimate plugs in. The cost terms
+// (checkpoint overhead, mean recovery latency) combine the policy's
+// FlushCost/RestoreCost with the measured traces here, post hoc — the
+// simulations themselves recorded only raw observables, so the cached
+// trials serve every cost assumption.
+type RecoverySummary struct {
+	// Policy is the campaign's recovery policy, parsed back from the
+	// normalized spec.
+	Policy recovery.Policy `json:"policy"`
+	// Rollbacks, Overruns, and Unrecoverable total detected faults by
+	// recovery outcome over all trials; Checkpoints totals captures and
+	// LostWork the cycles rollbacks discarded.
+	Rollbacks     uint64 `json:"rollbacks"`
+	Overruns      uint64 `json:"overruns"`
+	Unrecoverable uint64 `json:"unrecoverable"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	LostWork      int64  `json:"lost_work"`
+	// Recovered is the fraction of detected faults rollback recovered,
+	// with Wilson 95% bounds over the detection count.
+	Recovered Estimate `json:"recovered"`
+	// MeanRecoveryLatency is the expected cycles one recovered fault
+	// costs: the policy's RestoreCost plus the mean re-executed lost work.
+	MeanRecoveryLatency float64 `json:"mean_recovery_latency"`
+	// CkptOverhead is the checkpoint capture cost amortized per committed
+	// cycle: FlushCost every Interval instructions, converted to cycles
+	// through the golden run's CPI.
+	CkptOverhead float64 `json:"ckpt_overhead"`
+	// FaultsPerCycle is the detected-fault arrival rate on the committed
+	// timeline (detections per trial cycle, pooled over all trials).
+	FaultsPerCycle float64 `json:"faults_per_cycle"`
+	// Cycles totals the trials' committed cycles — the denominator behind
+	// FaultsPerCycle, kept so summaries from several campaigns can be
+	// pooled (internal/explore does).
+	Cycles int64 `json:"cycles"`
+}
+
+// Detected is the summary's total detected faults.
+func (s *RecoverySummary) Detected() uint64 {
+	return s.Rollbacks + s.Overruns + s.Unrecoverable
+}
+
+// RecoverySummary returns the campaign's aggregated recovery observables,
+// or nil when the campaign ran without a recovery policy.
+func (r *Result) RecoverySummary() *RecoverySummary {
+	pol, err := recovery.ParseMode(r.Spec.Recovery)
+	if err != nil || !pol.Enabled() {
+		return nil
+	}
+	s := &RecoverySummary{Policy: pol}
+	for _, t := range r.Trials {
+		s.Rollbacks += t.Rollbacks
+		s.Overruns += t.Overruns
+		s.Unrecoverable += t.Unrecoverable
+		s.Checkpoints += t.Checkpoints
+		s.LostWork += t.LostWork
+		s.Cycles += t.Cycles
+	}
+	if cpi := r.Golden.CPI(); cpi > 0 {
+		s.CkptOverhead = float64(pol.FlushCost) / (float64(pol.Interval) * cpi)
+	}
+	s.Finalize()
+	return s
+}
+
+// Finalize recomputes the derived fields (Recovered, MeanRecoveryLatency,
+// FaultsPerCycle) from the counter sums — called after the counters are
+// filled, and again by callers that pool several summaries.
+func (s *RecoverySummary) Finalize() {
+	s.Recovered = estimate(int(s.Rollbacks), int(s.Detected()))
+	s.MeanRecoveryLatency = float64(s.Policy.RestoreCost)
+	if s.Rollbacks > 0 {
+		s.MeanRecoveryLatency += float64(s.LostWork) / float64(s.Rollbacks)
+	}
+	s.FaultsPerCycle = 0
+	if s.Cycles > 0 {
+		s.FaultsPerCycle = float64(s.Detected()) / float64(s.Cycles)
+	}
+}
+
+// Availability is a steady-state availability estimate with Wilson 95%
+// bounds (propagated monotonically from the fatal-fraction bounds) and
+// the matching MTTF.
+type Availability struct {
+	Point float64 `json:"point"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	// MTTFCycles is the mean cycles to an unrecovered failure; 0 means
+	// unbounded (no fatal failure was observed), keeping the JSON finite.
+	MTTFCycles float64 `json:"mttf_cycles,omitempty"`
+}
+
+// Availability estimates steady-state availability from the summary's
+// pooled counters, charging repairCycles per fatal (non-recovered)
+// failure — use DefaultRepairCycles absent a better model. The bounds
+// come from the Wilson interval on the fatal fraction, which propagates
+// monotonically through the renewal model.
+func (s *RecoverySummary) Availability(repairCycles float64) Availability {
+	det := int(s.Detected())
+	fatal := int(s.Overruns + s.Unrecoverable)
+	var pFatal float64
+	if det > 0 {
+		pFatal = float64(fatal) / float64(det)
+	}
+	fLo, fHi := stats.Wilson(fatal, det, wilsonZ)
+	avail := func(pf float64) float64 {
+		return stats.Availability(s.CkptOverhead, s.FaultsPerCycle, pf,
+			repairCycles, 1-pf, s.MeanRecoveryLatency)
+	}
+	a := Availability{Point: avail(pFatal), Lo: avail(fHi), Hi: avail(fLo)}
+	if m := stats.MTTF(s.FaultsPerCycle, pFatal); !math.IsInf(m, 1) {
+		a.MTTFCycles = m
+	}
+	return a
+}
+
+// Availability estimates the machine's steady-state availability under
+// the campaign's recovery policy (see RecoverySummary.Availability). ok
+// is false when the campaign ran without a recovery policy.
+func (r *Result) Availability(repairCycles float64) (Availability, bool) {
+	s := r.RecoverySummary()
+	if s == nil {
+		return Availability{}, false
+	}
+	return s.Availability(repairCycles), true
+}
+
 // Report renders the campaign as a typed experiment report.
 func (r *Result) Report() *report.Report {
 	rep := report.New("campaign",
@@ -370,6 +530,33 @@ func (r *Result) Report() *report.Report {
 		st.AddRow("recovery overhead %", agg.Overhead)
 	}
 
+	if rs := r.RecoverySummary(); rs != nil {
+		av, _ := r.Availability(DefaultRepairCycles)
+		rt := rep.AddTable("Recovery", "metric", "value")
+		rt.Verb = "%.6g"
+		rt.AddRow("rollbacks", float64(rs.Rollbacks))
+		rt.AddRow("overruns", float64(rs.Overruns))
+		rt.AddRow("unrecoverable", float64(rs.Unrecoverable))
+		rt.AddRow("checkpoints", float64(rs.Checkpoints))
+		rt.AddRow("lost work (cycles)", float64(rs.LostWork))
+		if rs.Detected() > 0 {
+			rt.AddRow("recovered % of detected", 100*rs.Recovered.Point)
+			rt.AddRow("recovered lo % (Wilson 95)", 100*rs.Recovered.Lo)
+			rt.AddRow("recovered hi % (Wilson 95)", 100*rs.Recovered.Hi)
+		}
+		rt.AddRow("mean recovery latency (cycles)", rs.MeanRecoveryLatency)
+		rt.AddRow("checkpoint overhead (cycles/cycle)", rs.CkptOverhead)
+		rt.AddRow("availability %", 100*av.Point)
+		rt.AddRow("availability lo % (Wilson 95)", 100*av.Lo)
+		rt.AddRow("availability hi % (Wilson 95)", 100*av.Hi)
+		if av.MTTFCycles > 0 {
+			rt.AddRow("MTTF (cycles)", av.MTTFCycles)
+		}
+		rep.SetMeta("recovery", rs.Policy.String())
+		rep.AddNote("availability %.4f%% (Wilson 95%% CI [%.4f%%, %.4f%%]) under policy %s at repair cost %d cycles",
+			100*av.Point, 100*av.Lo, 100*av.Hi, rs.Policy, int64(DefaultRepairCycles))
+	}
+
 	rep.AddNote("coverage %.2f%% (Wilson 95%% CI [%.2f%%, %.2f%%]) over %d faulted trials; %d sdc, %d hangs",
 		100*cov.Point, 100*cov.Lo, 100*cov.Hi, cov.N, c.SDC, c.Hang)
 	if r.Resumed > 0 {
@@ -412,39 +599,61 @@ func (e *Engine) WithStore(st *store.Store) *Engine {
 }
 
 // Normalize validates spec the way Run will (machine and workload
-// resolve, rate and window and budget in range) against the run-length
-// defaults def, and returns it with every default filled in — without
-// simulating anything. Servers use it to reject statically impossible
-// campaigns synchronously, and to identify jobs by the normalized spec
-// so that spelled-out defaults and omitted ones name the same campaign.
+// resolve, rate and window and budget in range, recovery mode parses)
+// against the run-length defaults def, and returns it with every default
+// filled in — without simulating anything. Servers use it to reject
+// statically impossible campaigns synchronously, and to identify jobs by
+// the normalized spec so that spelled-out defaults and omitted ones name
+// the same campaign.
 func Normalize(spec Spec, def sim.Options) (Spec, error) {
-	ns, _, _, err := normalize(spec, def)
+	ns, _, _, _, err := normalize(spec, def)
 	return ns, err
 }
 
-// normalize fills spec defaults from def and resolves the machine and
-// workload. The returned spec is what Result records and what the
-// campaign digest hashes.
-func normalize(spec Spec, def sim.Options) (Spec, config.Machine, trace.Profile, error) {
+// normalize fills spec defaults from def and resolves the machine,
+// workload, and recovery policy (applying the policy's checkpoint fields
+// to the returned machine). The returned spec is what Result records and
+// what the campaign digest hashes.
+func normalize(spec Spec, def sim.Options) (Spec, config.Machine, trace.Profile, recovery.Policy, error) {
+	fail := func(err error) (Spec, config.Machine, trace.Profile, recovery.Policy, error) {
+		return Spec{}, config.Machine{}, trace.Profile{}, recovery.Policy{}, err
+	}
 	m, err := config.ByName(spec.Machine)
 	if err != nil {
-		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: %w", err)
+		return fail(fmt.Errorf("campaign: %w", err))
 	}
 	p, err := workload.ByName(spec.Benchmark)
 	if err != nil {
-		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: %w", err)
+		return fail(fmt.Errorf("campaign: %w", err))
+	}
+	pol, err := recovery.ParseMode(spec.Recovery)
+	if err != nil {
+		return fail(fmt.Errorf("campaign: %w", err))
+	}
+	if !pol.Enabled() && m.CkptInterval > 0 {
+		// A checkpoint-bearing machine spec ("shrec+ckpt64k") implies the
+		// policy at default costs.
+		pol, err = (recovery.Policy{Interval: m.CkptInterval, Depth: m.CkptDepth}).Normalize()
+		if err != nil {
+			return fail(fmt.Errorf("campaign: %w", err))
+		}
+	}
+	m = pol.Apply(m)
+	spec.Recovery = ""
+	if pol.Enabled() {
+		spec.Recovery = pol.String()
 	}
 	if spec.Trials == 0 {
 		spec.Trials = DefaultTrials
 	}
 	if spec.Trials < 0 {
-		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: negative trial count %d", spec.Trials)
+		return fail(fmt.Errorf("campaign: negative trial count %d", spec.Trials))
 	}
 	if spec.FaultRate == 0 {
 		spec.FaultRate = DefaultFaultRate
 	}
 	if spec.FaultRate < 0 || spec.FaultRate > 1 {
-		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: fault rate %g out of [0,1]", spec.FaultRate)
+		return fail(fmt.Errorf("campaign: fault rate %g out of [0,1]", spec.FaultRate))
 	}
 	if spec.WarmupInstrs == 0 {
 		spec.WarmupInstrs = def.WarmupInstrs
@@ -456,25 +665,28 @@ func normalize(spec Spec, def sim.Options) (Spec, config.Machine, trace.Profile,
 		spec.WindowHi = spec.MeasureInstrs
 	}
 	if spec.WindowHi <= spec.WindowLo {
-		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: empty injection window [%d, %d)", spec.WindowLo, spec.WindowHi)
+		return fail(fmt.Errorf("campaign: empty injection window [%d, %d)", spec.WindowLo, spec.WindowHi))
 	}
 	if spec.WindowLo+fetchHorizon(m) >= spec.WindowHi {
-		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf(
+		return fail(fmt.Errorf(
 			"campaign: injection window [%d, %d) collapses inside the warmup fetch horizon (%d); raise MeasureInstrs or WindowHi",
-			spec.WindowLo, spec.WindowHi, fetchHorizon(m))
+			spec.WindowLo, spec.WindowHi, fetchHorizon(m)))
 	}
 	if spec.MaxCycles < 0 {
-		return Spec{}, config.Machine{}, trace.Profile{}, fmt.Errorf("campaign: negative cycle budget %d", spec.MaxCycles)
+		return fail(fmt.Errorf("campaign: negative cycle budget %d", spec.MaxCycles))
 	}
-	return spec, m, p, nil
+	return spec, m, p, pol, nil
 }
 
 // digest is the campaign's content identity: the full machine
 // configuration and workload profile plus every spec field that shapes a
 // trial — but not the trial count, so extending a campaign from 500 to
 // 1000 trials reuses the first 500 stored records.
+// The schema label is v2: v1 records predate checkpoint recovery (the
+// Trial schema grew recovery fields, and the hashed machine grew
+// checkpoint fields).
 func digest(spec Spec, m config.Machine, p trace.Profile, budget int64) string {
-	return store.Digest("campaign.Trial.v1", m, p,
+	return store.Digest("campaign.Trial.v2", m, p,
 		spec.FaultRate, spec.Seed, spec.WarmupInstrs, spec.MeasureInstrs,
 		spec.WindowLo, spec.WindowHi, budget)
 }
@@ -501,7 +713,7 @@ func fetchHorizon(m config.Machine) uint64 {
 // cancellation the campaign stops with an error, but every finished
 // trial has already been persisted, so a later Run resumes from it.
 func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*Result, error) {
-	ns, m, p, err := normalize(spec, e.sims.Options())
+	ns, m, p, _, err := normalize(spec, e.sims.Options())
 	if err != nil {
 		return nil, err
 	}
@@ -586,6 +798,25 @@ func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*
 				IPC:           r.IPC(),
 				Cycles:        r.Stats.Cycles,
 				ArchSig:       r.Stats.ArchSig,
+			}
+			if rec := r.Recovery; rec != nil {
+				tr.Rollbacks, tr.Overruns, tr.Unrecoverable = rec.Rollbacks, rec.Overruns, rec.Unrecoverable
+				tr.Checkpoints = rec.Checkpoints
+				tr.LostWork = rec.LostWork
+				// Each rollback undid exactly one injected, detected fault
+				// that the rewound committed counters no longer carry.
+				tr.Faults += rec.Rollbacks
+				tr.Detected += rec.Rollbacks
+				if n := len(rec.Events); n > 0 {
+					// The committed counters lost the rolled-back detection
+					// latencies; recompute over the trace's event log (which
+					// covers every detection on trial-sized runs).
+					var sum float64
+					for _, ev := range rec.Events {
+						sum += float64(ev.DetectCycle - ev.InjectCycle)
+					}
+					tr.DetectLatency = sum / float64(n)
+				}
 			}
 			if e.st != nil {
 				// Best effort: a failed write costs a re-simulation on

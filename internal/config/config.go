@@ -151,6 +151,18 @@ type Machine struct {
 	// measured region this way, so the warmup phase stays bit-identical
 	// to the fault-free golden run it is compared against.
 	FaultWindowLo, FaultWindowHi uint64
+
+	// CkptInterval, when positive, wraps the measured phase in periodic
+	// architectural checkpoints: one capture every CkptInterval retired
+	// instructions, giving detected faults a rollback target (see
+	// internal/recovery). Zero disables checkpointing entirely — the
+	// engine's zero-allocation fast path is untouched.
+	CkptInterval uint64
+	// CkptDepth is how many checkpoints are retained for rollback
+	// (0 = the recovery default of 1 when CkptInterval is set). Deeper
+	// retention recovers faults whose detection latency crosses a
+	// checkpoint boundary, at proportional capture-memory cost.
+	CkptDepth int
 }
 
 // SS1 returns the paper's Table 1 baseline: an 8-wide out-of-order
@@ -306,6 +318,10 @@ func (m Machine) modified(k modKind, v float64) Machine {
 		out.Mem.MemPorts = int(v)
 	case modRate:
 		out.FaultRate = v
+	case modCkpt:
+		out.CkptInterval = uint64(v)
+	case modDepth:
+		out.CkptDepth = int(v)
 	}
 	return out
 }
@@ -340,16 +356,39 @@ func (m Machine) WithFaultRate(r float64) Machine {
 	return out
 }
 
+// WithCkptInterval returns the machine with periodic architectural
+// checkpointing every n retired instructions (0 disables), named with the
+// canonical "+ckpt" spec modifier ("shrec+ckpt64k"; 1024-multiples render
+// with k/m suffixes).
+func (m Machine) WithCkptInterval(n uint64) Machine {
+	out := m
+	out.CkptInterval = n
+	out.Name = specName(m.Name, out, modCkpt, float64(n), false)
+	return out
+}
+
+// WithCkptDepth returns the machine retaining n rollback checkpoints,
+// named with the canonical "+depth" spec modifier. Meaningful only with a
+// checkpoint interval (Validate rejects depth without one).
+func (m Machine) WithCkptDepth(n int) Machine {
+	out := m
+	out.CkptDepth = n
+	out.Name = specName(m.Name, out, modDepth, float64(n), false)
+	return out
+}
+
 // ByName parses a machine specification string: a base machine — "ss1",
 // "ss2", "ss2+<factors>" (e.g. "ss2+sc", "ss2+xscb"), "shrec", "diva",
 // or "o3rs" — followed by optional modifiers in any order: "@x<f>"
 // (issue/FU/port scaling), "+stagger<n>", "+fux<f>" (FU pool scaling),
-// "+mshr<n>", "+ports<n>", and "+rate<f>" (fault injection), all
-// case-insensitive. "shrec@x1.5+stagger2" is the SHREC machine at 1.5X
-// issue bandwidth with a 2-instruction stagger bound. It is the shared
-// parser behind cmd/shrecsim's -machine flag, shrecd's request decoding,
-// and the exploration engine's point decoding; Machine.Spec renders the
-// inverse.
+// "+mshr<n>", "+ports<n>", "+rate<f>" (fault injection), "+ckpt<n>"
+// (checkpoint interval, k/m suffixes allowed), and "+depth<n>" (retained
+// checkpoints), all case-insensitive. "shrec@x1.5+stagger2" is the SHREC
+// machine at 1.5X issue bandwidth with a 2-instruction stagger bound;
+// "shrec+ckpt64k+depth2" checkpoints every 65536 instructions retaining
+// two. It is the shared parser behind cmd/shrecsim's -machine flag,
+// shrecd's request decoding, and the exploration engine's point decoding;
+// Machine.Spec renders the inverse.
 func ByName(name string) (Machine, error) {
 	lower := strings.ToLower(strings.TrimSpace(name))
 	base, mods, err := splitSpec(lower)
@@ -361,7 +400,7 @@ func ByName(name string) (Machine, error) {
 		return Machine{}, err
 	}
 	if !ok {
-		return Machine{}, fmt.Errorf("config: unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs, with optional @x/+stagger/+fux/+mshr/+ports/+rate modifiers)", name)
+		return Machine{}, fmt.Errorf("config: unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs, with optional @x/+stagger/+fux/+mshr/+ports/+rate/+ckpt/+depth modifiers)", name)
 	}
 	return mods.apply(m)
 }
@@ -389,5 +428,25 @@ func (m *Machine) Validate() error {
 	if m.FaultWindowHi > 0 && m.FaultWindowHi <= m.FaultWindowLo {
 		return fmt.Errorf("%s: empty fault window [%d, %d)", m.Name, m.FaultWindowLo, m.FaultWindowHi)
 	}
+	if m.CkptInterval > 0 && m.CkptInterval < MinCkptInterval {
+		return fmt.Errorf("%s: checkpoint interval %d below the minimum of %d", m.Name, m.CkptInterval, MinCkptInterval)
+	}
+	if m.CkptDepth < 0 {
+		return fmt.Errorf("%s: negative checkpoint depth", m.Name)
+	}
+	if m.CkptDepth > MaxCkptDepth {
+		return fmt.Errorf("%s: checkpoint depth %d above the maximum of %d", m.Name, m.CkptDepth, MaxCkptDepth)
+	}
+	if m.CkptDepth > 0 && m.CkptInterval == 0 {
+		return fmt.Errorf("%s: checkpoint depth without a checkpoint interval", m.Name)
+	}
 	return nil
 }
+
+// Checkpoint-policy bounds enforced by Validate. The interval floor keeps
+// capture frequency sane (a capture is a full engine deep-clone); the
+// depth cap bounds retained-checkpoint memory.
+const (
+	MinCkptInterval = 64
+	MaxCkptDepth    = 16
+)

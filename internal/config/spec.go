@@ -15,6 +15,13 @@
 //	          | "+mshr"<int>      MSHR entry count (WithMSHRs)
 //	          | "+ports"<int>     memory port count (WithMemPorts)
 //	          | "+rate"<float>    fault-injection rate (WithFaultRate)
+//	          | "+ckpt"<int>      checkpoint interval in retired
+//	                              instructions (WithCkptInterval); the
+//	                              value takes k/m suffixes (1024 multiples:
+//	                              "+ckpt64k" = 65536) and renders with the
+//	                              largest exact suffix
+//	          | "+depth"<int>     retained rollback checkpoints
+//	                              (WithCkptDepth)
 //
 // parsed case-insensitively with modifiers in any order, at most one of
 // each kind. The canonical rendering — Machine.Spec — uses the upper-case
@@ -38,15 +45,17 @@ const (
 	modMSHR
 	modPorts
 	modRate
+	modCkpt
+	modDepth
 	numModKinds
 )
 
 // modToken is the spec token of each modifier kind, in canonical order.
-var modToken = [numModKinds]string{"@x", "+stagger", "+fux", "+mshr", "+ports", "+rate"}
+var modToken = [numModKinds]string{"@x", "+stagger", "+fux", "+mshr", "+ports", "+rate", "+ckpt", "+depth"}
 
 // intMod reports whether the kind's value renders as an integer.
 func (k modKind) intMod() bool {
-	return k == modStagger || k == modMSHR || k == modPorts
+	return k == modStagger || k == modMSHR || k == modPorts || k == modCkpt || k == modDepth
 }
 
 // specMods is one parsed modifier set. present[k] guards vals[k].
@@ -65,6 +74,19 @@ func (m *specMods) set(k modKind, v float64) {
 // without a decimal point, floats in the shortest 'g' form (the same
 // rendering strconv.ParseFloat round-trips).
 func formatModValue(k modKind, v float64) string {
+	if k == modCkpt {
+		// Checkpoint intervals render with the largest exact 1024-multiple
+		// suffix ("+ckpt64k", "+ckpt2m"), matching the k/m suffixes
+		// splitSpec accepts.
+		n := int(v)
+		switch {
+		case n > 0 && n%(1024*1024) == 0:
+			return strconv.Itoa(n/(1024*1024)) + "m"
+		case n > 0 && n%1024 == 0:
+			return strconv.Itoa(n/1024) + "k"
+		}
+		return strconv.Itoa(n)
+	}
 	if k.intMod() {
 		return strconv.Itoa(int(v))
 	}
@@ -118,10 +140,22 @@ func splitSpec(lower string) (base string, mods specMods, err error) {
 		if i := strings.IndexAny(rest, "@+"); i >= 0 {
 			end = i
 		}
-		v, perr := strconv.ParseFloat(rest[:end], 64)
+		val := rest[:end]
+		mul := 1.0
+		if kind == modCkpt {
+			// Checkpoint intervals take k/m suffixes (1024 multiples).
+			switch {
+			case strings.HasSuffix(val, "m"):
+				val, mul = val[:len(val)-1], 1024*1024
+			case strings.HasSuffix(val, "k"):
+				val, mul = val[:len(val)-1], 1024
+			}
+		}
+		v, perr := strconv.ParseFloat(val, 64)
 		if perr != nil {
 			return "", specMods{}, fmt.Errorf("config: bad %q value %q", strings.TrimLeft(modToken[kind], "@+"), rest[:end])
 		}
+		v *= mul
 		if kind.intMod() && v != float64(int(v)) {
 			return "", specMods{}, fmt.Errorf("config: %q takes an integer, got %q", strings.TrimLeft(modToken[kind], "@+"), rest[:end])
 		}
@@ -149,6 +183,19 @@ func (k modKind) validate(v float64) error {
 	case modRate:
 		if v < 0 || v > 1 {
 			return fmt.Errorf("config: fault rate %g out of [0,1]", v)
+		}
+	case modCkpt:
+		// Zero disables checkpointing; positive intervals share
+		// Machine.Validate's floor so specs and helpers agree on the bound.
+		if v < 0 {
+			return fmt.Errorf("config: negative checkpoint interval %g", v)
+		}
+		if v > 0 && v < MinCkptInterval {
+			return fmt.Errorf("config: checkpoint interval %g below minimum %d", v, MinCkptInterval)
+		}
+	case modDepth:
+		if v < 1 || v > MaxCkptDepth {
+			return fmt.Errorf("config: checkpoint depth %g out of [1,%d]", v, MaxCkptDepth)
 		}
 	}
 	return nil

@@ -27,6 +27,12 @@ func TestSpecRoundTrip(t *testing.T) {
 		config.SHREC().WithFaultRate(1e-4),
 		// Repeated relative scaling folds into the product when truthful.
 		config.SHREC().WithXScale(0.5).WithXScale(0.5),
+		config.SHREC().WithCkptInterval(65536),
+		config.SHREC().WithCkptInterval(65536).WithCkptDepth(2),
+		config.SHREC().WithCkptDepth(2).WithCkptInterval(65536), // order-independent
+		config.O3RS().WithCkptInterval(2 * 1024 * 1024),
+		config.DIVA().WithCkptInterval(100), // no exact 1024 suffix
+		config.SHREC().WithFaultRate(1e-4).WithCkptInterval(4096).WithCkptDepth(4),
 	}
 	for _, m := range machines {
 		spec := m.Spec()
@@ -56,6 +62,12 @@ func TestSpecCanonicalForm(t *testing.T) {
 		config.SHREC().WithStagger(2).WithXScale(1.5).Spec():               "SHREC@x1.5+stagger2",
 		config.SS2(config.Factors{S: true, C: true}).WithStagger(0).Spec(): "SS2+SC+stagger0",
 		config.SS1().WithMemPorts(2).WithMSHRs(16).Spec():                  "SS1+mshr16+ports2",
+		// Checkpoint intervals render with the largest exact 1024 suffix.
+		config.SHREC().WithCkptInterval(65536).WithCkptDepth(2).Spec():        "SHREC+ckpt64k+depth2",
+		config.SHREC().WithCkptDepth(2).WithCkptInterval(65536).Spec():        "SHREC+ckpt64k+depth2",
+		config.O3RS().WithCkptInterval(2 * 1024 * 1024).Spec():                "O3RS+ckpt2m",
+		config.DIVA().WithCkptInterval(100).Spec():                            "DIVA+ckpt100",
+		config.SHREC().WithFaultRate(1e-4).WithCkptInterval(1024 * 53).Spec(): "SHREC+rate0.0001+ckpt53k",
 	}
 	for got, want := range cases {
 		if got != want {
@@ -95,6 +107,35 @@ func TestByNameModifiers(t *testing.T) {
 	if fr.FaultRate != 1e-4 {
 		t.Fatalf("rate not applied: %g", fr.FaultRate)
 	}
+	// Checkpoint modifiers: k/m suffixes are 1024 multiples, and parsing is
+	// case-insensitive like everything else in the grammar.
+	ck, err := config.ByName("shrec+ckpt64k+depth2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.CkptInterval != 65536 || ck.CkptDepth != 2 {
+		t.Fatalf("ckpt64k+depth2 = interval %d depth %d", ck.CkptInterval, ck.CkptDepth)
+	}
+	if ck.Name != "SHREC+ckpt64k+depth2" {
+		t.Fatalf("canonical name = %q", ck.Name)
+	}
+	cm, err := config.ByName("SHREC+CKPT2M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.CkptInterval != 2*1024*1024 {
+		t.Fatalf("ckpt2m = interval %d", cm.CkptInterval)
+	}
+	cr, err := config.ByName("shrec+ckpt4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.CkptInterval != 4096 {
+		t.Fatalf("ckpt4096 = interval %d", cr.CkptInterval)
+	}
+	if cr.Spec() != "SHREC+ckpt4k" {
+		t.Fatalf("ckpt4096 renders %q, want the exact-suffix form", cr.Spec())
+	}
 	fx, err := config.ByName("diva+fux0.5")
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +161,13 @@ func TestByNameModifierErrors(t *testing.T) {
 		"shrec+ports0",            // below one
 		"shrec+rate2",             // out of [0,1]
 		"ss2+q@x1.5",              // bad factor under a modifier
+		"shrec+ckpt-64",           // negative interval
+		"shrec+ckpt32",            // below MinCkptInterval
+		"shrec+ckpt64q",           // unknown suffix
+		"shrec+depth0",            // below one
+		"shrec+depth17",           // above MaxCkptDepth
+		"shrec+depth1.5",          // non-integer
+		"shrec+ckpt4k+ckpt8k",     // duplicate
 	} {
 		if _, err := config.ByName(bad); err == nil {
 			t.Errorf("ByName(%q) accepted", bad)

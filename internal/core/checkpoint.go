@@ -55,8 +55,10 @@ func (e *Engine) Restore(cp *Checkpoint) { *e = *cp.e.deepClone() }
 
 // SetFaultConfig reconfigures fault injection on a (typically
 // checkpoint-spawned) engine: per-instruction rate, injector seed, and the
-// [lo, hi) correct-path fetch-sequence window (hi == 0 disables the window
-// bound). The injector RNG restarts from the seed. Because faultEligible
+// [lo, hi) correct-path fetch-sequence window (hi == 0 disables only the
+// upper bound; lo always applies, which is how recovery's re-injection
+// guard advances past a rolled-back fault). The injector RNG restarts from
+// the seed. Because faultEligible
 // checks the rate and window before drawing randomness, a pre-checkpoint
 // execution with injection disabled is bit-identical to one that never
 // faults, so enabling injection after restoring a warmup checkpoint is

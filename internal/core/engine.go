@@ -97,6 +97,27 @@ type Engine struct {
 	// instruction (test instrumentation for retired-stream oracles).
 	retireHook func(isa.Inst)
 
+	// faultHook, when non-nil, observes every detected fault at the moment
+	// of detection (before the soft exception squashes the pipeline); a
+	// true return requests that the current run stop with ErrHookStop so
+	// the caller can intervene — the recovery runner uses this to roll
+	// back to a checkpoint instead of letting the inline replay proceed.
+	// nil for every engine outside a recovery run, so the hot path pays
+	// one nil check per detection, never per cycle.
+	faultHook func(seq uint64, injectAt, detectAt int64) bool
+	// stopRequest is latched by a true faultHook return and consumed by
+	// RunBudget at the end of the step.
+	stopRequest bool
+
+	// retireStop, when non-zero, caps retirement exactly at that total
+	// retired count: the retire loop stops before committing instruction
+	// retireStop+1 even with budget and completed work remaining. Chunked
+	// runs (recovery's checkpoint cadence) need exact boundaries — a free
+	// overshoot of up to RetireWidth-1 depends on retirement alignment,
+	// which faults perturb, so overshooting chunks would make the ArchSig
+	// fold sequence diverge between golden and trial runs.
+	retireStop uint64
+
 	// sigLimit bounds the ArchSig fold to the first sigLimit retirements
 	// of the current run target (set by RunBudget). The final cycle of a
 	// run may retire up to RetireWidth instructions past the target, and
@@ -375,6 +396,24 @@ func (e *Engine) RunContext(ctx context.Context, n uint64) (Stats, error) {
 	return e.RunBudget(ctx, n, 0)
 }
 
+// ErrHookStop reports that a run stopped because the engine's fault hook
+// (SetFaultHook) requested it on a detected fault. The engine state is the
+// post-detection state — the soft exception already squashed the pipeline —
+// and the accumulated stats are returned alongside, so the caller may roll
+// back to a checkpoint or resume the run as it sees fit.
+var ErrHookStop = errors.New("fault hook requested stop")
+
+// SetFaultHook installs (or, with nil, removes) the detected-fault
+// observer. The hook runs at detection time with the faulting
+// instruction's fetch sequence number, its injection cycle, and the
+// detection cycle (both on the engine's absolute clock); returning true
+// stops the current Run*/RunBudget call with ErrHookStop after the
+// detection's soft exception completes.
+func (e *Engine) SetFaultHook(hook func(seq uint64, injectAt, detectAt int64) bool) {
+	e.faultHook = hook
+	e.stopRequest = false
+}
+
 // ErrCycleBudget reports that a budgeted run (RunBudget) exhausted its
 // cycle allowance before retiring the requested instructions. Fault
 // campaigns use it as the hang watchdog: a trial whose recovery storm
@@ -395,6 +434,10 @@ func (e *Engine) RunBudget(ctx context.Context, n uint64, maxCycles int64) (Stat
 	nextCheck := e.now + ctxCheckInterval
 	for e.stats.Retired < n {
 		e.step()
+		if e.stopRequest {
+			e.stopRequest = false
+			return e.stats, ErrHookStop
+		}
 		// The budget only fires on an unfinished run: the step that
 		// retires the n-th instruction may legitimately carry Cycles past
 		// the budget, and that run completed.
@@ -427,6 +470,21 @@ func (e *Engine) RunBudget(ctx context.Context, n uint64, maxCycles int64) (Stat
 		}
 	}
 	return e.stats, nil
+}
+
+// RunExact is RunBudget with an exact retirement boundary: the run stops
+// having retired exactly n instructions in total (since the last
+// ResetStats), never overshooting into the free retirement slots of the
+// final cycle. Chunked execution — recovery running checkpoint interval by
+// checkpoint interval — needs exact boundaries so the retired instruction
+// stream (and therefore the ArchSig fold) is identical to one contiguous
+// run's; a plain RunBudget chunk would overshoot by an alignment-dependent
+// amount that faults perturb.
+func (e *Engine) RunExact(ctx context.Context, n uint64, maxCycles int64) (Stats, error) {
+	e.retireStop = n
+	stats, err := e.RunBudget(ctx, n, maxCycles)
+	e.retireStop = 0
+	return stats, err
 }
 
 // cycle advances the machine by one clock.

@@ -289,7 +289,7 @@ func (e *Engine) predictBranch(f *fetchedInst) {
 		}
 		// Train immediately: hardware updates the history registers
 		// speculatively at prediction time (repairing on squash), and by
-		// the time a loop body drains from the 512-entry window every
+		// the time a loop body drains from the ROB-sized window every
 		// iteration of its branch has already been fetched — retire-time
 		// history updates would make periodic patterns unlearnable.
 		e.pred.Update(in.PC, in.Taken)

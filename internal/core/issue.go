@@ -396,7 +396,13 @@ func (e *Engine) faultEligible(s int32) bool {
 	if e.cfg.FaultRate <= 0 || w.flags[s]&fWrongPath != 0 {
 		return false
 	}
-	if hi := e.cfg.FaultWindowHi; hi > 0 && (w.seq[s] < e.cfg.FaultWindowLo || w.seq[s] >= hi) {
+	// The bounds apply independently: lo alone gives a half-open window
+	// [lo, ∞) — recovery's re-injection guard bumps lo past a rolled-back
+	// fault even on machines with no upper bound configured.
+	if w.seq[s] < e.cfg.FaultWindowLo {
+		return false
+	}
+	if hi := e.cfg.FaultWindowHi; hi > 0 && w.seq[s] >= hi {
 		return false
 	}
 	return true

@@ -23,6 +23,11 @@ import (
 func (e *Engine) retire() {
 	budget := e.cfg.RetireWidth
 	for budget > 0 {
+		// An exact run boundary (RunExact) caps retirement at the target
+		// even when width and completed instructions remain.
+		if e.retireStop != 0 && e.stats.Retired >= e.retireStop {
+			return
+		}
 		switch e.cfg.Mode {
 		case config.ModeSS2:
 			if !e.retirePair(&budget) {
@@ -249,6 +254,17 @@ func (e *Engine) recordDetection(a, b int32) {
 	}
 	if at >= 0 && e.now >= at {
 		e.stats.FaultDetectLatencySum += uint64(e.now - at)
+	}
+	if e.faultHook != nil {
+		// Both of an SS2 pair's copies carry the same sequence number, so
+		// either flagged slot names the faulting program instruction.
+		s := a
+		if s < 0 || w.flags[s]&(fFaulty|fFaulty2) == 0 {
+			s = b
+		}
+		if e.faultHook(w.seq[s], at, e.now) {
+			e.stopRequest = true
+		}
 	}
 	// Clear the flags so the imminent softException does not double-count
 	// this fault as squashed.

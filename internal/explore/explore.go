@@ -131,6 +131,18 @@ type Eval struct {
 	CoverageHi float64 `json:"coverage_hi,omitempty"`
 	SDC        int     `json:"sdc,omitempty"`
 	Hangs      int     `json:"hangs,omitempty"`
+	// Availed reports that the availability fields are meaningful (the
+	// point checkpoints under fault injection, so its campaigns carried a
+	// recovery policy).
+	Availed bool `json:"availed,omitempty"`
+	// Avail is the point's steady-state availability estimate with its
+	// Wilson-propagated 95% bounds, pooled over the benchmarks' campaign
+	// summaries at campaign.DefaultRepairCycles; MTTFCycles is the
+	// matching mean cycles to fatal failure (0 = none observed).
+	Avail      float64 `json:"avail,omitempty"`
+	AvailLo    float64 `json:"avail_lo,omitempty"`
+	AvailHi    float64 `json:"avail_hi,omitempty"`
+	MTTFCycles float64 `json:"mttf_cycles,omitempty"`
 }
 
 // Progress is a running exploration snapshot, delivered serially to the
@@ -202,7 +214,18 @@ func Cost(m config.Machine) float64 {
 	windows := float64(m.ISQSize)/16 + float64(m.ROBSize)/64 +
 		float64(m.LSQSize)/16 + float64(m.CheckerWindow)/2
 	mem := 2*float64(m.Mem.MemPorts) + float64(m.Mem.MSHREntries)/4
-	return fuCost + widths + windows + mem
+	ckpt := 0.0
+	if m.CkptInterval > 0 {
+		// Checkpoint recovery buys availability with hardware: shadow
+		// state for each retained architectural checkpoint plus capture
+		// sequencing, charged per ring slot.
+		depth := m.CkptDepth
+		if depth < 1 {
+			depth = 1
+		}
+		ckpt = 2 + 3*float64(depth)
+	}
+	return fuCost + widths + windows + mem + ckpt
 }
 
 // Normalize validates spec the way Run will against the run-length
@@ -406,6 +429,8 @@ func (r *run) evalPoint(ctx context.Context, pt Point, opt sim.Options, screen b
 			camp.WithStore(r.eng.st)
 		}
 		var counts campaign.Counts
+		var pooled *campaign.RecoverySummary
+		var ckptOvWeighted float64
 		for _, b := range r.spec.Benchmarks {
 			cres, err := camp.Run(ctx, campaign.Spec{
 				Machine:       pt.Machine.Spec(),
@@ -426,6 +451,21 @@ func (r *run) evalPoint(ctx context.Context, pt Point, opt sim.Options, screen b
 			counts.SDC += c.SDC
 			counts.Hang += c.Hang
 			counts.Clean += c.Clean
+			if rs := cres.RecoverySummary(); rs != nil {
+				// Pool the recovery counters over the benchmarks; the
+				// checkpoint overhead (a per-benchmark CPI ratio) pools as
+				// a cycle-weighted mean.
+				if pooled == nil {
+					pooled = &campaign.RecoverySummary{Policy: rs.Policy}
+				}
+				pooled.Rollbacks += rs.Rollbacks
+				pooled.Overruns += rs.Overruns
+				pooled.Unrecoverable += rs.Unrecoverable
+				pooled.Checkpoints += rs.Checkpoints
+				pooled.LostWork += rs.LostWork
+				pooled.Cycles += rs.Cycles
+				ckptOvWeighted += rs.CkptOverhead * float64(rs.Cycles)
+			}
 		}
 		covered := counts.Detected + counts.Squashed + counts.Masked
 		ev.Covered = true
@@ -437,6 +477,16 @@ func (r *run) evalPoint(ctx context.Context, pt Point, opt sim.Options, screen b
 		} else {
 			// No trial sampled a fault; nothing is known.
 			ev.CoverageLo, ev.CoverageHi = 0, 1
+		}
+		if pooled != nil {
+			if pooled.Cycles > 0 {
+				pooled.CkptOverhead = ckptOvWeighted / float64(pooled.Cycles)
+			}
+			pooled.Finalize()
+			av := pooled.Availability(campaign.DefaultRepairCycles)
+			ev.Availed = true
+			ev.Avail, ev.AvailLo, ev.AvailHi = av.Point, av.Lo, av.Hi
+			ev.MTTFCycles = av.MTTFCycles
 		}
 	}
 	if r.eng.st != nil {
@@ -518,22 +568,45 @@ func (r *run) evalAll(ctx context.Context, points []Point, screen bool) ([]Eval,
 
 // objectives maps an evaluation to its maximization vector: IPC,
 // coverage (when the exploration measures any; uncovered points
-// contribute zero), and negated cost.
-func objectives(e Eval, withCoverage bool) []float64 {
-	if !withCoverage {
-		return []float64{e.IPC, -e.Cost}
+// contribute zero), availability (when the space sweeps recovery;
+// recovery-free points contribute zero), and negated cost.
+func objectives(e Eval, withCoverage, withAvail bool) []float64 {
+	out := []float64{e.IPC}
+	if withCoverage {
+		cov := 0.0
+		if e.Covered {
+			cov = e.Coverage
+		}
+		out = append(out, cov)
 	}
-	cov := 0.0
-	if e.Covered {
-		cov = e.Coverage
+	if withAvail {
+		av := 0.0
+		if e.Availed {
+			av = e.Avail
+		}
+		out = append(out, av)
 	}
-	return []float64{e.IPC, cov, -e.Cost}
+	return append(out, -e.Cost)
 }
 
 // hasCoverage reports whether any point of the space injects faults.
 func (s Spec) hasCoverage() bool {
 	for _, r := range s.Space.FaultRates {
 		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasAvailability reports whether the exploration measures availability:
+// some point both checkpoints and injects faults.
+func (s Spec) hasAvailability() bool {
+	if !s.hasCoverage() {
+		return false
+	}
+	for _, n := range s.Space.CkptIntervals {
+		if n > 0 {
 			return true
 		}
 	}
@@ -576,9 +649,10 @@ func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*
 	sort.Slice(evals, func(a, b int) bool { return evals[a].Index < evals[b].Index })
 
 	withCov := ns.hasCoverage()
+	withAvail := ns.hasAvailability()
 	vecs := make([][]float64, len(evals))
 	for i, ev := range evals {
-		vecs[i] = objectives(ev, withCov)
+		vecs[i] = objectives(ev, withCov, withAvail)
 	}
 	baseIPC, err := r.baselineIPC(ctx, r.options(false))
 	if err != nil {
@@ -599,6 +673,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*
 // Report renders the exploration as a typed experiment report.
 func (r *Result) Report() *report.Report {
 	withCov := r.Spec.hasCoverage()
+	withAvail := r.Spec.hasAvailability()
 	rep := report.New("explore",
 		fmt.Sprintf("Design-space exploration: %d-point space, %s strategy, %d on the Pareto frontier",
 			r.Points, r.Spec.Strategy, len(r.Frontier)))
@@ -606,6 +681,9 @@ func (r *Result) Report() *report.Report {
 	cols := []string{"spec", "IPC", "slowdown", "cost"}
 	if withCov {
 		cols = []string{"spec", "IPC", "slowdown", "cov%", "lo%", "hi%", "odds", "cost"}
+	}
+	if withAvail {
+		cols = []string{"spec", "IPC", "slowdown", "cov%", "lo%", "hi%", "odds", "avail%", "aLo%", "aHi%", "cost"}
 	}
 	onFrontier := make(map[int]bool, len(r.Frontier))
 	for _, i := range r.Frontier {
@@ -624,10 +702,27 @@ func (r *Result) Report() *report.Report {
 			cov, lo, hi = 100*ev.Coverage, 100*ev.CoverageLo, 100*ev.CoverageHi
 			odds = ev.Coverage / (1 - ev.Coverage)
 		}
-		return []float64{ev.IPC, ev.Slowdown, cov, lo, hi, odds, ev.Cost}
+		out := []float64{ev.IPC, ev.Slowdown, cov, lo, hi, odds}
+		if withAvail {
+			// Recovery-free points carry no availability estimate either:
+			// NaN for the same reason.
+			av, alo, ahi := math.NaN(), math.NaN(), math.NaN()
+			if ev.Availed {
+				av, alo, ahi = 100*ev.Avail, 100*ev.AvailLo, 100*ev.AvailHi
+			}
+			out = append(out, av, alo, ahi)
+		}
+		return append(out, ev.Cost)
 	}
 
-	ft := rep.AddTable("Pareto frontier (maximize IPC"+map[bool]string{true: ", coverage", false: ""}[withCov]+"; minimize cost)", cols...)
+	obj := "maximize IPC"
+	if withCov {
+		obj += ", coverage"
+	}
+	if withAvail {
+		obj += ", availability"
+	}
+	ft := rep.AddTable("Pareto frontier ("+obj+"; minimize cost)", cols...)
 	ft.Verb = "%.4g"
 	for _, i := range r.Frontier {
 		ft.AddRow(r.Evals[i].Spec, rowValues(r.Evals[i])...)

@@ -12,9 +12,9 @@ import (
 // An empty axis means "keep the base machine's value", so the zero axes
 // contribute nothing to the product. The enumeration order is fixed —
 // bases vary slowest, then XScales, Staggers, FUScales, MSHRs, MemPorts,
-// and FaultRates fastest — so point index i names the same configuration
-// on every run, which is what lets an interrupted exploration resume
-// from the store.
+// CkptIntervals, CkptDepths, and FaultRates fastest — so point index i
+// names the same configuration on every run, which is what lets an
+// interrupted exploration resume from the store.
 type Space struct {
 	// Bases are machine specification strings (config.ByName): named
 	// machines ("ss1", "shrec", "ss2+sc") or full specs with modifiers.
@@ -31,6 +31,18 @@ type Space struct {
 	MSHRs []int `json:"mshrs,omitempty"`
 	// MemPorts sweeps the memory port count (Machine.WithMemPorts).
 	MemPorts []int `json:"mem_ports,omitempty"`
+	// CkptIntervals sweeps the recovery checkpoint interval in retired
+	// instructions (Machine.WithCkptInterval). A zero entry keeps the
+	// point recovery-free, so one axis can compare "no recovery" against
+	// policies; non-zero entries must clear config.MinCkptInterval.
+	// Crossed with FaultRates, checkpointed points gain an availability
+	// objective from their campaigns.
+	CkptIntervals []uint64 `json:"ckpt_intervals,omitempty"`
+	// CkptDepths sweeps the retained-checkpoint ring depth
+	// (Machine.WithCkptDepth). It requires a CkptIntervals axis with only
+	// non-zero entries — depth without an interval is meaningless, and a
+	// zero-interval entry would enumerate duplicate recovery-free points.
+	CkptDepths []int `json:"ckpt_depths,omitempty"`
 	// FaultRates sweeps the per-instruction fault-injection rate. A
 	// non-zero rate gives the point a campaign-derived coverage
 	// objective; zero keeps the point performance-only.
@@ -66,7 +78,8 @@ func axisLen(n int) int {
 func (s Space) Size() int {
 	n := len(s.Bases)
 	for _, l := range []int{len(s.XScales), len(s.Staggers), len(s.FUScales),
-		len(s.MSHRs), len(s.MemPorts), len(s.FaultRates)} {
+		len(s.MSHRs), len(s.MemPorts), len(s.CkptIntervals), len(s.CkptDepths),
+		len(s.FaultRates)} {
 		n *= axisLen(l)
 	}
 	return n
@@ -107,6 +120,26 @@ func (s Space) validate() error {
 			return fmt.Errorf("explore: non-positive port count %d", n)
 		}
 	}
+	for _, n := range s.CkptIntervals {
+		if n > 0 && n < config.MinCkptInterval {
+			return fmt.Errorf("explore: checkpoint interval %d below minimum %d", n, config.MinCkptInterval)
+		}
+	}
+	if len(s.CkptDepths) > 0 {
+		if len(s.CkptIntervals) == 0 {
+			return fmt.Errorf("explore: ckpt_depths axis requires a ckpt_intervals axis")
+		}
+		for _, n := range s.CkptIntervals {
+			if n == 0 {
+				return fmt.Errorf("explore: ckpt_depths axis forbids a zero checkpoint interval (it would enumerate duplicate recovery-free points)")
+			}
+		}
+		for _, d := range s.CkptDepths {
+			if d < 1 || d > config.MaxCkptDepth {
+				return fmt.Errorf("explore: checkpoint depth %d out of [1,%d]", d, config.MaxCkptDepth)
+			}
+		}
+	}
 	for _, r := range s.FaultRates {
 		if r < 0 || r > 1 {
 			return fmt.Errorf("explore: fault rate %g out of [0,1]", r)
@@ -132,6 +165,8 @@ func (s Space) Point(i int) (Point, error) {
 		return d
 	}
 	ri := digit(len(s.FaultRates))
+	di := digit(len(s.CkptDepths))
+	ci := digit(len(s.CkptIntervals))
 	pi := digit(len(s.MemPorts))
 	mi := digit(len(s.MSHRs))
 	fi := digit(len(s.FUScales))
@@ -157,6 +192,12 @@ func (s Space) Point(i int) (Point, error) {
 	}
 	if len(s.MemPorts) > 0 {
 		m = m.WithMemPorts(s.MemPorts[pi])
+	}
+	if len(s.CkptIntervals) > 0 && s.CkptIntervals[ci] > 0 {
+		m = m.WithCkptInterval(s.CkptIntervals[ci])
+		if len(s.CkptDepths) > 0 {
+			m = m.WithCkptDepth(s.CkptDepths[di])
+		}
 	}
 	if err := m.Validate(); err != nil {
 		return Point{}, fmt.Errorf("explore: point %d: %w", i, err)
@@ -214,11 +255,18 @@ func DecodeSpec(spec string) (config.Machine, float64, error) {
 	if rate == 0 {
 		return full, 0, nil
 	}
-	// The "+rate" modifier renders canonically last; truncating the
-	// canonical spec there yields the structural machine's spec.
+	// Excise the "+rate" modifier from the canonical spec; the checkpoint
+	// modifiers render after it, so a simple truncation would drop them.
+	// A rate value never contains '+' or '@' (it is at most 1, so any
+	// scientific exponent is negative), which makes the next modifier
+	// marker the token's end.
 	canon := full.Spec()
 	if i := strings.LastIndex(strings.ToLower(canon), "+rate"); i >= 0 {
-		canon = canon[:i]
+		rest := ""
+		if j := strings.IndexAny(canon[i+1:], "+@"); j >= 0 {
+			rest = canon[i+1+j:]
+		}
+		canon = canon[:i] + rest
 	}
 	m, err := config.ByName(canon)
 	if err != nil {

@@ -68,7 +68,7 @@ func (halvingStrategy) plan(ctx context.Context, r *run) ([]Point, error) {
 	// survivors at full fidelity.
 	vecs := make([][]float64, len(screen))
 	for i, ev := range screen {
-		vecs[i] = objectives(ev, false)
+		vecs[i] = objectives(ev, false, false)
 	}
 	ranks := stats.ParetoRanks(vecs)
 

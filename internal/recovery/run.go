@@ -1,0 +1,239 @@
+package recovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Outcome classifies what recovery did about one detected fault.
+type Outcome uint8
+
+const (
+	// OutcomeRecovered: a retained checkpoint predated the injection; the
+	// run rolled back to it and re-executed.
+	OutcomeRecovered Outcome = iota
+	// OutcomeOverrun: the checkpoint ring was at full depth but even the
+	// oldest retained checkpoint postdated the injection — the detection
+	// latency outran Depth×Interval of retained history.
+	OutcomeOverrun
+	// OutcomeUnrecoverable: no retained checkpoint predated the injection
+	// and the ring was not full (earlier faults consumed the history), so
+	// deeper retention alone could not have helped at this point.
+	OutcomeUnrecoverable
+)
+
+// String names the outcome for reports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeOverrun:
+		return "overrun"
+	case OutcomeUnrecoverable:
+		return "unrecoverable"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// maxEvents caps the per-run event log; the Trace counters always carry
+// the full totals.
+const maxEvents = 64
+
+// Event records one detected fault and recovery's response.
+type Event struct {
+	// Seq is the faulting instruction's correct-path fetch sequence number.
+	Seq uint64 `json:"seq"`
+	// InjectCycle and DetectCycle are on the engine's absolute clock
+	// (monotone across warmup and rollbacks), so DetectCycle-InjectCycle
+	// is the detection latency.
+	InjectCycle int64   `json:"injectCycle"`
+	DetectCycle int64   `json:"detectCycle"`
+	Outcome     Outcome `json:"outcome"`
+	// LostWork is the measured cycles of execution the rollback discarded
+	// (detection point minus restored checkpoint); zero for non-recovered
+	// outcomes, which continue forward without rolling back.
+	LostWork int64 `json:"lostWork,omitempty"`
+}
+
+// Trace is the raw recovery record of one simulated run: checkpoint and
+// rollback counts, discarded work, and a capped event log. It contains no
+// cost-derived quantities — FlushCost/RestoreCost are applied by the
+// campaign and exploration layers — so a cached Trace serves every cost
+// assumption.
+type Trace struct {
+	Interval uint64 `json:"interval"`
+	Depth    int    `json:"depth"`
+	// Checkpoints counts captures taken (including the initial capture at
+	// the measure start).
+	Checkpoints uint64 `json:"checkpoints"`
+	// Rollbacks, Overruns, and Unrecoverable count detected faults by
+	// outcome.
+	Rollbacks     uint64 `json:"rollbacks"`
+	Overruns      uint64 `json:"overruns,omitempty"`
+	Unrecoverable uint64 `json:"unrecoverable,omitempty"`
+	// LostWork is the total cycles discarded by rollbacks.
+	LostWork int64 `json:"lostWork"`
+	// Events logs the first maxEvents detections in order.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Detected is the total detected faults the trace classified.
+func (t Trace) Detected() uint64 { return t.Rollbacks + t.Overruns + t.Unrecoverable }
+
+// Fatal is the count of detections recovery could not roll back.
+func (t Trace) Fatal() uint64 { return t.Overruns + t.Unrecoverable }
+
+// ringEntry stamps one retained checkpoint with the stream and clock
+// positions rollback decisions need.
+type ringEntry struct {
+	cp *core.Checkpoint
+	// fetchSeq is the next unfetched sequence number at capture: the
+	// checkpoint is a safe rollback target for any fault injected at
+	// fetchSeq or later (the faulting instruction is not yet in flight in
+	// the captured state).
+	fetchSeq uint64
+	// cycles/retired are Stats values at capture (the clock rollback
+	// rewinds to).
+	cycles  int64
+	retired uint64
+}
+
+// Run executes e until n total instructions have retired (counted from the
+// last ResetStats, like Engine.RunBudget), capturing a checkpoint every
+// interval retired instructions and retaining the newest depth of them.
+// When the machine detects a fault, the run rolls back to the newest
+// retained checkpoint predating the injection (re-arming injection past
+// the handled fault) or — when no such checkpoint survives — classifies
+// the detection as overrun/unrecoverable and continues forward on the
+// engine's inline replay. maxCycles, when positive, bounds the *total*
+// simulated effort including discarded work, so recovery storms trip the
+// same hang watchdog as plain runs.
+//
+// The returned stats are the engine's at completion; the trace holds the
+// recovery observables. Run requires a cloneable instruction source (see
+// core.ErrNoCloneSource) and interval ≥ 1; depth < 1 defaults to 1.
+func Run(ctx context.Context, e *core.Engine, n uint64, maxCycles int64, interval uint64, depth int) (core.Stats, Trace, error) {
+	if interval == 0 {
+		stats, err := e.RunBudget(ctx, n, maxCycles)
+		return stats, Trace{}, err
+	}
+	if depth < 1 {
+		depth = DefaultDepth
+	}
+	tr := Trace{Interval: interval, Depth: depth}
+
+	// The hook latches the detection and stops the run (ErrHookStop) so
+	// the rollback decision happens here, outside the engine.
+	var det struct {
+		seq                uint64
+		injectAt, detectAt int64
+	}
+	e.SetFaultHook(func(seq uint64, injectAt, detectAt int64) bool {
+		det.seq, det.injectAt, det.detectAt = seq, injectAt, detectAt
+		return true
+	})
+	defer e.SetFaultHook(nil)
+
+	// The fault window's lower bound ratchets past every rolled-back fault
+	// so the restored execution cannot re-inject it; strict monotonicity in
+	// the sequence number is what bounds the number of rollbacks.
+	mc := e.Config()
+	rate, seed := mc.FaultRate, mc.FaultSeed
+	lo, hi := mc.FaultWindowLo, mc.FaultWindowHi
+
+	ring := make([]ringEntry, 0, depth)
+	capture := func() error {
+		cp, err := e.Checkpoint()
+		if err != nil {
+			return err
+		}
+		if len(ring) == depth {
+			copy(ring, ring[1:])
+			ring = ring[:depth-1]
+		}
+		st := e.Stats()
+		ring = append(ring, ringEntry{cp: cp, fetchSeq: cp.FetchSeq(), cycles: st.Cycles, retired: st.Retired})
+		tr.Checkpoints++
+		return nil
+	}
+
+	// Initial capture: faults detected inside the first interval need a
+	// rollback target too.
+	if err := capture(); err != nil {
+		return e.Stats(), tr, err
+	}
+	next := e.Stats().Retired + interval
+	for {
+		target := min(next, n)
+		budget := maxCycles
+		if maxCycles > 0 {
+			// The engine's cycle counter rewinds with each rollback; the
+			// discarded cycles still happened on the host and still count
+			// against the watchdog.
+			budget = maxCycles - tr.LostWork
+			if budget <= 0 {
+				return e.Stats(), tr, fmt.Errorf("recovery: %s lost-work cycles exhausted the %d-cycle budget: %w",
+					mc.Name, maxCycles, core.ErrCycleBudget)
+			}
+		}
+		_, err := e.RunExact(ctx, target, budget)
+		if err == nil {
+			if target == n {
+				return e.Stats(), tr, nil
+			}
+			if err := capture(); err != nil {
+				return e.Stats(), tr, err
+			}
+			next = target + interval
+			continue
+		}
+		if !errors.Is(err, core.ErrHookStop) {
+			// Hang, deadlock, or cancellation: the caller classifies.
+			return e.Stats(), tr, err
+		}
+
+		ev := Event{Seq: det.seq, InjectCycle: det.injectAt, DetectCycle: det.detectAt}
+		idx := -1
+		for i := len(ring) - 1; i >= 0; i-- {
+			if ring[i].fetchSeq <= det.seq {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			// Roll back. Checkpoints newer than the target were captured
+			// with the faulty instruction in flight — drop them.
+			ent := ring[idx]
+			ev.Outcome = OutcomeRecovered
+			ev.LostWork = e.Stats().Cycles - ent.cycles
+			tr.Rollbacks++
+			tr.LostWork += ev.LostWork
+			ring = ring[:idx+1]
+			e.Restore(ent.cp)
+			if det.seq+1 > lo {
+				lo = det.seq + 1
+			}
+			e.SetFaultConfig(rate, seed, lo, hi)
+			next = ent.retired + interval
+		} else {
+			// No retained checkpoint predates the injection; every retained
+			// capture carried the faulty instruction in flight, so all are
+			// tainted. Continue forward on the engine's inline replay (the
+			// soft exception already squashed and queued a clean re-fetch).
+			if len(ring) == depth {
+				ev.Outcome = OutcomeOverrun
+				tr.Overruns++
+			} else {
+				ev.Outcome = OutcomeUnrecoverable
+				tr.Unrecoverable++
+			}
+			ring = ring[:0]
+		}
+		if len(tr.Events) < maxEvents {
+			tr.Events = append(tr.Events, ev)
+		}
+	}
+}

@@ -120,6 +120,73 @@ func TestCampaignEndpointLifecycle(t *testing.T) {
 	}
 }
 
+// TestCampaignEndpointRecovery pins the recovery wiring over HTTP: a
+// campaign POSTed with a recovery mode normalizes it into the job
+// identity, runs under the policy, and reports availability.
+func TestCampaignEndpointRecovery(t *testing.T) {
+	s := campaignServer(t)
+	h := s.Handler()
+
+	body := `{"machine":"shrec","benchmark":"crafty","trials":8,"fault_rate":2e-4,"seed":7,` +
+		`"recovery":"ckpt@256+depth2"}`
+	w := postJSON(t, h, "/campaigns", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /campaigns = %d: %s", w.Code, w.Body.String())
+	}
+	var started struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &started); err != nil {
+		t.Fatal(err)
+	}
+	// The recovery policy is part of the job identity: the same campaign
+	// without it is a different job.
+	w2 := postJSON(t, h, "/campaigns",
+		`{"machine":"shrec","benchmark":"crafty","trials":8,"fault_rate":2e-4,"seed":7}`)
+	var plain struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w2.Body.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.ID == started.ID {
+		t.Fatal("recovery policy did not split the job identity")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var status campaignStatus
+	for {
+		if code := getJSON(t, h, started.URL, &status); code != http.StatusOK {
+			t.Fatalf("GET %s = %d", started.URL, code)
+		}
+		if status.State == campaignDone {
+			break
+		}
+		if status.State == campaignFailed {
+			t.Fatalf("campaign failed: %s", status.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not finish; last status %+v", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status.Spec.Recovery != "ckpt@256+depth2" {
+		t.Fatalf("served spec lost the recovery mode: %+v", status.Spec)
+	}
+	for _, want := range []string{"availability %", "rollbacks"} {
+		if !strings.Contains(string(status.Report), want) {
+			t.Fatalf("recovery report lacks %q: %s", want, status.Report)
+		}
+	}
+	// A malformed recovery mode is rejected synchronously.
+	bad := postJSON(t, h, "/campaigns",
+		`{"machine":"shrec","benchmark":"crafty","trials":1,"recovery":"ckpt@64k+width2"}`)
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("malformed recovery mode = %d, want 400: %s", bad.Code, bad.Body.String())
+	}
+}
+
 func TestCampaignValidation(t *testing.T) {
 	s := campaignServer(t)
 	h := s.Handler()

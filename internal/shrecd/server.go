@@ -413,6 +413,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"dedup_waits":    s.sims.DedupWaits(),
 		"store_hits":     s.sims.StoreHits(),
 		"store_errors":   s.sims.StoreErrors(),
+		"warmup_shares":  s.sims.WarmupShares(),
+		"interval_runs":  s.sims.IntervalRuns(),
+		"recovery_runs":  s.sims.RecoveryRuns(),
+		"rollbacks":      s.sims.Rollbacks(),
 		"max_concurrent": s.cfg.MaxConcurrent,
 	})
 }
@@ -443,6 +447,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP shrecd_sim_store_errors_total Failed persistent-store writes.\n")
 	fmt.Fprintf(w, "# TYPE shrecd_sim_store_errors_total counter\n")
 	fmt.Fprintf(w, "shrecd_sim_store_errors_total %d\n", s.sims.StoreErrors())
+	fmt.Fprintf(w, "# HELP shrecd_sim_warmup_shares_total Runs that resumed from a shared warmup checkpoint instead of re-warming.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_warmup_shares_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_warmup_shares_total %d\n", s.sims.WarmupShares())
+	fmt.Fprintf(w, "# HELP shrecd_sim_interval_runs_total Runs executed interval-parallel.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_interval_runs_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_interval_runs_total %d\n", s.sims.IntervalRuns())
+	fmt.Fprintf(w, "# HELP shrecd_sim_recovery_runs_total Runs executed under a checkpoint/rollback recovery policy.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_recovery_runs_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_recovery_runs_total %d\n", s.sims.RecoveryRuns())
+	fmt.Fprintf(w, "# HELP shrecd_sim_rollbacks_total Checkpoint rollbacks across all recovery runs.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_sim_rollbacks_total counter\n")
+	fmt.Fprintf(w, "shrecd_sim_rollbacks_total %d\n", s.sims.Rollbacks())
 	fmt.Fprintf(w, "# HELP shrecd_results_cached Results currently held in the in-memory cache.\n")
 	fmt.Fprintf(w, "# TYPE shrecd_results_cached gauge\n")
 	fmt.Fprintf(w, "shrecd_results_cached %d\n", len(s.sims.Results()))

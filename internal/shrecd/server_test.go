@@ -274,6 +274,7 @@ func TestHealthz(t *testing.T) {
 	for _, key := range []string{
 		`"runs"`, `"hits"`, `"store_errors"`,
 		`"cache_hits"`, `"cache_misses"`, `"dedup_waits"`, `"store_hits"`,
+		`"warmup_shares"`, `"interval_runs"`, `"recovery_runs"`, `"rollbacks"`,
 	} {
 		if !strings.Contains(w.Body.String(), key) {
 			t.Errorf("healthz missing %s: %s", key, w.Body)
@@ -305,6 +306,10 @@ func TestMetrics(t *testing.T) {
 		"shrecd_sim_dedup_waits_total 0",
 		"shrecd_sim_store_hits_total 0",
 		"shrecd_sim_store_errors_total 0",
+		"shrecd_sim_warmup_shares_total 0",
+		"shrecd_sim_interval_runs_total 0",
+		"shrecd_sim_recovery_runs_total 0",
+		"shrecd_sim_rollbacks_total 0",
 		"shrecd_results_cached 1",
 		"shrecd_uptime_seconds",
 	} {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/recovery"
 	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -104,8 +105,15 @@ type Result struct {
 	// retiring the requested instructions; Stats then holds the partial
 	// counters accumulated up to the watchdog.
 	Hung bool
-	// Stats holds the run's detailed performance counters.
+	// Stats holds the run's detailed performance counters. On a recovery
+	// run they describe the committed timeline: rollbacks rewind the
+	// counters along with the machine, so work discarded by recovery
+	// appears only in the Recovery trace.
 	Stats core.Stats
+	// Recovery holds the checkpoint/rollback observables when the machine
+	// has a checkpoint interval configured (see internal/recovery); nil
+	// otherwise.
+	Recovery *recovery.Trace `json:",omitempty"`
 }
 
 // IPC returns the run's instructions per cycle.
@@ -126,6 +134,12 @@ func RunContext(ctx context.Context, m config.Machine, p trace.Profile, opt Opti
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 	if opt.intervalCount() > 1 {
+		if m.CkptInterval > 0 {
+			// Rollback would need to cross interval boundaries that were
+			// simulated independently; the combination is rejected rather
+			// than silently approximated.
+			return Result{}, fmt.Errorf("sim: %s: interval-parallel simulation cannot model checkpoint recovery", m.Name)
+		}
 		return runIntervals(ctx, m, p, opt)
 	}
 	e := core.New(m, trace.New(p))
@@ -134,11 +148,11 @@ func RunContext(ctx context.Context, m config.Machine, p trace.Profile, opt Opti
 			return Result{}, fmt.Errorf("sim: warmup: %w", err)
 		}
 	}
-	st, hung, err := measure(ctx, e, opt.MeasureInstrs, opt.MaxCycles)
+	st, tr, hung, err := measureOrRecover(ctx, e, m, opt.MeasureInstrs, opt.MaxCycles)
 	if err != nil {
 		return Result{}, err
 	}
-	return newResult(m, p, opt, st, hung), nil
+	return newResult(m, p, opt, st, tr, hung), nil
 }
 
 // measure runs the counted phase on a warmed engine and classifies a blown
@@ -156,7 +170,26 @@ func measure(ctx context.Context, e *core.Engine, n uint64, maxCycles int64) (co
 	return st, false, nil
 }
 
-func newResult(m config.Machine, p trace.Profile, opt Options, st core.Stats, hung bool) Result {
+// measureOrRecover is measure for machines with a checkpoint interval
+// configured: the counted phase runs under recovery.Run, which wraps it in
+// periodic checkpoints and rolls detected faults back. The returned trace
+// is nil exactly when recovery is disabled.
+func measureOrRecover(ctx context.Context, e *core.Engine, m config.Machine, n uint64, maxCycles int64) (core.Stats, *recovery.Trace, bool, error) {
+	if m.CkptInterval == 0 {
+		st, hung, err := measure(ctx, e, n, maxCycles)
+		return st, nil, hung, err
+	}
+	st, tr, err := recovery.Run(ctx, e, n, maxCycles, m.CkptInterval, m.CkptDepth)
+	if err != nil {
+		if !errors.Is(err, core.ErrCycleBudget) {
+			return core.Stats{}, nil, false, fmt.Errorf("sim: %w", err)
+		}
+		return st, &tr, true, nil
+	}
+	return st, &tr, false, nil
+}
+
+func newResult(m config.Machine, p trace.Profile, opt Options, st core.Stats, tr *recovery.Trace, hung bool) Result {
 	return Result{
 		Benchmark: p.Name,
 		Class:     p.Class,
@@ -165,6 +198,7 @@ func newResult(m config.Machine, p trace.Profile, opt Options, st core.Stats, hu
 		Options:   opt,
 		Hung:      hung,
 		Stats:     st,
+		Recovery:  tr,
 	}
 }
 
@@ -240,7 +274,7 @@ func runIntervals(ctx context.Context, m config.Machine, p trace.Profile, opt Op
 		hung = hung || hungs[i]
 	}
 	agg.ArchSig = sig
-	return newResult(m, p, opt, agg, hung), nil
+	return newResult(m, p, opt, agg, nil, hung), nil
 }
 
 // runInterval simulates one region: fast-skip the generator to the region
@@ -307,6 +341,9 @@ type Suite struct {
 	storeHits    atomic.Uint64 // cache misses served from the persistent store
 	storeErrs    atomic.Uint64 // failed persistent-store writes (results still served)
 	warmupShares atomic.Uint64 // runs served from a shared warmup checkpoint
+	intervalRuns atomic.Uint64 // executed runs that used the interval-parallel path
+	recoveryRuns atomic.Uint64 // executed runs simulated under checkpoint recovery
+	rollbacks    atomic.Uint64 // total rollbacks across all recovery runs
 }
 
 // cpEntry is one warmup checkpoint, built once by the first requester
@@ -377,19 +414,32 @@ func (s *Suite) StoreErrors() uint64 { return s.storeErrs.Load() }
 // whose injection window starts after the warmup).
 func (s *Suite) WarmupShares() uint64 { return s.warmupShares.Load() }
 
+// IntervalRuns reports how many executed simulations took the
+// interval-parallel path (Options.Intervals > 1).
+func (s *Suite) IntervalRuns() uint64 { return s.intervalRuns.Load() }
+
+// RecoveryRuns reports how many executed simulations ran under checkpoint
+// recovery (a machine with CkptInterval set).
+func (s *Suite) RecoveryRuns() uint64 { return s.recoveryRuns.Load() }
+
+// Rollbacks reports the total rollbacks performed across every executed
+// recovery run.
+func (s *Suite) Rollbacks() uint64 { return s.rollbacks.Load() }
+
 // key identifies one (machine, benchmark, options) simulation. Run
 // lengths and the cycle budget are part of the key so one suite can serve
 // requests at several scales (the shrecd server does) without conflating
-// their results, and so are the machine's fault-injection fields: a
-// campaign fans out hundreds of trials that differ only in FaultSeed and
-// window, which must not collide on the shared display name.
+// their results, and so are the machine's fault-injection and checkpoint
+// fields: a campaign fans out hundreds of trials that differ only in
+// FaultSeed and window (or only in recovery policy), which must not
+// collide on the shared display name.
 // The interval count is keyed through intervalCount, so 0 and 1 (both the
 // classic contiguous run) share entries while sampled splits stay apart.
 func key(m config.Machine, p trace.Profile, opt Options) string {
-	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%d\x00%g\x00%d\x00%d\x00%d\x00%d",
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%d\x00%g\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d",
 		m.Name, p.Name, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
 		m.FaultRate, m.FaultSeed, m.FaultWindowLo, m.FaultWindowHi,
-		opt.intervalCount())
+		opt.intervalCount(), m.CkptInterval, m.CkptDepth)
 }
 
 func (s *Suite) shardFor(k string) *shard {
@@ -403,11 +453,12 @@ func (s *Suite) shardFor(k string) *shard {
 // or edited configurations never collide across processes. Only the run
 // lengths and cycle budget of the options participate: Parallelism does
 // not affect results, and hashing it would make store lookups miss across
-// machines with different core counts. The schema label is v3: v2
-// results predate interval-split sampling, whose count now participates
-// (normalized through intervalCount so 0 and 1 collide on purpose).
+// machines with different core counts. The schema label is v4: v3
+// results predate checkpoint recovery, which changed the Result schema
+// (the new machine fields already split the hash; the label bump keeps
+// the store free of entries missing the Recovery trace).
 func digest(m config.Machine, p trace.Profile, opt Options) string {
-	return store.Digest("sim.Result.v3", m, p, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
+	return store.Digest("sim.Result.v4", m, p, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
 		opt.intervalCount())
 }
 
@@ -490,6 +541,13 @@ func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, 
 		return Result{}, err
 	}
 	s.runs.Add(1)
+	if opt.intervalCount() > 1 {
+		s.intervalRuns.Add(1)
+	}
+	if res.Recovery != nil {
+		s.recoveryRuns.Add(1)
+		s.rollbacks.Add(res.Recovery.Rollbacks)
+	}
 	if s.disk != nil {
 		// A persistence failure (disk full, closed store) must not discard
 		// a successfully computed result: keep serving it from memory and
@@ -527,10 +585,16 @@ func (s *Suite) runFromWarmup(ctx context.Context, m config.Machine, p trace.Pro
 	if err := m.Validate(); err != nil {
 		return Result{}, false, fmt.Errorf("sim: %w", err)
 	}
+	// The warmup is fault-free and checkpoint-free regardless of the trial's
+	// injection and recovery settings, and the display name tracks those
+	// settings — zero all three so one warmup checkpoint serves every trial
+	// and every recovery policy over the same base machine.
 	base := m
+	base.Name = ""
 	base.FaultRate, base.FaultSeed = 0, 0
 	base.FaultWindowLo, base.FaultWindowHi = 0, 0
-	ck := store.Digest("sim.warmup.v1", base, p, opt.WarmupInstrs)
+	base.CkptInterval, base.CkptDepth = 0, 0
+	ck := store.Digest("sim.warmup.v2", base, p, opt.WarmupInstrs)
 
 	s.cpMu.Lock()
 	entry, ok := s.cps[ck]
@@ -563,12 +627,12 @@ func (s *Suite) runFromWarmup(ctx context.Context, m config.Machine, p trace.Pro
 
 	e := entry.cp.NewEngine()
 	e.SetFaultConfig(m.FaultRate, m.FaultSeed, m.FaultWindowLo, m.FaultWindowHi)
-	st, hung, err := measure(ctx, e, opt.MeasureInstrs, opt.MaxCycles)
+	st, tr, hung, err := measureOrRecover(ctx, e, m, opt.MeasureInstrs, opt.MaxCycles)
 	if err != nil {
 		return Result{}, false, err
 	}
 	s.warmupShares.Add(1)
-	return newResult(m, p, opt, st, hung), true, nil
+	return newResult(m, p, opt, st, tr, hung), true, nil
 }
 
 // Batch runs every (machine, profile) pair, in parallel, reusing cached

@@ -1,0 +1,43 @@
+package stats
+
+import "math"
+
+// MTTF returns the mean cycles to an unrecovered (fatal) failure given an
+// architectural fault arrival rate (faults per cycle on the committed
+// instruction stream) and the probability that a fault proves fatal —
+// escapes as silent corruption, hangs the machine, or outruns recovery's
+// retained checkpoints. With a zero rate or a zero fatal probability the
+// machine never fails fatally and MTTF is +Inf; report layers clamp the
+// infinity for JSON.
+func MTTF(faultsPerCycle, pFatal float64) float64 {
+	if faultsPerCycle <= 0 || pFatal <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (faultsPerCycle * pFatal)
+}
+
+// Availability returns the steady-state fraction of cycles spent on useful
+// forward progress under a renewal model: every useful cycle carries
+// amortized overheads — ckptOverhead (checkpoint capture cost per useful
+// cycle, i.e. FlushCost/Interval in retired-cycle terms), plus the fault
+// rate times the expected cycles each fault costs: recoverable faults
+// (probability pRecover) cost recoveryCycles (restore + lost re-execution),
+// fatal ones (probability pFatal) cost repairCycles (reboot/repair).
+//
+//	A = 1 / (1 + ckptOverhead + λ·(pRecover·recoveryCycles + pFatal·repairCycles))
+//
+// Degenerate inputs degrade safely: a zero fault rate leaves only the
+// checkpoint overhead, and all-zero inputs give availability 1.
+func Availability(ckptOverhead, faultsPerCycle, pFatal, repairCycles, pRecover, recoveryCycles float64) float64 {
+	if ckptOverhead < 0 {
+		ckptOverhead = 0
+	}
+	if faultsPerCycle < 0 {
+		faultsPerCycle = 0
+	}
+	denom := 1 + ckptOverhead + faultsPerCycle*(pRecover*recoveryCycles+pFatal*repairCycles)
+	if math.IsNaN(denom) || denom < 1 {
+		return 0
+	}
+	return 1 / denom
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMTTF pins the estimator and its edge cases.
+func TestMTTF(t *testing.T) {
+	// Nominal: 1e-6 faults/cycle, 10% fatal → 1e7 cycles between failures.
+	if got := MTTF(1e-6, 0.1); math.Abs(got-1e7) > 1 {
+		t.Errorf("MTTF(1e-6, 0.1) = %g, want 1e7", got)
+	}
+	// Zero detected faults in the campaign → pFatal estimate 0 → no fatal
+	// failures observed: MTTF is unbounded, not NaN or zero.
+	if got := MTTF(1e-6, 0); !math.IsInf(got, 1) {
+		t.Errorf("MTTF with pFatal 0 = %g, want +Inf", got)
+	}
+	// Degenerate rate: a fault-free machine never fails.
+	if got := MTTF(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("MTTF with rate 0 = %g, want +Inf", got)
+	}
+	if got := MTTF(-1, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("MTTF with negative rate = %g, want +Inf", got)
+	}
+}
+
+// TestAvailability pins the renewal model and its edge cases.
+func TestAvailability(t *testing.T) {
+	// No overhead, no faults: fully available.
+	if got := Availability(0, 0, 0, 0, 0, 0); got != 1 {
+		t.Errorf("idle availability = %g, want 1", got)
+	}
+	// Pure checkpoint overhead: 8-cycle flush every 64 useful cycles.
+	want := 1 / (1 + 8.0/64.0)
+	if got := Availability(8.0/64.0, 0, 0, 0, 0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("checkpoint-only availability = %g, want %g", got, want)
+	}
+	// All-unrecoverable campaign: pRecover 0, pFatal 1 — availability is
+	// governed entirely by the repair cost.
+	got := Availability(0, 1e-6, 1, 1e6, 0, 0)
+	want = 1 / (1 + 1e-6*1e6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("all-unrecoverable availability = %g, want %g", got, want)
+	}
+	// Recoverable faults cost their recovery latency.
+	got = Availability(0.01, 1e-5, 0.1, 1e6, 0.9, 1e3)
+	want = 1 / (1 + 0.01 + 1e-5*(0.9*1e3+0.1*1e6))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed availability = %g, want %g", got, want)
+	}
+	// Monotonicity: more fatal probability can only hurt (the property that
+	// makes plugging Wilson bounds in monotone).
+	lo := Availability(0.01, 1e-5, 0.5, 1e6, 0.5, 1e3)
+	hi := Availability(0.01, 1e-5, 0.1, 1e6, 0.9, 1e3)
+	if lo >= hi {
+		t.Errorf("availability not monotone in pFatal: %g !< %g", lo, hi)
+	}
+	// Degenerate inputs clamp instead of producing NaN.
+	if got := Availability(-1, -1, 0, 0, 0, 0); got != 1 {
+		t.Errorf("negative inputs = %g, want 1", got)
+	}
+	if got := Availability(0, 1, 1, math.NaN(), 0, 0); got != 0 {
+		t.Errorf("NaN repair cost = %g, want 0", got)
+	}
+}
