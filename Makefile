@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-cycle bench-baseline bench-gate fmt vet examples docs docs-check ci
+.PHONY: build test test-full race bench bench-cycle bench-baseline bench-gate fmt vet examples crash-test docs docs-check ci
 
 build:
 	$(GO) build ./...
@@ -68,16 +68,25 @@ vet:
 # Examples smoke: the published examples must build, vet, and (for the
 # quickstart, the pareto-explore search, and the availability-frontier
 # recovery sweep, which run in seconds) actually execute. pareto-explore
-# writes its resumable store to the working directory; remove it so
-# repeated smoke runs start fresh.
+# writes its resumable store — a directory of segments — to the working
+# directory; remove it so repeated smoke runs start fresh.
 examples:
 	$(GO) vet ./examples/...
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/interval-parallel
-	rm -f pareto-explore.jsonl
+	rm -rf pareto-explore.db
 	$(GO) run ./examples/pareto-explore
-	rm -f pareto-explore.jsonl
+	rm -rf pareto-explore.db
 	$(GO) run ./examples/availability-frontier
+
+# Crash-recovery acceptance: SIGKILL a real shrecd mid-campaign and
+# assert the restarted server re-adopts the journaled job and finishes
+# it with the same results; then the store corruption/chaos suites and
+# the in-process kill-rejoin/shedding/watchdog suites under -race.
+crash-test:
+	$(GO) test -count=1 -run 'TestCrashRecoverySIGKILL' -v ./cmd/shrecd/
+	$(GO) test -race -count=1 -run 'TestChaos|TestPutRollback|TestLegacyJSONLMigration|TestReopenPersists|TestCompaction|TestSyncAlways' ./internal/store/
+	$(GO) test -race -count=1 -run 'TestCrashRejoin|TestReplay|TestShedding|TestWatchdog' ./internal/shrecd/
 
 ci: build vet fmt test examples docs-check

@@ -159,9 +159,11 @@ func WithOptions(opt Options) ClientOption {
 	return func(c *clientConfig) { c.opt = opt }
 }
 
-// WithStore attaches a persistent JSON-lines result store at path:
-// cache misses consult the store before simulating and fresh results are
-// written back, so results survive across processes. Close releases it.
+// WithStore attaches a persistent result store at path — a directory of
+// checksummed append segments (a legacy JSON-lines file at the path is
+// imported once): cache misses consult the store before simulating and
+// fresh results are written back, so results survive across processes.
+// Close releases it.
 func WithStore(path string) ClientOption {
 	return func(c *clientConfig) { c.storePath = path }
 }

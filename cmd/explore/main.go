@@ -18,7 +18,7 @@
 //	        [-benchmarks crafty] [-xscales 0.5,1,1.5] [-staggers ...]
 //	        [-fuscales ...] [-mshrs ...] [-ports ...] [-rates ...]
 //	        [-trials 24] [-n instrs] [-warmup instrs] [-seed N]
-//	        [-budget N] [-screendiv 8] [-store evals.jsonl]
+//	        [-budget N] [-screendiv 8] [-store evals.db]
 //	        [-format text|json|csv] [-o file]
 package main
 
@@ -32,12 +32,27 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/explore"
 	"repro/internal/report"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
+
+// openStore opens the evaluation store with a short retry: a transiently
+// busy path must not kill an exploration about to resume persisted work.
+func openStore(path string) (*store.Store, error) {
+	var st *store.Store
+	p := retry.Policy{MaxAttempts: 3, BaseDelay: 200 * time.Millisecond, MaxDelay: 2 * time.Second}
+	err := p.Do(context.Background(), func(context.Context) error {
+		var err error
+		st, err = store.Open(path)
+		return err
+	})
+	return st, err
+}
 
 // splitList parses a comma-separated flag, trimming blanks.
 func splitList(s string) []string {
@@ -99,7 +114,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0xF00D, "exploration master seed")
 		budget    = flag.Int("budget", 0, "full-fidelity evaluation budget (0 = strategy default)")
 		screenDiv = flag.Int("screendiv", 0, "halving screen run-length divisor (0 = default)")
-		storeP    = flag.String("store", "", "persist evaluations to this JSON-lines file (resumable)")
+		storeP    = flag.String("store", "", "persist evaluations in this store directory (resumable; a legacy JSON-lines file is imported once)")
 		format    = flag.String("format", "text", "output format: text, json, or csv")
 		out       = flag.String("o", "", "write output to file (default stdout)")
 		quiet     = flag.Bool("q", false, "suppress progress on stderr")
@@ -132,7 +147,7 @@ func main() {
 	sims := sim.NewSuite(sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n})
 	eng := explore.New(sims)
 	if *storeP != "" {
-		st, err := store.Open(*storeP)
+		st, err := openStore(*storeP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "explore:", err)
 			os.Exit(1)

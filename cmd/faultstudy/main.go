@@ -23,7 +23,7 @@
 //	faultstudy [-bench crafty] [-machines ss1,ss2+s,o3rs,shrec,diva]
 //	           [-rates 1e-5,1e-4,1e-3] [-trials 40] [-n instrs]
 //	           [-warmup instrs] [-seed N] [-recover ckpt@64k+depth2]
-//	           [-store trials.jsonl]
+//	           [-store trials.db]
 package main
 
 import (
@@ -35,12 +35,28 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/report"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
+
+// openStore opens the trial store with a short retry: a transiently
+// busy path must not kill a sweep that is about to resume hours of
+// persisted work.
+func openStore(path string) (*store.Store, error) {
+	var st *store.Store
+	p := retry.Policy{MaxAttempts: 3, BaseDelay: 200 * time.Millisecond, MaxDelay: 2 * time.Second}
+	err := p.Do(context.Background(), func(context.Context) error {
+		var err error
+		st, err = store.Open(path)
+		return err
+	})
+	return st, err
+}
 
 func main() {
 	var (
@@ -52,7 +68,7 @@ func main() {
 		trials   = flag.Int("trials", 40, "fault-injection trials per (machine, rate) cell")
 		seed     = flag.Uint64("seed", 0xF00D, "campaign master seed")
 		recMode  = flag.String("recover", "", `checkpoint/rollback recovery mode, e.g. "ckpt@64k+depth2" (default: none)`)
-		storeP   = flag.String("store", "", "persist per-trial results to this JSON-lines file (resumable)")
+		storeP   = flag.String("store", "", "persist per-trial results in this store directory (resumable; a legacy JSON-lines file is imported once)")
 	)
 	flag.Parse()
 
@@ -72,7 +88,7 @@ func main() {
 	sims := sim.NewSuite(sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n})
 	eng := campaign.New(sims)
 	if *storeP != "" {
-		st, err := store.Open(*storeP)
+		st, err := openStore(*storeP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faultstudy:", err)
 			os.Exit(1)

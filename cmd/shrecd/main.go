@@ -3,7 +3,8 @@
 // Usage:
 //
 //	shrecd [-addr :8080] [-n instrs] [-warmup instrs] [-workers N]
-//	       [-par N] [-store results.jsonl]
+//	       [-par N] [-store results.db] [-journal jobs.db]
+//	       [-watchdog 10m] [-shed 5s]
 //
 // Endpoints:
 //
@@ -19,13 +20,20 @@
 //	GET  /campaigns/{id}      one job: progress, coverage, report when done
 //	                          (?format=text|csv renders just the report)
 //	GET  /results             every cached result plus cache metrics
-//	GET  /healthz             liveness, pool configuration, cache counters
-//	GET  /metrics             Prometheus text: runs, hits, store errors
+//	GET  /healthz             liveness, store integrity, journal depth,
+//	                          cache counters
+//	GET  /metrics             Prometheus text: runs, hits, store errors,
+//	                          quarantined records, journal/readoption counters
 //
 // Duplicate in-flight requests for the same (machine, benchmark,
 // options) key share one simulation; results are cached in memory and,
-// with -store, persisted across restarts. SIGINT/SIGTERM drain in-flight
-// requests before exiting.
+// with -store, persisted across restarts in a checksummed segmented
+// store (a pre-existing JSON-lines file at the path is imported once).
+// With -journal, accepted campaigns and explorations are journaled
+// before they run and re-adopted at the next startup, so a crashed or
+// killed server resumes its jobs with only in-flight trials re-executed.
+// SIGINT/SIGTERM drain in-flight requests before exiting; kill -9 is
+// recovered by the journal.
 package main
 
 import (
@@ -33,20 +41,36 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/shrecd"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
 
+// openStore opens a segmented store with a short retry, so a transiently
+// busy path (another process finishing compaction, a slow mount) does
+// not kill the server at boot.
+func openStore(path string, opt store.Options) (*store.Store, error) {
+	var st *store.Store
+	p := retry.Policy{MaxAttempts: 3, BaseDelay: 200 * time.Millisecond, MaxDelay: 2 * time.Second}
+	err := p.Do(context.Background(), func(context.Context) error {
+		var err error
+		st, err = store.OpenWith(path, opt)
+		return err
+	})
+	return st, err
+}
+
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
+		addr      = flag.String("addr", ":8080", "listen address (:0 picks a free port; the bound address is printed)")
 		n         = flag.Uint64("n", 0, "default measured instructions per run (default 1,000,000)")
 		warmup    = flag.Uint64("warmup", 0, "default warmup instructions per run (default 500,000)")
 		par       = flag.Int("par", 0, "max parallel simulations in the engine (default GOMAXPROCS)")
@@ -54,7 +78,10 @@ func main() {
 		maxInstrs = flag.Int64("maxinstrs", 0, "cap on per-request warmup+measure instructions (0 = default 10M, negative = uncapped)")
 		maxTrials = flag.Int("maxtrials", 0, "cap on per-campaign trial count (0 = default 10000)")
 		maxCamps  = flag.Int("maxcampaigns", 0, "bound on tracked campaign jobs (0 = default 64)")
-		storePath = flag.String("store", "", "persist results to this JSON-lines file across restarts")
+		storePath = flag.String("store", "", "persist results in this segmented store directory across restarts (a legacy JSON-lines file here is imported once)")
+		journalP  = flag.String("journal", "", "write-ahead job journal directory: accepted campaigns/explorations survive crashes and are re-adopted at startup")
+		watchdog  = flag.Duration("watchdog", 0, "fail running jobs that report no progress for this long (0 = disabled)")
+		shed      = flag.Duration("shed", 0, "shed POSTs queued longer than this with 429+Retry-After (0 = default 5s, negative = queue indefinitely)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
@@ -72,7 +99,7 @@ func main() {
 	var st *store.Store
 	if *storePath != "" {
 		var err error
-		st, err = store.Open(*storePath)
+		st, err = openStore(*storePath, store.Options{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "shrecd:", err)
 			os.Exit(1)
@@ -80,6 +107,18 @@ func main() {
 		defer st.Close()
 		sims.WithStore(st)
 		fmt.Printf("shrecd: store %s (%d results loaded)\n", *storePath, st.Len())
+	}
+	var journal *store.Store
+	if *journalP != "" {
+		var err error
+		// SyncAlways: a journal entry that can be lost to a power cut is
+		// not a journal.
+		journal, err = openStore(*journalP, store.Options{Sync: store.SyncAlways})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shrecd:", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
 	}
 
 	srv := shrecd.NewWith(shrecd.Config{
@@ -89,11 +128,13 @@ func main() {
 		MaxTrials:      *maxTrials,
 		MaxCampaigns:   *maxCamps,
 		Store:          st,
+		Journal:        journal,
+		Watchdog:       *watchdog,
+		ShedAfter:      *shed,
 	}, sims)
 	defer srv.Close() // stop background campaigns; finished trials are persisted
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -101,10 +142,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen before serving so the actually-bound address (":0" resolves
+	// to a real port) is printed for scripts and the crash-recovery tests.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shrecd:", err)
+		os.Exit(1)
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() { errCh <- httpSrv.Serve(ln) }()
 	fmt.Printf("shrecd: listening on %s (workers=%d, warmup=%d, measure=%d)\n",
-		*addr, *workers, opt.WarmupInstrs, opt.MeasureInstrs)
+		ln.Addr(), *workers, opt.WarmupInstrs, opt.MeasureInstrs)
 
 	select {
 	case err := <-errCh:

@@ -32,7 +32,7 @@ func main() {
 
 	c, err := repro.NewClient(
 		repro.WithOptions(repro.Options{WarmupInstrs: 5_000, MeasureInstrs: 20_000}),
-		repro.WithStore("fault-campaign.jsonl"), // interrupt + rerun = resume
+		repro.WithStore("fault-campaign.db"), // interrupt + rerun = resume
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fault-campaign:", err)

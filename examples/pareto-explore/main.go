@@ -35,7 +35,7 @@ func main() {
 
 	c, err := repro.NewClient(
 		repro.WithOptions(repro.Options{WarmupInstrs: 5_000, MeasureInstrs: 20_000}),
-		repro.WithStore("pareto-explore.jsonl"), // interrupt + rerun = resume
+		repro.WithStore("pareto-explore.db"), // interrupt + rerun = resume
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pareto-explore:", err)

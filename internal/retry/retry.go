@@ -1,0 +1,157 @@
+// Package retry implements deadline-aware retries with jittered
+// exponential backoff, used at the system's edges: HTTP calls from the
+// repro.Remote client to shrecd (honoring 429/Retry-After), and
+// persistent-store opens in the CLIs, where a transiently-busy path
+// (NFS hiccup, a compaction finishing in another process) should not
+// fail a long campaign before it starts.
+//
+// The policy retries transient errors only: an error wrapped with
+// Permanent stops immediately, and an error wrapped with After carries
+// a server-directed delay (Retry-After) that overrides the computed
+// backoff. Every sleep is bounded by the caller's context, so a
+// deadline cuts the retry loop short instead of sleeping past it.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy configures the retry loop. The zero value is usable: Do fills
+// in the defaults below.
+type Policy struct {
+	// MaxAttempts bounds total tries, the first included (<=0 means 5).
+	MaxAttempts int
+	// BaseDelay is the first backoff; each subsequent retry doubles it
+	// (<=0 means 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff (<=0 means 5s).
+	MaxDelay time.Duration
+	// Jitter randomizes each delay down by up to this fraction, in
+	// [0, 1], so synchronized clients spread out instead of retrying in
+	// lockstep (0 means 0.5; negative disables jitter).
+	Jitter float64
+
+	// rand and sleep are test seams; nil means math/rand and a
+	// context-bounded timer.
+	rand  func() float64
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Default returns the policy used when callers have no opinion.
+func Default() Policy {
+	return Policy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, Jitter: 0.5}
+}
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately and returns it unwrapped:
+// validation failures, 4xx responses, anything a retry cannot fix.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// afterError carries a server-directed retry delay (Retry-After).
+type afterError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// After wraps a retryable err with the delay the server asked for; Do
+// sleeps exactly that long (still jittered down, still deadline-bounded)
+// instead of the computed backoff.
+func After(err error, delay time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &afterError{err: err, delay: delay}
+}
+
+// Do runs op until it succeeds, returns a Permanent error, the context
+// ends, or MaxAttempts is exhausted. The returned error is the last
+// attempt's, wrapped with the attempt count when attempts ran out, or
+// joined with the context's error when the deadline cut the loop short.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	rnd := p.rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	sleep := p.sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := base << (attempt - 1)
+			if d > maxd {
+				d = maxd
+			}
+			var ae *afterError
+			if errors.As(last, &ae) && ae.delay > 0 {
+				d = ae.delay
+			}
+			if jitter > 0 {
+				d = time.Duration(float64(d) * (1 - jitter*rnd()))
+			}
+			if err := sleep(ctx, d); err != nil {
+				return errors.Join(err, last)
+			}
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		last = err
+	}
+	return fmt.Errorf("retry: %d attempts exhausted: %w", attempts, last)
+}
+
+// sleepCtx sleeps for d or until ctx ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

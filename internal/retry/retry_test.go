@@ -1,0 +1,152 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// recordingPolicy returns a policy with instant, recorded sleeps and
+// deterministic jitter.
+func recordingPolicy(p Policy, slept *[]time.Duration) Policy {
+	p.rand = func() float64 { return 1 } // maximum jitter reduction, deterministic
+	p.sleep = func(ctx context.Context, d time.Duration) error {
+		*slept = append(*slept, d)
+		return ctx.Err()
+	}
+	return p
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	p := recordingPolicy(Policy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, Jitter: -1}, &slept)
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// Exponential: 100ms then 200ms (jitter disabled).
+	if len(slept) != 2 || slept[0] != 100*time.Millisecond || slept[1] != 200*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var slept []time.Duration
+	p := recordingPolicy(Policy{MaxAttempts: 3, Jitter: -1}, &slept)
+	calls := 0
+	base := errors.New("still down")
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return base })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("exhausted error %v does not wrap the last failure", err)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	var slept []time.Duration
+	p := recordingPolicy(Policy{MaxAttempts: 5}, &slept)
+	calls := 0
+	bad := errors.New("bad request")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(bad)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error was retried: %d calls", calls)
+	}
+	if err != bad {
+		t.Fatalf("err = %v, want the unwrapped permanent error", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("slept %v before a permanent error", slept)
+	}
+}
+
+func TestDoHonorsRetryAfter(t *testing.T) {
+	var slept []time.Duration
+	p := recordingPolicy(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1}, &slept)
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return After(errors.New("429"), 7*time.Second)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server-directed delay overrides the 1ms computed backoff.
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("slept %v, want the server-directed 7s", slept)
+	}
+}
+
+func TestDoJitterReducesDelay(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, Jitter: 0.5}
+	p.rand = func() float64 { return 1 }
+	p.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	_ = p.Do(context.Background(), func(context.Context) error { return errors.New("x") })
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept %v, want 50ms (100ms reduced by full 0.5 jitter)", slept)
+	}
+}
+
+func TestDoDeadlineCutsRetryShort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	fail := errors.New("down")
+	err := p.Do(ctx, func(context.Context) error { calls++; return fail })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (sleep must observe the dead context)", calls)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want both the context error and the last failure", err)
+	}
+}
+
+func TestDefaultsAreFilledIn(t *testing.T) {
+	// A zero policy must not spin without backoff; verify via the sleep
+	// seam that delays are the documented defaults.
+	var slept []time.Duration
+	p := Policy{}
+	p.rand = func() float64 { return 0 } // no jitter reduction
+	p.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	calls := 0
+	_ = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return fmt.Errorf("attempt %d", calls)
+	})
+	if calls != 5 {
+		t.Fatalf("calls = %d, want the default 5", calls)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v", slept)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}

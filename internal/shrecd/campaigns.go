@@ -1,6 +1,7 @@
 package shrecd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -115,10 +116,17 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 	id := campaignID(spec)
 	job, started, err := s.campaigns.startOrJoin(id, spec)
 	if err != nil {
+		s.shedRequests.Add(1)
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	if started {
+		// Journal before the goroutine starts: once the 202 leaves, the
+		// accepted job survives a crash. A journal write failure degrades
+		// to the pre-journal behavior (the job runs, but is not resumed
+		// after a crash) rather than rejecting the request.
+		_ = s.journal.record("campaign", id, job.spec)
 		go s.runCampaign(job)
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -126,11 +134,19 @@ func (s *Server) handleCampaignStart(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runCampaign drives one job to completion under the server's lifetime
-// context.
+// runCampaign drives one job to completion under its own cancelable
+// child of the server's lifetime context (so the watchdog can stop just
+// this job). The journal entry is settled only when the job finished on
+// purpose: a run cut short by server shutdown stays pending, so the next
+// process re-adopts it — exactly what a kill -9 leaves behind.
 func (s *Server) runCampaign(job *campaignJob) {
-	res, err := s.camp.Run(s.baseCtx, job.spec, job.setProgress)
-	job.finish(res, err)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job.setCancel(cancel)
+	defer cancel()
+	res, err := s.camp.Run(ctx, job.spec, job.setProgress)
+	if job.finish(res, err) && !s.interrupted(err) {
+		s.journal.finish("campaign", job.id, err)
+	}
 }
 
 // handleCampaignGet serves GET /campaigns/{id}: the job status with

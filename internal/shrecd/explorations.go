@@ -1,6 +1,7 @@
 package shrecd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -120,10 +121,14 @@ func (s *Server) handleExplorationStart(w http.ResponseWriter, r *http.Request) 
 	id := explorationID(spec)
 	job, started, err := s.explorations.startOrJoin(id, spec)
 	if err != nil {
+		s.shedRequests.Add(1)
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	if started {
+		// Journal before the goroutine starts (see handleCampaignStart).
+		_ = s.journal.record("exploration", id, job.spec)
 		go s.runExploration(job)
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -131,11 +136,17 @@ func (s *Server) handleExplorationStart(w http.ResponseWriter, r *http.Request) 
 	})
 }
 
-// runExploration drives one job to completion under the server's
-// lifetime context.
+// runExploration drives one job to completion under its own cancelable
+// child of the server's lifetime context; journal settlement follows the
+// same interrupted-stays-pending rule as runCampaign.
 func (s *Server) runExploration(job *explorationJob) {
-	res, err := s.expl.Run(s.baseCtx, job.spec, job.setProgress)
-	job.finish(res, err)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job.setCancel(cancel)
+	defer cancel()
+	res, err := s.expl.Run(ctx, job.spec, job.setProgress)
+	if job.finish(res, err) && !s.interrupted(err) {
+		s.journal.finish("exploration", job.id, err)
+	}
 }
 
 // handleExplorationGet serves GET /explorations/{id}: the job status

@@ -1,6 +1,7 @@
 package shrecd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,27 +37,46 @@ type asyncJob[S, P, R any] struct {
 	result   R
 	errText  string
 	finished time.Time
+	lastBeat time.Time          // last progress report, for the watchdog
+	cancel   context.CancelFunc // stops the job's context (watchdog kill)
 }
 
-// setProgress records a progress snapshot.
+// setProgress records a progress snapshot and refreshes the watchdog
+// heartbeat.
 func (j *asyncJob[S, P, R]) setProgress(p P) {
 	j.mu.Lock()
 	j.progress = p
+	j.lastBeat = time.Now()
 	j.mu.Unlock()
 }
 
-// finish records the job's outcome.
-func (j *asyncJob[S, P, R]) finish(res R, err error) {
+// setCancel attaches the job's context cancel so the watchdog can stop
+// a wedged job's work, not just relabel it.
+func (j *asyncJob[S, P, R]) setCancel(c context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = c
+	j.mu.Unlock()
+}
+
+// finish records the job's outcome. It is idempotent — the first
+// outcome wins — so a watchdog kill racing the job's own completion
+// cannot flip a finished job's state. Reports whether this call settled
+// the job.
+func (j *asyncJob[S, P, R]) finish(res R, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state != jobRunning {
+		return false
+	}
 	j.finished = time.Now()
 	if err != nil {
 		j.state = jobFailed
 		j.errText = err.Error()
-		return
+		return true
 	}
 	j.state = jobDone
 	j.result = res
+	return true
 }
 
 // jobSnapshot is a consistent read of a job's mutable fields.
@@ -121,7 +141,8 @@ func (t *jobTable[S, P, R]) startOrJoin(id string, spec S) (job *asyncJob[S, P, 
 	} else if !t.reserveSlotLocked() {
 		return nil, false, fmt.Errorf("%s job table full (%d running); retry when one finishes", t.kind, t.max)
 	}
-	j := &asyncJob[S, P, R]{id: id, spec: spec, started: time.Now(), state: jobRunning}
+	now := time.Now()
+	j := &asyncJob[S, P, R]{id: id, spec: spec, started: now, state: jobRunning, lastBeat: now}
 	t.jobs[id] = j
 	return j, true, nil
 }
@@ -148,6 +169,39 @@ func (t *jobTable[S, P, R]) reserveSlotLocked() bool {
 	}
 	delete(t.jobs, oldest.id)
 	return true
+}
+
+// failWedged sweeps the table for running jobs whose last progress
+// report is older than timeout, cancels their work, and marks them
+// failed so their slot can be reclaimed (and a fresh POST can retry
+// them from whatever the store kept). Returns the ids it killed.
+func (t *jobTable[S, P, R]) failWedged(timeout time.Duration) []string {
+	t.mu.Lock()
+	jobs := make([]*asyncJob[S, P, R], 0, len(t.jobs))
+	for _, j := range t.jobs {
+		jobs = append(jobs, j)
+	}
+	t.mu.Unlock()
+
+	var killed []string
+	cutoff := time.Now().Add(-timeout)
+	for _, j := range jobs {
+		j.mu.Lock()
+		wedged := j.state == jobRunning && j.lastBeat.Before(cutoff)
+		cancel := j.cancel
+		j.mu.Unlock()
+		if !wedged {
+			continue
+		}
+		if cancel != nil {
+			cancel()
+		}
+		var zero R
+		if j.finish(zero, fmt.Errorf("watchdog: no progress in %v; job marked wedged", timeout)) {
+			killed = append(killed, j.id)
+		}
+	}
+	return killed
 }
 
 // get returns the job for id.

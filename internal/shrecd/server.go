@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
@@ -67,6 +68,24 @@ type Config struct {
 	// campaigns resume across server restarts. Attach the same store to
 	// the suite for simulation-level persistence.
 	Store *store.Store
+	// Journal, when non-nil, is the write-ahead job journal: accepted
+	// campaign/exploration specs are journaled before they run, and a
+	// restarted server replays pending entries, re-adopting every job a
+	// crash interrupted. Open it with store.SyncAlways so accepted jobs
+	// survive power loss, and keep it separate from Store (different
+	// durability needs, and journal compaction churn should not touch
+	// result segments).
+	Journal *store.Store
+	// ShedAfter bounds how long a POST /simulate may queue for a worker
+	// slot before the server sheds it with 429 + Retry-After. Status and
+	// metrics reads never queue, so a saturated server stays observable.
+	// Zero means 5s; negative queues indefinitely (pre-shedding
+	// behavior).
+	ShedAfter time.Duration
+	// Watchdog is the no-progress timeout after which a running
+	// campaign/exploration job is cancelled and marked failed instead of
+	// occupying its table slot forever (<=0 disables the watchdog).
+	Watchdog time.Duration
 }
 
 // Server serves simulation, experiment, and fault-campaign requests over
@@ -87,6 +106,14 @@ type Server struct {
 	baseStop     context.CancelFunc
 	campaigns    *jobTable[campaign.Spec, campaign.Progress, *campaign.Result]
 	explorations *jobTable[explore.Spec, explore.Progress, *explore.Result]
+
+	// journal is the write-ahead job journal (nil-safe no-op when
+	// Config.Journal is unset); the counters feed /metrics.
+	journal         *jobJournal
+	journalReplayed atomic.Uint64 // pending entries scanned at startup
+	jobsReadopted   atomic.Uint64 // journaled jobs restarted at startup
+	shedRequests    atomic.Uint64 // requests rejected for load (429)
+	jobsWedged      atomic.Uint64 // jobs the watchdog marked failed
 }
 
 // New builds a server with a fresh sim.Suite.
@@ -126,6 +153,9 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 	if sum := cfg.DefaultOptions.WarmupInstrs + cfg.DefaultOptions.MeasureInstrs; cfg.MaxInstrs > 0 && sum > uint64(cfg.MaxInstrs) {
 		cfg.MaxInstrs = int64(sum)
 	}
+	if cfg.ShedAfter == 0 {
+		cfg.ShedAfter = 5 * time.Second
+	}
 	camp := campaign.New(sims)
 	expl := explore.New(sims)
 	if cfg.Store != nil {
@@ -133,7 +163,7 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 		expl.WithStore(cfg.Store)
 	}
 	ctx, stop := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:          cfg,
 		sims:         sims,
 		exp:          experiments.NewSuiteWith(sims),
@@ -145,6 +175,42 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 		baseStop:     stop,
 		campaigns:    newJobTable[campaign.Spec, campaign.Progress, *campaign.Result]("campaign", cfg.MaxCampaigns),
 		explorations: newJobTable[explore.Spec, explore.Progress, *explore.Result]("exploration", cfg.MaxExplorations),
+		journal:      newJobJournal(cfg.Journal),
+	}
+	// Crash recovery: re-adopt every journaled job a previous process
+	// never finished, before the listener can accept new work.
+	s.replayJournal()
+	if cfg.Watchdog > 0 {
+		go s.watchdogLoop()
+	}
+	return s
+}
+
+// watchdogLoop periodically fails jobs that stopped reporting progress,
+// so a wedged engine cannot pin a table slot (and its journal entry)
+// forever. Killed jobs are journaled as failed: re-adopting a job that
+// already wedged once would just wedge the next process too.
+func (s *Server) watchdogLoop() {
+	tick := s.cfg.Watchdog / 4
+	if tick < time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			for _, id := range s.campaigns.failWedged(s.cfg.Watchdog) {
+				s.jobsWedged.Add(1)
+				s.journal.finish("campaign", id, fmt.Errorf("watchdog: wedged"))
+			}
+			for _, id := range s.explorations.failWedged(s.cfg.Watchdog) {
+				s.jobsWedged.Add(1)
+				s.journal.finish("exploration", id, fmt.Errorf("watchdog: wedged"))
+			}
+		}
 	}
 }
 
@@ -170,18 +236,56 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// acquire takes a worker-pool slot, failing fast with 503 when the pool
-// is saturated and the client's context expires while queued.
+// errShed marks a request rejected by load shedding (the bounded queue
+// wait expired before a worker slot freed); handlers map it to 429 with
+// Retry-After, distinct from 503 for a client deadline expiring.
+var errShed = errors.New("server saturated: no worker slot freed within the shed window")
+
+// acquire takes a worker-pool slot. When the pool is saturated the
+// request queues at most ShedAfter before being shed with errShed, so a
+// flood of expensive POSTs cannot pile up unbounded waiters — status and
+// metrics reads never pass through here and stay responsive regardless.
+// A negative ShedAfter queues until the client's context expires.
 func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.ShedAfter < 0 {
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(s.cfg.ShedAfter)
+	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-t.C:
+		s.shedRequests.Add(1)
+		return errShed
 	}
 }
 
 func (s *Server) release() { <-s.sem }
+
+// queueError writes the response for a failed acquire: shed requests get
+// 429 + Retry-After (back off and retry), client-deadline expiries get
+// 503 (the client already gave up waiting).
+func queueError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errShed) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("queued past deadline: %w", err))
+}
 
 // simulateRequest is the POST /simulate body.
 type simulateRequest struct {
@@ -244,7 +348,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if err := s.acquire(r.Context()); err != nil {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("queued past deadline: %w", err))
+		queueError(w, err)
 		return
 	}
 	defer s.release()
@@ -307,7 +411,7 @@ func (s *Server) runExperiment(w http.ResponseWriter, r *http.Request, name stri
 		return nil, false
 	}
 	if err := s.acquire(r.Context()); err != nil {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("queued past deadline: %w", err))
+		queueError(w, err)
 		return nil, false
 	}
 	defer s.release()
@@ -403,7 +507,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"status":         "ok",
 		"uptime_s":       time.Since(s.start).Seconds(),
 		"runs":           s.sims.Runs(),
@@ -418,7 +522,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"recovery_runs":  s.sims.RecoveryRuns(),
 		"rollbacks":      s.sims.Rollbacks(),
 		"max_concurrent": s.cfg.MaxConcurrent,
-	})
+		"shed_requests":  s.shedRequests.Load(),
+	}
+	// Store integrity: a scrape that shows quarantined records climbing
+	// (or compaction stalled) flags a disk going bad before reads fail.
+	if s.cfg.Store != nil {
+		health["store"] = s.cfg.Store.Stats()
+	}
+	if s.journal != nil {
+		health["journal"] = map[string]any{
+			"depth":     s.journal.depth(),
+			"replayed":  s.journalReplayed.Load(),
+			"readopted": s.jobsReadopted.Load(),
+			"wedged":    s.jobsWedged.Load(),
+			"store":     s.journal.st.Stats(),
+		}
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 // handleMetrics exposes the suite counters in Prometheus text format, so
@@ -465,6 +585,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP shrecd_uptime_seconds Seconds since server start.\n")
 	fmt.Fprintf(w, "# TYPE shrecd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "shrecd_uptime_seconds %f\n", time.Since(s.start).Seconds())
+	var quarantined uint64
+	if s.cfg.Store != nil {
+		quarantined += s.cfg.Store.Stats().Quarantined
+	}
+	if s.journal != nil {
+		quarantined += s.journal.st.Stats().Quarantined
+	}
+	fmt.Fprintf(w, "# HELP shrecd_store_quarantined_total Corrupt store records detected and quarantined (result store + journal).\n")
+	fmt.Fprintf(w, "# TYPE shrecd_store_quarantined_total counter\n")
+	fmt.Fprintf(w, "shrecd_store_quarantined_total %d\n", quarantined)
+	fmt.Fprintf(w, "# HELP shrecd_journal_replayed_total Pending journal entries replayed at startup.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_journal_replayed_total counter\n")
+	fmt.Fprintf(w, "shrecd_journal_replayed_total %d\n", s.journalReplayed.Load())
+	fmt.Fprintf(w, "# HELP shrecd_jobs_readopted_total Journaled jobs successfully restarted at startup.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_jobs_readopted_total counter\n")
+	fmt.Fprintf(w, "shrecd_jobs_readopted_total %d\n", s.jobsReadopted.Load())
+	fmt.Fprintf(w, "# HELP shrecd_shed_requests_total Requests rejected with 429 for load (queue-wait expired or job table saturated).\n")
+	fmt.Fprintf(w, "# TYPE shrecd_shed_requests_total counter\n")
+	fmt.Fprintf(w, "shrecd_shed_requests_total %d\n", s.shedRequests.Load())
+	fmt.Fprintf(w, "# HELP shrecd_jobs_wedged_total Jobs the watchdog cancelled for reporting no progress.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_jobs_wedged_total counter\n")
+	fmt.Fprintf(w, "shrecd_jobs_wedged_total %d\n", s.jobsWedged.Load())
+	fmt.Fprintf(w, "# HELP shrecd_journal_depth Journaled jobs not yet finished.\n")
+	fmt.Fprintf(w, "# TYPE shrecd_journal_depth gauge\n")
+	fmt.Fprintf(w, "shrecd_journal_depth %d\n", s.journal.depth())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

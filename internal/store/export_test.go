@@ -1,0 +1,45 @@
+package store
+
+// Test-only access to internals: failpoints and framing helpers for the
+// corruption-matrix and chaos tests.
+
+// FailNextAppend arms a failpoint on key's shard: the next append writes
+// only n bytes of the record (a torn write) and reports an error.
+func (s *Store) FailNextAppend(key string, n int) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	sh.testFail = n + 1
+	sh.mu.Unlock()
+}
+
+// ShardIndex exposes the key → shard mapping so tests can craft segment
+// files for a specific key.
+func (s *Store) ShardIndex(key string) int {
+	for i, sh := range s.shards {
+		if s.shardOf(key) == sh {
+			return i
+		}
+	}
+	return -1
+}
+
+// ActiveSegment returns the path of the segment file currently receiving
+// key's appends ("" before the first append).
+func (s *Store) ActiveSegment(key string) string {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.path
+}
+
+// EncodeRecord exposes the on-disk framing so tests can hand-craft
+// segment files (duplicate keys across generations, bitrot targets).
+func EncodeRecord(seq uint64, key string, value []byte) []byte {
+	return encodeRecord(seq, key, value)
+}
+
+// SegName exposes segment-file naming for hand-crafted layouts.
+func SegName(shard, gen int) string { return segName(shard, gen) }
+
+// HeaderSize exposes the record header length for corruption targeting.
+const HeaderSize = headerSize

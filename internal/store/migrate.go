@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Stores written before the segment format were a single JSON-lines
+// file: one {"key":..., "value":...} object per line, last line per key
+// winning. Open detects such a file where the store directory should be
+// and imports it exactly once — every line becomes a checksummed segment
+// record — then leaves the original beside the directory as
+// <path>.pre-segments for manual recovery. Completion is recorded in an
+// imported.json marker inside the store, so a crash mid-import replays
+// the (idempotent) import at the next Open, while a finished import is
+// never repeated — the backup can no longer stomp newer segment writes.
+// Unparseable lines (a torn tail from the old format's crash story) are
+// skipped, matching the old opener.
+
+// legacyRecord is the old on-disk line format.
+type legacyRecord struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// legacyBackupSuffix is appended to an imported JSONL file's name, and
+// importMarker records that its import completed.
+const (
+	legacyBackupSuffix = ".pre-segments"
+	importMarker       = "imported.json"
+)
+
+// relocateLegacy moves a single-file store out of the directory path's
+// way, returning the backup path ("" when path is absent or already a
+// directory). Called before the store directory is created.
+func relocateLegacy(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil || fi.IsDir() {
+		return "", nil
+	}
+	backup := path + legacyBackupSuffix
+	if err := os.Rename(path, backup); err != nil {
+		return "", fmt.Errorf("store: renaming legacy file: %w", err)
+	}
+	return backup, nil
+}
+
+// pendingLegacy reports a backup whose import never completed (a crash
+// between relocation and the marker write), or "" when there is nothing
+// to do.
+func pendingLegacy(path string) string {
+	backup := path + legacyBackupSuffix
+	if _, err := os.Stat(backup); err != nil {
+		return ""
+	}
+	if _, err := os.Stat(filepath.Join(path, importMarker)); err == nil {
+		return "" // already imported
+	}
+	return backup
+}
+
+// importLegacy reads the backup and writes its records through the
+// normal append path, preserving line order so last-write-wins is
+// unchanged, then marks the import complete.
+func (s *Store) importLegacy(backup string) error {
+	f, err := os.Open(backup)
+	if err != nil {
+		return fmt.Errorf("store: opening legacy backup: %w", err)
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r legacyRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue // torn or corrupt line: recompute, as the old format did
+		}
+		if err := s.putRaw(r.Key, r.Value); err != nil {
+			return fmt.Errorf("store: importing legacy record %q: %w", r.Key, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: reading legacy backup: %w", err)
+	}
+	// Records first, marker last: the marker's durability implies the
+	// records'.
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	raw, _ := json.Marshal(map[string]any{
+		"source": filepath.Base(backup), "records": n, "time": time.Now().UTC().Format(time.RFC3339),
+	})
+	if err := os.WriteFile(filepath.Join(s.dir, importMarker), raw, 0o644); err != nil {
+		return fmt.Errorf("store: writing import marker: %w", err)
+	}
+	syncDir(s.dir)
+	s.statMu.Lock()
+	s.migrated = true
+	s.statMu.Unlock()
+	return nil
+}

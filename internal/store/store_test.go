@@ -1,8 +1,11 @@
 package store
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -13,7 +16,7 @@ type payload struct {
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
-	s, err := Open(filepath.Join(t.TempDir(), "s.jsonl"))
+	s, err := Open(filepath.Join(t.TempDir(), "s"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +40,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 }
 
 func TestReopenPersists(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "s.jsonl")
+	path := filepath.Join(t.TempDir(), "s")
 	s, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -70,39 +73,8 @@ func TestReopenPersists(t *testing.T) {
 	}
 }
 
-func TestTornTrailingLineIgnored(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "s.jsonl")
-	s, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Put("good", payload{Name: "x", Value: 1}); err != nil {
-		t.Fatal(err)
-	}
-	s.Close()
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.WriteString(`{"key":"torn","value":{"na`) // crashed writer
-	f.Close()
-
-	s2, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s2.Close()
-	var out payload
-	if ok, _ := s2.Get("good", &out); !ok {
-		t.Fatal("torn line destroyed earlier records")
-	}
-	if ok, _ := s2.Get("torn", &out); ok {
-		t.Fatal("torn record decoded")
-	}
-}
-
 func TestConcurrentPutGet(t *testing.T) {
-	s, err := Open(filepath.Join(t.TempDir(), "s.jsonl"))
+	s, err := Open(filepath.Join(t.TempDir(), "s"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,5 +114,281 @@ func TestDigestStability(t *testing.T) {
 	}
 	if len(a) != 64 {
 		t.Fatalf("digest length %d", len(a))
+	}
+}
+
+func TestRangeVisitsEveryKey(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		k := Digest("range", i)
+		want[k] = true
+		if err := s.Put(k, payload{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]bool{}
+	s.Range(func(k string, _ json.RawMessage) bool {
+		got[k] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d keys, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("Range missed %s", k)
+		}
+	}
+}
+
+// TestPutRollbackOnWriteError pins the durability contract satellite: a
+// failed (torn) append must leave the index and the file agreeing — the
+// key absent from both — and the store must keep working afterwards.
+func TestPutRollbackOnWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", payload{Name: "x", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.FailNextAppend("victim", 7) // write 7 bytes of the record, then fail
+	if err := s.Put("victim", payload{Name: "torn", Value: 2}); err == nil {
+		t.Fatal("injected write failure did not surface")
+	}
+	var out payload
+	if ok, _ := s.Get("victim", &out); ok {
+		t.Fatal("failed Put left the key in the index")
+	}
+	// The torn bytes must have been rolled back: the next Put lands on a
+	// record boundary and both keys survive a reopen.
+	if err := s.Put("victim", payload{Name: "retry", Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if ok, _ := s2.Get("good", &out); !ok {
+		t.Fatal("pre-failure key lost")
+	}
+	if ok, _ := s2.Get("victim", &out); !ok || out.Name != "retry" {
+		t.Fatalf("post-failure retry lost: ok=%v %+v", ok, out)
+	}
+	if st := s2.Stats(); st.Quarantined != 0 || st.TornTails != 0 {
+		t.Fatalf("rollback left residue on disk: %+v", st)
+	}
+}
+
+// TestLegacyJSONLMigration pins the migration shim satellite: a
+// pre-segments single-file store opens transparently, keeps every entry
+// (including last-write-wins and torn-tail skipping), and never
+// double-imports.
+func TestLegacyJSONLMigration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+	legacy := strings.Join([]string{
+		`{"key":"a","value":{"name":"first","value":1}}`,
+		`{"key":"b","value":{"name":"other","value":3}}`,
+		`{"key":"a","value":{"name":"second","value":2}}`,
+		`{"key":"torn","value":{"na`, // crashed old-format writer
+	}, "\n")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Stats().Migrated {
+		t.Fatal("Stats.Migrated not reported")
+	}
+	var out payload
+	if ok, _ := s.Get("a", &out); !ok || out.Name != "second" {
+		t.Fatalf("legacy last-write-wins lost: %+v", out)
+	}
+	if ok, _ := s.Get("b", &out); !ok {
+		t.Fatal("legacy key lost")
+	}
+	if ok, _ := s.Get("torn", &out); ok {
+		t.Fatal("torn legacy line imported")
+	}
+	// The original must survive as a backup, and new writes must land in
+	// segments.
+	if _, err := os.Stat(path + legacyBackupSuffix); err != nil {
+		t.Fatalf("legacy backup missing: %v", err)
+	}
+	if err := s.Put("a", payload{Name: "post-migration", Value: 9}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen: no double import — the post-migration write still wins.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Stats().Migrated {
+		t.Fatal("second open re-imported the legacy file")
+	}
+	if ok, _ := s2.Get("a", &out); !ok || out.Name != "post-migration" {
+		t.Fatalf("backup stomped a post-migration write: %+v", out)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s2.Len())
+	}
+}
+
+// TestCompactionDropsSuperseded pins that compaction rewrites a shard to
+// only its live records and that everything survives a reopen.
+func TestCompactionDropsSuperseded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s")
+	s, err := OpenWith(path, Options{NoAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		// Same 5 keys rewritten 10 times: 90% dead bytes.
+		if err := s.Put(Digest("ck", i%5), payload{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("expected dead bytes before compaction")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.DeadBytes != 0 {
+		t.Fatalf("compaction left %d dead bytes", after.DeadBytes)
+	}
+	if after.Keys != 5 {
+		t.Fatalf("compaction changed key count: %d", after.Keys)
+	}
+	if after.Compactions == 0 || after.LastCompaction.IsZero() {
+		t.Fatalf("compaction not recorded: %+v", after)
+	}
+	// Post-compaction writes and reload still work.
+	if err := s.Put(Digest("ck", 0), payload{Value: 99}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var out payload
+	for i := 0; i < 5; i++ {
+		want := float64(45 + i)
+		if i == 0 {
+			want = 99
+		}
+		if ok, _ := s2.Get(Digest("ck", i), &out); !ok || out.Value != want {
+			t.Fatalf("key %d after compaction+reopen: ok=%v got=%v want=%v", i, ok, out.Value, want)
+		}
+	}
+}
+
+// TestAutoCompactionTriggers pins the dead-bytes trigger: rewriting one
+// key far past the threshold must shrink the shard without any explicit
+// Compact call.
+func TestAutoCompactionTriggers(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	big := payload{Name: strings.Repeat("x", 4096)}
+	for i := 0; i < 64; i++ { // ~256 KiB of rewrites of one key
+		if err := s.Put("hot", big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("auto-compaction never fired: %+v", st)
+	}
+	if st.DeadBytes > compactMinDead {
+		t.Fatalf("dead bytes not reclaimed: %+v", st)
+	}
+	var out payload
+	if ok, _ := s.Get("hot", &out); !ok || out.Name != big.Name {
+		t.Fatal("auto-compaction lost the live value")
+	}
+}
+
+// TestShardCountPinnedByMeta pins that reopening with a different
+// Options.Shards keeps the created layout (meta.json wins), so the key →
+// file mapping never shifts under an existing store.
+func TestShardCountPinnedByMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s")
+	s, err := OpenWith(path, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := s.Put(Digest("sp", i), payload{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2, err := OpenWith(path, Options{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Shards; got != 4 {
+		t.Fatalf("shard count drifted to %d, want pinned 4", got)
+	}
+	if s2.Len() != 32 {
+		t.Fatalf("len = %d, want 32", s2.Len())
+	}
+	var out payload
+	for i := 0; i < 32; i++ {
+		if ok, _ := s2.Get(Digest("sp", i), &out); !ok || out.Value != float64(i) {
+			t.Fatalf("key %d lost across shard-option change", i)
+		}
+	}
+}
+
+func TestSyncAlwaysPolicy(t *testing.T) {
+	// Behavioral smoke only (fsync effects need a power cut): SyncAlways
+	// must not change observable semantics.
+	path := filepath.Join(t.TempDir(), "j")
+	s, err := OpenWith(path, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), payload{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 10 {
+		t.Fatalf("len = %d, want 10", s2.Len())
 	}
 }
