@@ -109,6 +109,17 @@ func BenchmarkCycle(b *testing.B) {
 		config.SHREC(),
 		config.O3RS(),
 	}
+	// The detection-mode zoo, under benchmark-stable labels (machine names
+	// carry '@'/'+' value syntax that would churn the baseline keys if the
+	// defaults moved).
+	zoo := []struct {
+		label string
+		m     config.Machine
+	}{
+		{"MEEK2", config.MEEK(2)},
+		{"SHREC-ctx8", config.SHREC().WithContexts(8)},
+		{"FLEX", config.FLEX()},
+	}
 	run := func(b *testing.B, m config.Machine, opts ...core.Option) {
 		b.ReportAllocs()
 		e := core.New(m, trace.New(p), opts...)
@@ -127,6 +138,9 @@ func BenchmarkCycle(b *testing.B) {
 	}
 	for _, m := range machines {
 		b.Run(m.Name, func(b *testing.B) { run(b, m) })
+	}
+	for _, z := range zoo {
+		b.Run(z.label, func(b *testing.B) { run(b, z.m) })
 	}
 	b.Run("SS1-tick", func(b *testing.B) { run(b, config.SS1(), core.WithTickLoop()) })
 }

@@ -8,10 +8,19 @@ import "math"
 // same line merge as targets. When the file (or a register's target list)
 // is full, the access must be retried later — the structural hazard the
 // paper's modified sim-outorder models.
+//
+// The file is a fixed array of registers scanned linearly, like the
+// hardware. Beyond fidelity, the array keeps the steady-state request path
+// allocation-free: the engine's hot loop performs no heap allocation, and
+// the conformance suite (internal/core) holds every mode to exactly that.
 type MSHRFile struct {
 	entries int
 	targets int
-	lines   map[uint64]*mshrEntry
+	slots   []mshrSlot
+
+	// inFlight counts occupied registers, so capacity checks and the
+	// per-cycle occupancy accounting skip the scan.
+	inFlight int
 
 	// minReady caches the earliest readyAt among occupied registers
 	// (math.MaxInt64 when empty), so the per-cycle Expire sweep is a
@@ -24,9 +33,11 @@ type MSHRFile struct {
 	secondary  uint64
 }
 
-type mshrEntry struct {
+type mshrSlot struct {
+	line    uint64
 	readyAt int64
 	targets int
+	used    bool
 }
 
 // NewMSHRFile builds a file of entries registers with targets merge slots
@@ -38,7 +49,7 @@ func NewMSHRFile(entries, targets int) *MSHRFile {
 	return &MSHRFile{
 		entries:  entries,
 		targets:  targets,
-		lines:    make(map[uint64]*mshrEntry, entries),
+		slots:    make([]mshrSlot, entries),
 		minReady: math.MaxInt64,
 	}
 }
@@ -61,20 +72,31 @@ const (
 // cycle is the outstanding miss's completion. The caller supplies readyAt
 // only for primary allocations (it is ignored when merging).
 func (m *MSHRFile) Request(lineAddr uint64, readyAt int64) (MSHRResult, int64) {
-	if e, ok := m.lines[lineAddr]; ok {
-		if e.targets >= m.targets {
-			m.targetFail++
-			return MSHRFull, 0
+	free := -1
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.used {
+			if free < 0 {
+				free = i
+			}
+			continue
 		}
-		e.targets++
-		m.secondary++
-		return MSHRMerged, e.readyAt
+		if s.line == lineAddr {
+			if s.targets >= m.targets {
+				m.targetFail++
+				return MSHRFull, 0
+			}
+			s.targets++
+			m.secondary++
+			return MSHRMerged, s.readyAt
+		}
 	}
-	if len(m.lines) >= m.entries {
+	if free < 0 {
 		m.allocFail++
 		return MSHRFull, 0
 	}
-	m.lines[lineAddr] = &mshrEntry{readyAt: readyAt, targets: 1}
+	m.slots[free] = mshrSlot{line: lineAddr, readyAt: readyAt, targets: 1, used: true}
+	m.inFlight++
 	if readyAt < m.minReady {
 		m.minReady = readyAt
 	}
@@ -85,42 +107,44 @@ func (m *MSHRFile) Request(lineAddr uint64, readyAt int64) (MSHRResult, int64) {
 // Outstanding reports whether lineAddr has an in-flight miss and when it
 // completes.
 func (m *MSHRFile) Outstanding(lineAddr uint64) (int64, bool) {
-	e, ok := m.lines[lineAddr]
-	if !ok {
-		return 0, false
+	for i := range m.slots {
+		if s := &m.slots[i]; s.used && s.line == lineAddr {
+			return s.readyAt, true
+		}
 	}
-	return e.readyAt, true
+	return 0, false
 }
 
 // Expire releases all registers whose miss completed at or before now. The
 // hierarchy calls this once per cycle; the cached minimum makes the common
-// no-fill cycle a single comparison instead of a map sweep.
+// no-fill cycle a single comparison instead of a register sweep.
 func (m *MSHRFile) Expire(now int64) {
 	if now < m.minReady {
 		return
 	}
 	min := int64(math.MaxInt64)
-	for line, e := range m.lines {
-		if e.readyAt <= now {
-			delete(m.lines, line)
-		} else if e.readyAt < min {
-			min = e.readyAt
+	for i := range m.slots {
+		s := &m.slots[i]
+		if !s.used {
+			continue
+		}
+		if s.readyAt <= now {
+			s.used = false
+			m.inFlight--
+		} else if s.readyAt < min {
+			min = s.readyAt
 		}
 	}
 	m.minReady = min
 }
 
 // InFlight returns the number of occupied registers.
-func (m *MSHRFile) InFlight() int { return len(m.lines) }
+func (m *MSHRFile) InFlight() int { return m.inFlight }
 
 // Clone returns a deep copy of the file, including in-flight misses.
 func (m *MSHRFile) Clone() *MSHRFile {
 	c := *m
-	c.lines = make(map[uint64]*mshrEntry, len(m.lines))
-	for line, e := range m.lines {
-		cp := *e
-		c.lines[line] = &cp
-	}
+	c.slots = append([]mshrSlot(nil), m.slots...)
 	return &c
 }
 
@@ -132,12 +156,12 @@ func (m *MSHRFile) NextReady(now int64) int64 {
 	if m.minReady > now {
 		return m.minReady
 	}
-	// Entries at or before now still occupy registers until the next
+	// Registers at or before now still occupy slots until the next
 	// Expire; scan past them for the earliest genuinely-future fill.
 	next := int64(math.MaxInt64)
-	for _, e := range m.lines {
-		if e.readyAt > now && e.readyAt < next {
-			next = e.readyAt
+	for i := range m.slots {
+		if s := &m.slots[i]; s.used && s.readyAt > now && s.readyAt < next {
+			next = s.readyAt
 		}
 	}
 	return next

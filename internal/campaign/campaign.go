@@ -181,6 +181,11 @@ type Trial struct {
 	Faults   uint64 `json:"faults"`
 	Detected uint64 `json:"detected"`
 	Squashed uint64 `json:"squashed"`
+	// FaultsUnchecked counts injected faults that landed where the machine
+	// does not check — FLEX's checking-disabled regions. A trial whose
+	// every fault is unchecked says nothing about the checker; conditional
+	// coverage (Result.ConditionalCoverage) excludes it.
+	FaultsUnchecked uint64 `json:"faults_unchecked,omitempty"`
 	// DetectLatency is the mean injection-to-detection latency in cycles
 	// over the trial's detected faults (0 when none).
 	DetectLatency float64 `json:"detect_latency,omitempty"`
@@ -313,6 +318,42 @@ func (r *Result) Counts() Counts {
 // bounds over the faulted-trial count.
 func (r *Result) Coverage() Estimate {
 	return r.Counts().coverage()
+}
+
+// ConditionalCoverage is coverage given that checking applied: trials
+// whose every injected fault landed where the machine does not check
+// (FLEX's off regions) are excluded from the denominator, because their
+// outcome says nothing about the detection hardware. A machine that
+// checks everything has ConditionalCoverage == Coverage; for a
+// region-gated machine the pair separates "the checker missed" from "the
+// policy chose not to look" — the conditional-coverage story the
+// flexible-detection papers evaluate.
+func (r *Result) ConditionalCoverage() Estimate {
+	covered, n := 0, 0
+	for _, t := range r.Trials {
+		if t.Faults == 0 || t.Faults == t.FaultsUnchecked {
+			continue
+		}
+		n++
+		switch t.Outcome {
+		case OutcomeDetected, OutcomeSquashed, OutcomeMasked:
+			covered++
+		}
+	}
+	return estimate(covered, n)
+}
+
+// UncheckedOnlyTrials counts the faulted trials excluded by
+// ConditionalCoverage: every injected fault landed in a
+// checking-disabled region.
+func (r *Result) UncheckedOnlyTrials() int {
+	n := 0
+	for _, t := range r.Trials {
+		if t.Faults > 0 && t.Faults == t.FaultsUnchecked {
+			n++
+		}
+	}
+	return n
 }
 
 // Aggregates are the campaign-level fault and cost sums shared by every
@@ -521,6 +562,19 @@ func (r *Result) Report() *report.Report {
 	st.AddRow("faulted trials", float64(cov.N))
 	st.AddRow("faults injected", float64(agg.Faults))
 	st.AddRow("faults detected", float64(agg.Detected))
+	var unchecked uint64
+	for _, t := range r.Trials {
+		unchecked += t.FaultsUnchecked
+	}
+	if unchecked > 0 {
+		ccov := r.ConditionalCoverage()
+		st.AddRow("conditional coverage %", 100*ccov.Point)
+		st.AddRow("conditional coverage lo % (Wilson 95)", 100*ccov.Lo)
+		st.AddRow("conditional coverage hi % (Wilson 95)", 100*ccov.Hi)
+		st.AddRow("checked faulted trials", float64(ccov.N))
+		st.AddRow("off-region-only trials", float64(r.UncheckedOnlyTrials()))
+		st.AddRow("faults landed unchecked", float64(unchecked))
+	}
 	if agg.Detected > 0 {
 		st.AddRow("mean detect latency (cycles)", agg.DetectLatency)
 	}
@@ -622,6 +676,9 @@ func normalize(spec Spec, def sim.Options) (Spec, config.Machine, trace.Profile,
 	if err != nil {
 		return fail(fmt.Errorf("campaign: %w", err))
 	}
+	// Record the canonical spelling: "meek", "MEEK@2", and "Meek@2" all
+	// name the same machine, so they must hash to the same job identity.
+	spec.Machine = m.Spec()
 	p, err := workload.ByName(spec.Benchmark)
 	if err != nil {
 		return fail(fmt.Errorf("campaign: %w", err))
@@ -682,11 +739,12 @@ func normalize(spec Spec, def sim.Options) (Spec, config.Machine, trace.Profile,
 // configuration and workload profile plus every spec field that shapes a
 // trial — but not the trial count, so extending a campaign from 500 to
 // 1000 trials reuses the first 500 stored records.
-// The schema label is v2: v1 records predate checkpoint recovery (the
-// Trial schema grew recovery fields, and the hashed machine grew
-// checkpoint fields).
+// The schema label is v3: v1 records predate checkpoint recovery, v2
+// records predate the detection-mode zoo (the Trial schema grew
+// FaultsUnchecked, and the hashed machine grew the lane/context/region
+// fields).
 func digest(spec Spec, m config.Machine, p trace.Profile, budget int64) string {
-	return store.Digest("campaign.Trial.v2", m, p,
+	return store.Digest("campaign.Trial.v3", m, p,
 		spec.FaultRate, spec.Seed, spec.WarmupInstrs, spec.MeasureInstrs,
 		spec.WindowLo, spec.WindowHi, budget)
 }
@@ -788,16 +846,17 @@ func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*
 				return
 			}
 			tr := Trial{
-				Index:         i,
-				Seed:          mc.FaultSeed,
-				Outcome:       Classify(r, golden.Stats.ArchSig),
-				Faults:        r.Stats.FaultsInjected,
-				Detected:      r.Stats.FaultsDetected,
-				Squashed:      r.Stats.FaultsSquashed,
-				DetectLatency: r.Stats.AvgFaultDetectLatency(),
-				IPC:           r.IPC(),
-				Cycles:        r.Stats.Cycles,
-				ArchSig:       r.Stats.ArchSig,
+				Index:           i,
+				Seed:            mc.FaultSeed,
+				Outcome:         Classify(r, golden.Stats.ArchSig),
+				Faults:          r.Stats.FaultsInjected,
+				Detected:        r.Stats.FaultsDetected,
+				Squashed:        r.Stats.FaultsSquashed,
+				FaultsUnchecked: r.Stats.FaultsInjectedUnchecked,
+				DetectLatency:   r.Stats.AvgFaultDetectLatency(),
+				IPC:             r.IPC(),
+				Cycles:          r.Stats.Cycles,
+				ArchSig:         r.Stats.ArchSig,
 			}
 			if rec := r.Recovery; rec != nil {
 				tr.Rollbacks, tr.Overruns, tr.Unrecoverable = rec.Rollbacks, rec.Overruns, rec.Unrecoverable

@@ -1,6 +1,8 @@
 package config_test
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/config"
@@ -51,4 +53,151 @@ func TestByNameErrors(t *testing.T) {
 			t.Errorf("config.ByName(%q) accepted", bad)
 		}
 	}
+}
+
+// TestByNameRejectsContradictions pins that specs combining tokens whose
+// machines cannot coexist fail at parse time, each with a message naming
+// the offending token — not later in Validate, and never by silently
+// dropping a modifier.
+func TestByNameRejectsContradictions(t *testing.T) {
+	bad := []string{
+		// +ctx is SHREC-mode hardware; no other base can carry it.
+		"ss1+ctx4", "ss2+ctx2", "ss2+s+ctx2", "o3rs+ctx2", "meek@2+ctx2",
+		"flex@64k:on16k+ctx2",
+		// Base-token value ranges.
+		"meek@0", "meek@9", "meek@-1", "meek@1.5",
+		"flex@", "flex@64k", "flex@64k:on64k", "flex@64k:on128k",
+		"flex@0:on0", "flex@1:on1", "flex@64k:on0",
+		// Modifier value ranges.
+		"shrec+ctx1", "shrec+ctx9", "shrec+rate2", "shrec+ckpt32",
+		"shrec+depth0", "shrec+depth17", "shrec+mshr0", "shrec@x0",
+		// One of each kind.
+		"shrec+ctx2+ctx4", "ss1+rate1e-4+rate2e-4",
+	}
+	for _, spec := range bad {
+		if m, err := config.ByName(spec); err == nil {
+			t.Errorf("config.ByName(%q) accepted as %q", spec, m.Name)
+		}
+	}
+}
+
+// specCorpus builds one deterministic pseudo-random spec string per call:
+// a random base (including the detection-mode bases with their value
+// syntax), a random compatible modifier subset with valid values, shuffled
+// token order, random casing. The properties below hold for every such
+// string.
+func specCorpus(rng *rand.Rand) string {
+	bases := []string{
+		"ss1", "ss2", "ss2+s", "ss2+sc", "ss2+xscb", "shrec", "diva", "o3rs",
+		"meek", "meek@1", "meek@2", "meek@4", "meek@8",
+		"flex", "flex@64k:on16k", "flex@1m:on4k", "flex@512:on128",
+	}
+	base := bases[rng.Intn(len(bases))]
+	type tok struct {
+		s    string
+		vals []string
+	}
+	pool := []tok{
+		{"@x", []string{"0.5", "1.5", "2"}},
+		{"+stagger", []string{"0", "64", "256"}},
+		{"+fux", []string{"0.5", "2"}},
+		{"+mshr", []string{"8", "32"}},
+		{"+ports", []string{"1", "2", "4"}},
+		{"+rate", []string{"0.0001", "1e-4", "0.5"}},
+		{"+ckpt", []string{"64", "8192", "64k", "1m"}},
+		{"+depth", []string{"1", "4", "16"}},
+	}
+	if base == "shrec" || base == "diva" {
+		pool = append(pool, tok{"+ctx", []string{"2", "4", "8"}})
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	spec := base
+	for _, tk := range pool[:rng.Intn(len(pool)+1)] {
+		spec += tk.s + tk.vals[rng.Intn(len(tk.vals))]
+	}
+	if rng.Intn(2) == 1 {
+		spec = strings.ToUpper(spec)
+	}
+	return spec
+}
+
+// TestSpecRoundTripProperty is the grammar's property test: for thousands
+// of generated specs, parsing must succeed, the canonical rendering must
+// parse back to the identical machine (the Spec/ParseSpec contract), the
+// canonical form must be a fixed point, and modifier order must not
+// matter.
+func TestSpecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4000; i++ {
+		spec := specCorpus(rng)
+		m, err := config.ByName(spec)
+		if err != nil {
+			t.Fatalf("generated spec %q rejected: %v", spec, err)
+		}
+		back, err := config.ParseSpec(m.Spec())
+		if err != nil {
+			t.Fatalf("canonical spec %q of %q rejected: %v", m.Spec(), spec, err)
+		}
+		if back != m {
+			t.Fatalf("round trip of %q via %q drifted:\n%+v\nvs\n%+v", spec, m.Spec(), back, m)
+		}
+		if back.Spec() != m.Spec() {
+			t.Fatalf("canonical form of %q not a fixed point: %q -> %q", spec, m.Spec(), back.Spec())
+		}
+	}
+}
+
+// TestSpecOrderInsensitive pins that the same modifier set written in any
+// order, any case, parses to byte-identical machines with the canonical
+// name.
+func TestSpecOrderInsensitive(t *testing.T) {
+	cases := []struct{ a, b, canon string }{
+		{"shrec+ctx4+ckpt64k", "shrec+ckpt64k+ctx4", "SHREC+ctx4+ckpt64k"},
+		{"meek@4+mshr32+rate1e-4", "MEEK@4+RATE0.0001+MSHR32", "MEEK@4+mshr32+rate0.0001"},
+		{"flex@1m:on4k+ports2+stagger64", "FLEX@1M:ON4K+STAGGER64+PORTS2", "FLEX@1m:on4k+stagger64+ports2"},
+		{"diva+depth4+ctx2@x1.5", "diva@x1.5+ctx2+depth4", "DIVA@x1.5+ctx2+depth4"},
+	}
+	for _, tc := range cases {
+		ma, erra := config.ByName(tc.a)
+		mb, errb := config.ByName(tc.b)
+		if erra != nil || errb != nil {
+			t.Errorf("parse failed: %q (%v) / %q (%v)", tc.a, erra, tc.b, errb)
+			continue
+		}
+		if ma != mb {
+			t.Errorf("order changed the machine: %q vs %q", tc.a, tc.b)
+		}
+		if ma.Name != tc.canon {
+			t.Errorf("canonical name of %q = %q, want %q", tc.a, ma.Name, tc.canon)
+		}
+	}
+}
+
+// FuzzSpecRoundTrip feeds arbitrary strings to the parser. The invariant
+// is one-sided: anything the parser accepts must re-render canonically
+// and parse back to the identical machine. (Rejection is fine — most
+// inputs are garbage — but acceptance commits the grammar to a canonical
+// round trip.)
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add("shrec")
+	f.Add("meek@4+rate1e-4")
+	f.Add("flex@1m:on4k+ckpt64k+depth4")
+	f.Add("SS2+XSCB@x1.5+stagger256")
+	f.Add("diva+ctx8+mshr32+ports4")
+	f.Add("ss1+ctx4")
+	f.Add("meek@0")
+	f.Add("flex@")
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := config.ByName(spec)
+		if err != nil {
+			return
+		}
+		back, err := config.ParseSpec(m.Spec())
+		if err != nil {
+			t.Fatalf("accepted %q but canonical %q rejected: %v", spec, m.Spec(), err)
+		}
+		if back != m {
+			t.Fatalf("accepted %q but round trip via %q drifted", spec, m.Spec())
+		}
+	})
 }

@@ -34,6 +34,20 @@ const (
 	// factors by construction but cannot stagger. The paper approximates
 	// it as SS2+C+B; this mode implements the real mechanism.
 	ModeO3RS
+	// ModeMEEK is MEEK-style heterogeneous detection (arXiv 2504.01347):
+	// the out-of-order M-stream is checked by a small number of narrow
+	// in-order checker lanes that consume completed instructions from a
+	// retirement-log FIFO. The OoO core never shares issue bandwidth or
+	// functional units with the checkers; backpressure appears only when
+	// the retirement log fills.
+	ModeMEEK
+	// ModeFLEX is FlexStep-style per-region detection (arXiv 2503.13848):
+	// a SHREC-shaped shared checker that is enabled only inside selected
+	// instruction windows (FlexOn out of every FlexPeriod fetched
+	// instructions). Faults in checking-disabled regions escape to
+	// retirement; campaigns account them against conditional, not global,
+	// coverage.
+	ModeFLEX
 )
 
 // String names the mode.
@@ -47,6 +61,10 @@ func (m Mode) String() string {
 		return "SHREC"
 	case ModeO3RS:
 		return "O3RS"
+	case ModeMEEK:
+		return "MEEK"
+	case ModeFLEX:
+		return "FLEX"
 	}
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
@@ -136,6 +154,22 @@ type Machine struct {
 	// contention at a significant hardware cost (the paper notes the
 	// EV8's functional units occupy area comparable to 1MB of L2).
 	CheckerDedicatedFU bool
+
+	// CheckerLanes is the number of narrow in-order checker lanes in MEEK
+	// mode (1..MaxCheckerLanes); zero everywhere else.
+	CheckerLanes int
+
+	// Contexts, when 2 or more, gives the SHREC checker that many
+	// hardware contexts: a scan stalled on an incomplete instruction
+	// switches to the next completed region instead of idling, up to
+	// Contexts-1 switches per cycle. Zero (or one) is the classic
+	// single-context checker. SHREC mode only.
+	Contexts int
+
+	// FlexPeriod and FlexOn define FLEX mode's region policy: checking is
+	// enabled for instructions whose fetch sequence number satisfies
+	// seq%FlexPeriod < FlexOn. Both zero outside FLEX mode.
+	FlexPeriod, FlexOn uint64
 
 	// FaultRate is the per-instruction probability of injecting a
 	// transient result corruption (0 disables injection). Used by the
@@ -252,6 +286,50 @@ func DIVA() Machine {
 	return m
 }
 
+// Bounds on the modern-mode structural knobs, enforced by Validate and
+// the spec parser. MeekLogDepth is the retirement-log FIFO capacity every
+// MEEK machine shares: deep enough to ride out checker-lane latency
+// bursts, small enough that a sustained checker shortfall backpressures
+// retirement instead of hiding it.
+const (
+	MaxCheckerLanes     = 8
+	MaxContexts         = 8
+	DefaultCheckerLanes = 2
+	MeekLogDepth        = 64
+	DefaultFlexPeriod   = 64 * 1024
+	DefaultFlexOn       = 16 * 1024
+)
+
+// MEEK returns a MEEK-style heterogeneous machine: the SS1 out-of-order
+// core checked by n narrow in-order lanes consuming a retirement-log
+// FIFO. Unlike SHREC, the checker never competes for the main pipeline's
+// issue slots or functional units; unlike DIVA, each lane is a minimal
+// in-order core rather than a mirrored FU pool.
+func MEEK(n int) Machine {
+	m := SS1()
+	m.Mode = ModeMEEK
+	m.Name = fmt.Sprintf("MEEK@%d", n)
+	m.CheckerLanes = n
+	return m
+}
+
+// FLEX returns the default FlexStep-style machine: SHREC's shared
+// checker, enabled for the first 16k of every 64k fetched instructions
+// ("FLEX@64k:on16k"). FlexMachine builds other region policies.
+func FLEX() Machine {
+	return FlexMachine(DefaultFlexPeriod, DefaultFlexOn)
+}
+
+// FlexMachine returns a FLEX machine with the given region policy:
+// checking enabled for instructions with seq%period < on.
+func FlexMachine(period, on uint64) Machine {
+	m := SHREC()
+	m.Mode = ModeFLEX
+	m.Name = "FLEX@" + kmString(period) + ":on" + kmString(on)
+	m.FlexPeriod, m.FlexOn = period, on
+	return m
+}
+
 // WithXScale returns the machine with issue width, functional unit
 // counts, and memory ports scaled by f (Figure 8's 0.5X-2X sweep), each
 // rounded to the nearest integer with a floor of one. The result is named
@@ -322,7 +400,51 @@ func (m Machine) modified(k modKind, v float64) Machine {
 		out.CkptInterval = uint64(v)
 	case modDepth:
 		out.CkptDepth = int(v)
+	case modCtx:
+		out.Contexts = int(v)
 	}
+	return out
+}
+
+// WithContexts returns the SHREC machine with n hardware checker
+// contexts, named with the canonical "+ctx" spec modifier
+// ("SHREC+ctx4"). The spec parser rejects the modifier on non-SHREC
+// bases.
+func (m Machine) WithContexts(n int) Machine {
+	out := m
+	out.Contexts = n
+	out.Name = specName(m.Name, out, modCtx, float64(n), false)
+	return out
+}
+
+// WithCheckerLanes returns the MEEK machine with n checker lanes. The
+// lane count lives in the base token ("MEEK@4"), not in a modifier, so
+// the name is recomputed by re-basing rather than by specName.
+func (m Machine) WithCheckerLanes(n int) Machine {
+	out := m
+	out.CheckerLanes = n
+	out.Name = rebaseName(m.Name, out, fmt.Sprintf("meek@%d", n))
+	return out
+}
+
+// WithRegionDuty returns the FLEX machine with its checking-enabled
+// fraction set to d of the period (clamped to [1, period-1]
+// instructions). A machine without a period yet gets the default. Like
+// the lane count, the duty lives in the base token ("FLEX@64k:on16k").
+func (m Machine) WithRegionDuty(d float64) Machine {
+	out := m
+	if out.FlexPeriod == 0 {
+		out.FlexPeriod = DefaultFlexPeriod
+	}
+	on := uint64(d*float64(out.FlexPeriod) + 0.5)
+	if on < 1 {
+		on = 1
+	}
+	if on >= out.FlexPeriod {
+		on = out.FlexPeriod - 1
+	}
+	out.FlexOn = on
+	out.Name = rebaseName(m.Name, out, "flex@"+kmString(out.FlexPeriod)+":on"+kmString(on))
 	return out
 }
 
@@ -400,7 +522,7 @@ func ByName(name string) (Machine, error) {
 		return Machine{}, err
 	}
 	if !ok {
-		return Machine{}, fmt.Errorf("config: unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs, with optional @x/+stagger/+fux/+mshr/+ports/+rate/+ckpt/+depth modifiers)", name)
+		return Machine{}, fmt.Errorf("config: unknown machine %q (want ss1, ss2, ss2+<xscb>, shrec, diva, o3rs, meek@<n>, flex@<period>:on<len>, with optional @x/+stagger/+ctx/+fux/+mshr/+ports/+rate/+ckpt/+depth modifiers)", name)
 	}
 	return mods.apply(m)
 }
@@ -413,11 +535,34 @@ func (m *Machine) Validate() error {
 	if m.ISQSize <= 0 || m.ROBSize <= 0 || m.LSQSize <= 0 {
 		return fmt.Errorf("%s: non-positive structure size", m.Name)
 	}
-	if m.Mode == ModeSHREC && m.CheckerWindow <= 0 {
-		return fmt.Errorf("%s: SHREC requires a checker window", m.Name)
+	sharedChecker := m.Mode == ModeSHREC || m.Mode == ModeFLEX
+	if sharedChecker && m.CheckerWindow <= 0 {
+		return fmt.Errorf("%s: %s requires a checker window", m.Name, m.Mode)
 	}
-	if m.Mode != ModeSHREC && m.CheckerWindow != 0 {
-		return fmt.Errorf("%s: checker window outside SHREC mode", m.Name)
+	if !sharedChecker && m.CheckerWindow != 0 {
+		return fmt.Errorf("%s: checker window outside SHREC/FLEX mode", m.Name)
+	}
+	if m.Mode == ModeMEEK {
+		if m.CheckerLanes < 1 || m.CheckerLanes > MaxCheckerLanes {
+			return fmt.Errorf("%s: MEEK checker lanes %d out of [1,%d]", m.Name, m.CheckerLanes, MaxCheckerLanes)
+		}
+	} else if m.CheckerLanes != 0 {
+		return fmt.Errorf("%s: checker lanes outside MEEK mode", m.Name)
+	}
+	if m.Contexts != 0 {
+		if m.Mode != ModeSHREC {
+			return fmt.Errorf("%s: hardware checker contexts outside SHREC mode", m.Name)
+		}
+		if m.Contexts < 2 || m.Contexts > MaxContexts {
+			return fmt.Errorf("%s: checker contexts %d out of [2,%d]", m.Name, m.Contexts, MaxContexts)
+		}
+	}
+	if m.Mode == ModeFLEX {
+		if m.FlexPeriod < 2 || m.FlexOn < 1 || m.FlexOn >= m.FlexPeriod {
+			return fmt.Errorf("%s: FLEX region policy wants 0 < on < period, got on=%d period=%d", m.Name, m.FlexOn, m.FlexPeriod)
+		}
+	} else if m.FlexPeriod != 0 || m.FlexOn != 0 {
+		return fmt.Errorf("%s: flex region policy outside FLEX mode", m.Name)
 	}
 	if m.MaxStagger < 0 {
 		return fmt.Errorf("%s: negative stagger", m.Name)

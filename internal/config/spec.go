@@ -8,9 +8,18 @@
 //
 //	spec     := base modifier*
 //	base     := "ss1" | "ss2" | "ss2+"<factors> | "shrec" | "diva" | "o3rs"
+//	          | "meek" | "meek@"<int>          MEEK with that many checker
+//	                                           lanes ("meek" = 2)
+//	          | "flex" | "flex@"<p>":on"<l>    FLEX checking the first l of
+//	                                           every p fetched instructions;
+//	                                           both values take k/m suffixes
+//	                                           ("flex@1m:on4k"; "flex" =
+//	                                           flex@64k:on16k)
 //	modifier := "@x"<float>       issue width, FU pool, and memory ports
 //	                              scaled (WithXScale)
 //	          | "+stagger"<int>   maximum dispatch stagger (WithStagger)
+//	          | "+ctx"<int>       SHREC hardware checker contexts
+//	                              (WithContexts; SHREC bases only)
 //	          | "+fux"<float>     FU pool alone scaled (WithFUScale)
 //	          | "+mshr"<int>      MSHR entry count (WithMSHRs)
 //	          | "+ports"<int>     memory port count (WithMemPorts)
@@ -41,6 +50,7 @@ type modKind int
 const (
 	modXScale modKind = iota
 	modStagger
+	modCtx
 	modFUScale
 	modMSHR
 	modPorts
@@ -51,11 +61,11 @@ const (
 )
 
 // modToken is the spec token of each modifier kind, in canonical order.
-var modToken = [numModKinds]string{"@x", "+stagger", "+fux", "+mshr", "+ports", "+rate", "+ckpt", "+depth"}
+var modToken = [numModKinds]string{"@x", "+stagger", "+ctx", "+fux", "+mshr", "+ports", "+rate", "+ckpt", "+depth"}
 
 // intMod reports whether the kind's value renders as an integer.
 func (k modKind) intMod() bool {
-	return k == modStagger || k == modMSHR || k == modPorts || k == modCkpt || k == modDepth
+	return k == modStagger || k == modCtx || k == modMSHR || k == modPorts || k == modCkpt || k == modDepth
 }
 
 // specMods is one parsed modifier set. present[k] guards vals[k].
@@ -197,6 +207,10 @@ func (k modKind) validate(v float64) error {
 		if v < 1 || v > MaxCkptDepth {
 			return fmt.Errorf("config: checkpoint depth %g out of [1,%d]", v, MaxCkptDepth)
 		}
+	case modCtx:
+		if v < 2 || v > MaxContexts {
+			return fmt.Errorf("config: checker contexts %g out of [2,%d]", v, MaxContexts)
+		}
 	}
 	return nil
 }
@@ -205,6 +219,12 @@ func (k modKind) validate(v float64) error {
 // applied in canonical order (the order the With* helpers compose in),
 // named canonically.
 func (m specMods) apply(base Machine) (Machine, error) {
+	// Modifiers that only one mode can carry are rejected against the base
+	// up front, so contradictions like "ss1+ctx4" fail at parse time with a
+	// message naming the conflict rather than surfacing later in Validate.
+	if m.present[modCtx] && base.Mode != ModeSHREC {
+		return Machine{}, fmt.Errorf("config: %q modifier requires a SHREC-mode base (shrec or diva), not %s", "ctx", base.Mode)
+	}
 	out := base
 	for k := modKind(0); k < numModKinds; k++ {
 		if !m.present[k] {
@@ -219,6 +239,56 @@ func (m specMods) apply(base Machine) (Machine, error) {
 	return out, nil
 }
 
+// kmString renders a count with the largest exact 1024-multiple suffix
+// ("64k", "2m"), the inverse of parseKM. Checkpoint intervals and the
+// FLEX region values share it.
+func kmString(n uint64) string {
+	switch {
+	case n > 0 && n%(1024*1024) == 0:
+		return strconv.FormatUint(n/(1024*1024), 10) + "m"
+	case n > 0 && n%1024 == 0:
+		return strconv.FormatUint(n/1024, 10) + "k"
+	}
+	return strconv.FormatUint(n, 10)
+}
+
+// parseKM parses a non-negative count with an optional k/m suffix
+// (1024 multiples).
+func parseKM(s string) (uint64, error) {
+	mul := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "m"):
+		s, mul = s[:len(s)-1], 1024*1024
+	case strings.HasSuffix(s, "k"):
+		s, mul = s[:len(s)-1], 1024
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mul, nil
+}
+
+// parseFlexBase parses the value part of a "flex@<period>:on<len>" base.
+func parseFlexBase(val string) (Machine, error) {
+	i := strings.Index(val, ":on")
+	if i < 0 {
+		return Machine{}, fmt.Errorf("config: flex spec wants flex@<period>:on<len> (e.g. flex@64k:on16k), got value %q", val)
+	}
+	period, err := parseKM(val[:i])
+	if err != nil {
+		return Machine{}, fmt.Errorf("config: bad flex period %q", val[:i])
+	}
+	on, err := parseKM(val[i+len(":on"):])
+	if err != nil {
+		return Machine{}, fmt.Errorf("config: bad flex on-length %q", val[i+len(":on"):])
+	}
+	if period < 2 || on < 1 || on >= period {
+		return Machine{}, fmt.Errorf("config: flex region policy wants 0 < on < period, got on=%d period=%d", on, period)
+	}
+	return FlexMachine(period, on), nil
+}
+
 // baseByName resolves the grammar's base names (no modifiers).
 func baseByName(lower string) (Machine, bool, error) {
 	switch {
@@ -230,6 +300,23 @@ func baseByName(lower string) (Machine, bool, error) {
 		return DIVA(), true, nil
 	case lower == "o3rs":
 		return O3RS(), true, nil
+	case lower == "meek":
+		return MEEK(DefaultCheckerLanes), true, nil
+	case strings.HasPrefix(lower, "meek@"):
+		val := lower[len("meek@"):]
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return Machine{}, true, fmt.Errorf("config: bad meek lane count %q", val)
+		}
+		if n < 1 || n > MaxCheckerLanes {
+			return Machine{}, true, fmt.Errorf("config: meek lane count %d out of [1,%d]", n, MaxCheckerLanes)
+		}
+		return MEEK(n), true, nil
+	case lower == "flex":
+		return FLEX(), true, nil
+	case strings.HasPrefix(lower, "flex@"):
+		m, err := parseFlexBase(lower[len("flex@"):])
+		return m, true, err
 	case lower == "ss2":
 		return SS2(Factors{}), true, nil
 	case strings.HasPrefix(lower, "ss2+"):
@@ -288,6 +375,20 @@ func specName(cur string, out Machine, kind modKind, val float64, relative bool)
 	return cur + modToken[kind] + formatModValue(kind, val)
 }
 
+// rebaseName recomputes the display name of a machine whose base token
+// changed (the MEEK lane count and FLEX region policy live in the base,
+// not in a modifier). Like specName, it only adopts the re-rendered name
+// when that name parses back to exactly the machine; otherwise the old
+// name is annotated verbatim, descriptive but non-canonical.
+func rebaseName(cur string, out Machine, newBase string) string {
+	if _, mods, err := splitSpec(strings.ToLower(strings.TrimSpace(cur))); err == nil {
+		if got, err := ByName(mods.render(newBase)); err == nil && sameShape(got, out) {
+			return got.Name
+		}
+	}
+	return cur + "(" + newBase + ")"
+}
+
 // Spec returns the machine's canonical specification string — a name
 // ByName parses back to this exact configuration (fault seed and window
 // aside, which no spec can carry). Explore points, store keys, and report
@@ -311,6 +412,26 @@ func (m Machine) Spec() string {
 		return m.Name
 	}
 	return built.Name
+}
+
+// WithoutRate returns the machine with fault injection removed — the
+// structural configuration golden runs and campaigns share with their
+// faulted twin. The "+rate" token is dropped from the name through the
+// grammar (not by string surgery), so the result's Spec is canonical
+// whatever order the original's modifiers were written in; for names
+// outside the grammar only the fault fields are cleared.
+func (m Machine) WithoutRate() Machine {
+	out := m
+	out.FaultRate = 0
+	out.FaultSeed = 0
+	out.FaultWindowLo, out.FaultWindowHi = 0, 0
+	if base, mods, err := splitSpec(strings.ToLower(strings.TrimSpace(m.Name))); err == nil && mods.present[modRate] {
+		mods.present[modRate] = false
+		if got, err := ByName(mods.render(base)); err == nil && sameShape(got, out) {
+			out.Name = got.Name
+		}
+	}
+	return out
 }
 
 // ParseSpec parses a canonical specification string into its machine,

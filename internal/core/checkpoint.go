@@ -89,6 +89,8 @@ func (e *Engine) deepClone() *Engine {
 	c.robR = e.robR.clone()
 	c.lsq = e.lsq.clone()
 	c.pendingR = e.pendingR.clone()
+	c.meekLog = e.meekLog.clone()
+	c.meekBusy = append([]int64(nil), e.meekBusy...)
 	c.replay = append([]isa.Inst(nil), e.replay...)
 	// Preserve the event heap's preallocated capacity so the clone stays
 	// allocation-free in steady state.

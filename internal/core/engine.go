@@ -64,8 +64,17 @@ type Engine struct {
 	// robM position checkCount. Retirement (which only retires checked
 	// entries) decrements it; wrong-path squashes never remove
 	// check-issued entries (the checker cannot pass an unresolved
-	// branch), so squashes leave it unchanged.
+	// branch), so squashes leave it unchanged. Multi-context SHREC claims
+	// entries beyond the prefix too; advanceCheckPrefix re-establishes
+	// the prefix meaning each cycle. MEEK and FLEX reuse the same prefix
+	// count for their check stages.
 	checkCount int
+
+	// MEEK checker state: the retirement-log FIFO the in-order lanes
+	// consume (logical capacity config.MeekLogDepth), and each lane's
+	// busy-until cycle. Both are empty/nil outside MEEK mode.
+	meekLog  idxFifo
+	meekBusy []int64
 
 	// tickLoop disables the cycle-skipping fast path and the
 	// store-forwarding memo, forcing the reference tick-by-tick loop (see
@@ -198,6 +207,24 @@ type Stats struct {
 	LoadIssueWaitSum uint64
 	LoadCount        uint64
 
+	// MEEK observables: retirement-log occupancy per cycle (divide by
+	// Cycles), completion-to-verification lag over lane-checked
+	// instructions (divide by IssuedChecker), and cycles the full log
+	// blocked an otherwise-eligible check-issue (the backpressure path).
+	MeekLogOccSum uint64
+	MeekLagSum    uint64
+	MeekLogStalls uint64
+
+	// CheckerCtxSwitches counts multi-context SHREC scan resumptions past
+	// an incomplete instruction — the stalls a spare context absorbed.
+	CheckerCtxSwitches uint64
+
+	// FLEX observables: retirements inside checking-enabled regions, and
+	// injected faults that landed in checking-disabled regions (campaigns
+	// subtract these trials from conditional-coverage accounting).
+	FlexOnRetired           uint64
+	FaultsInjectedUnchecked uint64
+
 	// ArchSig is a running hash of the architectural effects committed at
 	// retirement: each retired program instruction folds its opcode,
 	// destination register, memory address, and whether its result was
@@ -240,7 +267,30 @@ func (s *Stats) Add(other Stats) {
 	s.MSHROccSum += other.MSHROccSum
 	s.LoadIssueWaitSum += other.LoadIssueWaitSum
 	s.LoadCount += other.LoadCount
+	s.MeekLogOccSum += other.MeekLogOccSum
+	s.MeekLagSum += other.MeekLagSum
+	s.MeekLogStalls += other.MeekLogStalls
+	s.CheckerCtxSwitches += other.CheckerCtxSwitches
+	s.FlexOnRetired += other.FlexOnRetired
+	s.FaultsInjectedUnchecked += other.FaultsInjectedUnchecked
 	s.ArchSig = sig
+}
+
+// AvgMeekLag returns the mean completion-to-verification lag of MEEK
+// lane-checked instructions.
+func (s Stats) AvgMeekLag() float64 {
+	if s.IssuedChecker == 0 {
+		return 0
+	}
+	return float64(s.MeekLagSum) / float64(s.IssuedChecker)
+}
+
+// AvgMeekLogOcc returns the mean MEEK retirement-log occupancy.
+func (s Stats) AvgMeekLogOcc() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.MeekLogOccSum) / float64(s.Cycles)
 }
 
 // IPC returns retired instructions per cycle.
@@ -329,6 +379,10 @@ func New(m config.Machine, g trace.Source, opts ...Option) *Engine {
 	}
 	if m.CheckerDedicatedFU {
 		e.checkerPool = fu.NewPool(m.FU)
+	}
+	if m.Mode == config.ModeMEEK {
+		e.meekLog = newIdxFifo(capacity)
+		e.meekBusy = make([]int64, m.CheckerLanes)
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -506,6 +560,7 @@ func (e *Engine) cycle() {
 	e.stats.LSQOccSum += uint64(e.lsq.len())
 	e.stats.StaggerSum += uint64(e.pendingR.len())
 	e.stats.MSHROccSum += uint64(e.mem.MSHR().InFlight())
+	e.stats.MeekLogOccSum += uint64(e.meekLog.len())
 }
 
 // step advances the machine by at least one clock: one real cycle, plus —
@@ -547,6 +602,8 @@ func (e *Engine) fastForward() {
 	// against busy resources move only diagnostic counters, never timing
 	// state, and repeat identically until the horizon.
 	retireStallsBefore := e.stats.RetireStoreStalls
+	meekStallsBefore := e.stats.MeekLogStalls
+	ctxSwitchesBefore := e.stats.CheckerCtxSwitches
 	poolBefore := e.pool.Refused()
 	var checkerBefore [fu.NumClasses]uint64
 	if e.checkerPool != nil {
@@ -570,11 +627,14 @@ func (e *Engine) fastForward() {
 	// repeat the measured cycle's movement.
 	e.stats.Cycles += skip
 	e.stats.RetireStoreStalls += k * (e.stats.RetireStoreStalls - retireStallsBefore)
+	e.stats.MeekLogStalls += k * (e.stats.MeekLogStalls - meekStallsBefore)
+	e.stats.CheckerCtxSwitches += k * (e.stats.CheckerCtxSwitches - ctxSwitchesBefore)
 	e.stats.ROBOccSum += k * uint64(e.robM.len()+e.robR.len())
 	e.stats.ISQOccSum += k * uint64(e.w.isqCount[ThreadM]+e.w.isqCount[ThreadR])
 	e.stats.LSQOccSum += k * uint64(e.lsq.len())
 	e.stats.StaggerSum += k * uint64(e.pendingR.len())
 	e.stats.MSHROccSum += k * uint64(e.mem.MSHR().InFlight())
+	e.stats.MeekLogOccSum += k * uint64(e.meekLog.len())
 
 	poolAfter := e.pool.Refused()
 	for c := range poolAfter {
@@ -797,6 +857,7 @@ func (e *Engine) softException() {
 	e.robR.clear(nil)
 	e.pendingR.clear(nil)
 	e.lsq.clear(nil)
+	e.meekLog.clear(nil)
 	w.reset()
 	e.checkCount = 0
 	e.wpBranch = -1

@@ -37,10 +37,17 @@ func memWorkload(seed uint64) trace.Profile {
 // dedicated-checker (DIVA) pool, and fault injection with its soft
 // exception squashes.
 func equivalenceMachines() []config.Machine {
-	faulty := config.SHREC()
-	faulty.Name = "SHREC+faults"
-	faulty.FaultRate = 2e-4
-	faulty.FaultSeed = 99
+	withFaults := func(m config.Machine) config.Machine {
+		m.Name += "+faults"
+		m.FaultRate = 2e-4
+		m.FaultSeed = 99
+		return m
+	}
+	// A short-period FLEX machine flips between checked and unchecked
+	// regions many times within a test-sized run, exercising both the
+	// free pass-through and the shared-checker paths (and, with faults,
+	// both the detect and the escape retirement paths).
+	flex := config.FlexMachine(512, 128)
 	return []config.Machine{
 		config.SS1(),
 		config.SS2(config.Factors{}),        // lockstep duplication
@@ -48,7 +55,13 @@ func equivalenceMachines() []config.Machine {
 		config.SHREC(),
 		config.O3RS(),
 		config.DIVA(),
-		faulty,
+		config.MEEK(2),
+		config.SHREC().WithContexts(4),
+		flex,
+		withFaults(config.SHREC()),
+		withFaults(config.MEEK(2)),
+		withFaults(config.SHREC().WithContexts(4)),
+		withFaults(flex),
 	}
 }
 

@@ -31,7 +31,17 @@ func (e *Engine) issue() {
 		}
 	case config.ModeSHREC:
 		e.issueFrom(ThreadM, &budget, &e.stats.IssuedM)
-		e.checkerIssue(&budget)
+		if e.cfg.Contexts > 1 {
+			e.checkerIssueCtx(&budget)
+		} else {
+			e.checkerIssue(&budget)
+		}
+	case config.ModeMEEK:
+		e.issueFrom(ThreadM, &budget, &e.stats.IssuedM)
+		e.meekCheck()
+	case config.ModeFLEX:
+		e.issueFrom(ThreadM, &budget, &e.stats.IssuedM)
+		e.flexCheckerIssue(&budget)
 	case config.ModeO3RS:
 		e.issueO3RS(&budget)
 	default:
@@ -383,6 +393,9 @@ func (e *Engine) injectFault(s int32) {
 		e.w.flags[s] |= fFaulty
 		e.w.faultAt[s] = e.now
 		e.stats.FaultsInjected++
+		if e.cfg.Mode == config.ModeFLEX && !e.flexOn(e.w.seq[s]) {
+			e.stats.FaultsInjectedUnchecked++
+		}
 	}
 }
 

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// This file holds the issue- and retire-stage mechanics of the modern
+// detection modes (config.ModeMEEK, SHREC with hardware contexts, and
+// config.ModeFLEX). The classic 2004 modes live in issue.go/retire.go.
+
+// meekCheck runs MEEK's heterogeneous checker machinery for one cycle.
+// Completed M-stream instructions enter a retirement-log FIFO in program
+// order; each of the CheckerLanes narrow in-order lanes consumes the log
+// head when free. The lanes never touch the main pipeline's issue slots
+// or functional units — the only coupling back into the OoO core is
+// backpressure: a full log blocks further check-issue, which blocks
+// retirement (retireChecked requires verification), which fills the ROB.
+func (e *Engine) meekCheck() {
+	w := &e.w
+	// Enqueue stage: move the completed, in-order ROB prefix into the log.
+	// Stopping at the first incomplete entry keeps wrong-path work out —
+	// any wrong-path suffix sits behind its unresolved (incomplete)
+	// mispredicted branch, and resolveBranch squashes it before issue the
+	// cycle that branch completes.
+	for e.checkCount < e.robM.len() {
+		s := e.robM.at(e.checkCount)
+		if !w.completed(s, e.now) {
+			break
+		}
+		if e.meekLog.len() >= config.MeekLogDepth {
+			e.stats.MeekLogStalls++
+			break
+		}
+		w.flags[s] |= fCheckIssued
+		e.meekLog.push(s)
+		e.checkCount++
+		e.progressed = true
+	}
+	// Lane stage: each free lane verifies the oldest logged instruction.
+	for l := range e.meekBusy {
+		if e.meekBusy[l] > e.now || e.meekLog.empty() {
+			continue
+		}
+		s := e.meekLog.pop()
+		done := e.now + meekCheckLatency(w.inst[s].Class)
+		e.meekBusy[l] = done
+		w.checkedAt[s] = done
+		e.schedule(done)
+		e.progressed = true
+		e.stats.IssuedChecker++
+		e.stats.MeekLagSum += uint64(done - w.completeAt[s])
+	}
+}
+
+// meekCheckLatency is a checker lane's verification latency per
+// operation class. The lanes are minimal in-order cores: single-cycle
+// simple ops, modestly slower complex arithmetic (they carry no wide
+// multiplier or FP pipeline), and single-cycle memory checks (the value
+// is compared against the logged result; only address generation is
+// redone).
+func meekCheckLatency(c isa.OpClass) int64 {
+	switch c {
+	case isa.OpIMul:
+		return 3
+	case isa.OpIDiv:
+		return 8
+	case isa.OpFAdd, isa.OpFMul:
+		return 4
+	case isa.OpFDiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// advanceCheckPrefix extends checkCount over the contiguous check-issued
+// prefix at the ROB head. Multi-context scans claim entries beyond the
+// prefix; once the gap entries are claimed too, the prefix absorbs them,
+// preserving the retire-time invariant that a retiring (check-issued)
+// head is always counted inside the prefix.
+func (e *Engine) advanceCheckPrefix() {
+	w := &e.w
+	for e.checkCount < e.robM.len() && w.flags[e.robM.at(e.checkCount)]&fCheckIssued != 0 {
+		e.checkCount++
+	}
+}
+
+// checkerIssueCtx is checkerIssue generalized to Contexts hardware
+// checker contexts: where the classic in-order scan stops dead at the
+// first incomplete instruction (head-of-line blocking behind every cache
+// miss), a spare context resumes the scan past it, up to Contexts-1
+// switches per cycle. Total check-issue bandwidth per cycle is unchanged
+// (CheckerWindow); contexts only hide stalls, exactly like SMT absorbing
+// R-stream work. The scan span is bounded to CheckerWindow*Contexts
+// positions so a deep ROB cannot make the stage superlinear.
+func (e *Engine) checkerIssueCtx(budget *int) {
+	w := &e.w
+	pool := e.pool
+	if e.checkerPool != nil {
+		// DIVA with contexts: the dedicated checker pipeline gains the
+		// same stall-hiding.
+		pool = e.checkerPool
+		pool.BeginCycle(e.now)
+		dedicated := e.cfg.CheckerWindow
+		budget = &dedicated
+	}
+	e.advanceCheckPrefix()
+	issued, switches := 0, 0
+	limit := e.checkCount + e.cfg.CheckerWindow*e.cfg.Contexts
+	for i := e.checkCount; i < e.robM.len() && i < limit && issued < e.cfg.CheckerWindow && *budget > 0; i++ {
+		s := e.robM.at(i)
+		if w.flags[s]&fCheckIssued != 0 {
+			continue // claimed by an earlier cycle; verification in flight
+		}
+		if w.flags[s]&fWrongPath != 0 {
+			// Unlike the classic scan, skipping incomplete entries can
+			// carry the walk past an unresolved mispredicted branch into
+			// its wrong-path shadow; never verify (or claim) that work.
+			break
+		}
+		if !w.completed(s, e.now) {
+			switches++
+			if switches >= e.cfg.Contexts {
+				break
+			}
+			e.stats.CheckerCtxSwitches++
+			continue
+		}
+		done, ok := pool.TryIssue(e.now, checkOp(w.inst[s].Class))
+		if !ok {
+			break
+		}
+		w.flags[s] |= fCheckIssued
+		w.checkedAt[s] = done
+		e.schedule(done)
+		if i == e.checkCount {
+			e.checkCount++
+		}
+		e.progressed = true
+		*budget--
+		issued++
+		e.stats.IssuedChecker++
+	}
+	e.advanceCheckPrefix()
+}
+
+// flexOn reports whether checking is enabled for the instruction with
+// the given fetch sequence number under the machine's region policy.
+func (e *Engine) flexOn(seq uint64) bool {
+	return seq%e.cfg.FlexPeriod < e.cfg.FlexOn
+}
+
+// flexCheckerIssue is the FLEX checker: the classic in-order SHREC scan,
+// except instructions in checking-disabled regions pass the check stage
+// for free — no issue slot, no functional unit, verified the same cycle
+// they are reached. Requiring completion even for pass-throughs keeps
+// the scan stopping at the first incomplete entry, which (as in SHREC)
+// is what keeps wrong-path work out of the check stage.
+func (e *Engine) flexCheckerIssue(budget *int) {
+	w := &e.w
+	issued := 0
+	for e.checkCount < e.robM.len() {
+		s := e.robM.at(e.checkCount)
+		if !w.completed(s, e.now) {
+			return
+		}
+		if !e.flexOn(w.seq[s]) {
+			w.flags[s] |= fCheckIssued
+			w.checkedAt[s] = e.now
+			e.checkCount++
+			e.progressed = true
+			continue
+		}
+		if issued >= e.cfg.CheckerWindow || *budget <= 0 {
+			return
+		}
+		done, ok := e.pool.TryIssue(e.now, checkOp(w.inst[s].Class))
+		if !ok {
+			return
+		}
+		w.flags[s] |= fCheckIssued
+		w.checkedAt[s] = done
+		e.schedule(done)
+		e.checkCount++
+		e.progressed = true
+		*budget--
+		issued++
+		e.stats.IssuedChecker++
+	}
+}
+
+// retireFlex retires one FLEX instruction. In-region instructions carry
+// SHREC's guarantee — a corrupted result is caught by the checker compare
+// and raises a soft exception. Out-of-region instructions were never
+// verified: a corrupted result escapes to architectural state, counted as
+// a silent corruption (and visible in the ArchSig divergence), which is
+// precisely the conditional-coverage story campaigns account for.
+func (e *Engine) retireFlex(budget *int) bool {
+	if e.robM.empty() {
+		return false
+	}
+	w := &e.w
+	s := e.robM.front()
+	if !w.completed(s, e.now) || w.flags[s]&fCheckIssued == 0 || !w.checked(s, e.now) {
+		return false
+	}
+	if w.flags[s]&fWrongPath != 0 {
+		panic("core: wrong-path instruction reached FLEX retirement")
+	}
+	if w.flags[s]&fFaulty != 0 {
+		if e.flexOn(w.seq[s]) {
+			e.recordDetection(s, -1)
+			e.softException()
+			return false
+		}
+		e.stats.SilentCorruptions++
+	}
+	if !e.commitStore(s) {
+		return false
+	}
+	if e.flexOn(w.seq[s]) {
+		e.stats.FlexOnRetired++
+	}
+	e.finishRetire(s)
+	e.robM.pop()
+	e.checkCount--
+	w.freeHead(s)
+	e.stats.Retired++
+	*budget--
+	return true
+}

@@ -33,8 +33,16 @@ func (e *Engine) retire() {
 			if !e.retirePair(&budget) {
 				return
 			}
-		case config.ModeSHREC:
+		case config.ModeSHREC, config.ModeMEEK:
+			// MEEK shares SHREC's retirement contract: the head retires
+			// only once verified (fCheckIssued + checked), with a compare
+			// mismatch raising a soft exception — only the verifying agent
+			// differs (checker lanes fed by the retirement log).
 			if !e.retireChecked(&budget) {
+				return
+			}
+		case config.ModeFLEX:
+			if !e.retireFlex(&budget) {
 				return
 			}
 		case config.ModeO3RS:

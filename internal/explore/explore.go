@@ -214,6 +214,16 @@ func Cost(m config.Machine) float64 {
 	windows := float64(m.ISQSize)/16 + float64(m.ROBSize)/64 +
 		float64(m.LSQSize)/16 + float64(m.CheckerWindow)/2
 	mem := 2*float64(m.Mem.MemPorts) + float64(m.Mem.MSHREntries)/4
+	// The modern detection modes trade different hardware for checking:
+	// MEEK buys narrow in-order lanes plus the retirement-log FIFO (1.5
+	// ALU-equivalents per lane); multi-context SHREC buys per-context scan
+	// state on top of the shared checker window (0.75 per context); FLEX
+	// adds only the region-policy sequencing over the SHREC substrate it
+	// keeps.
+	det := 1.5*float64(m.CheckerLanes) + 0.75*float64(m.Contexts)
+	if m.Mode == config.ModeFLEX {
+		det++
+	}
 	ckpt := 0.0
 	if m.CkptInterval > 0 {
 		// Checkpoint recovery buys availability with hardware: shadow
@@ -225,7 +235,7 @@ func Cost(m config.Machine) float64 {
 		}
 		ckpt = 2 + 3*float64(depth)
 	}
-	return fuCost + widths + windows + mem + ckpt
+	return fuCost + widths + windows + mem + det + ckpt
 }
 
 // Normalize validates spec the way Run will against the run-length

@@ -2,7 +2,6 @@ package explore
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/config"
 )
@@ -11,14 +10,31 @@ import (
 // cross product of a set of base machines with optional modifier axes.
 // An empty axis means "keep the base machine's value", so the zero axes
 // contribute nothing to the product. The enumeration order is fixed —
-// bases vary slowest, then XScales, Staggers, FUScales, MSHRs, MemPorts,
-// CkptIntervals, CkptDepths, and FaultRates fastest — so point index i
-// names the same configuration on every run, which is what lets an
-// interrupted exploration resume from the store.
+// bases vary slowest, then CheckerLanes, Contexts, RegionDuties, XScales,
+// Staggers, FUScales, MSHRs, MemPorts, CkptIntervals, CkptDepths, and
+// FaultRates fastest — so point index i names the same configuration on
+// every run, which is what lets an interrupted exploration resume from
+// the store. (Axes left empty consume no digit, so adding an axis family
+// to the type never renumbers existing spaces.)
 type Space struct {
 	// Bases are machine specification strings (config.ByName): named
 	// machines ("ss1", "shrec", "ss2+sc") or full specs with modifiers.
 	Bases []string `json:"bases"`
+	// CheckerLanes sweeps the MEEK checker-lane count
+	// (Machine.WithCheckerLanes). The axis requires every base to be a
+	// MEEK machine — lanes mean nothing elsewhere, and a silent skip
+	// would enumerate duplicate points.
+	CheckerLanes []int `json:"checker_lanes,omitempty"`
+	// Contexts sweeps the SHREC hardware checker contexts
+	// (Machine.WithContexts); it requires SHREC-mode bases (shrec or
+	// diva). An entry of 1 keeps the point's classic single-context
+	// checker, so one axis can compare stall-absorbing contexts against
+	// the baseline scan.
+	Contexts []int `json:"contexts,omitempty"`
+	// RegionDuties sweeps the FLEX checked-region duty cycle in (0,1)
+	// (Machine.WithRegionDuty, holding the base's period); it requires
+	// FLEX bases.
+	RegionDuties []float64 `json:"region_duties,omitempty"`
 	// XScales scales issue width, the FU pool, and memory ports together
 	// (Machine.WithXScale; the paper's X factor as a continuum).
 	XScales []float64 `json:"xscales,omitempty"`
@@ -77,7 +93,8 @@ func axisLen(n int) int {
 // Size returns the number of points in the space.
 func (s Space) Size() int {
 	n := len(s.Bases)
-	for _, l := range []int{len(s.XScales), len(s.Staggers), len(s.FUScales),
+	for _, l := range []int{len(s.CheckerLanes), len(s.Contexts), len(s.RegionDuties),
+		len(s.XScales), len(s.Staggers), len(s.FUScales),
 		len(s.MSHRs), len(s.MemPorts), len(s.CkptIntervals), len(s.CkptDepths),
 		len(s.FaultRates)} {
 		n *= axisLen(l)
@@ -91,8 +108,36 @@ func (s Space) validate() error {
 		return fmt.Errorf("explore: space has no base machines")
 	}
 	for _, b := range s.Bases {
-		if _, err := config.ByName(b); err != nil {
+		m, err := config.ByName(b)
+		if err != nil {
 			return fmt.Errorf("explore: base %q: %w", b, err)
+		}
+		// The mode-specific axes bind to every base; an incompatible base
+		// would enumerate duplicate (or impossible) points, so the whole
+		// space is rejected with the conflict named.
+		if len(s.CheckerLanes) > 0 && m.Mode != config.ModeMEEK {
+			return fmt.Errorf("explore: checker_lanes axis requires MEEK bases; base %q is %s", b, m.Mode)
+		}
+		if len(s.Contexts) > 0 && m.Mode != config.ModeSHREC {
+			return fmt.Errorf("explore: contexts axis requires SHREC-mode bases (shrec or diva); base %q is %s", b, m.Mode)
+		}
+		if len(s.RegionDuties) > 0 && m.Mode != config.ModeFLEX {
+			return fmt.Errorf("explore: region_duties axis requires FLEX bases; base %q is %s", b, m.Mode)
+		}
+	}
+	for _, n := range s.CheckerLanes {
+		if n < 1 || n > config.MaxCheckerLanes {
+			return fmt.Errorf("explore: checker lane count %d out of [1,%d]", n, config.MaxCheckerLanes)
+		}
+	}
+	for _, n := range s.Contexts {
+		if n < 1 || n > config.MaxContexts {
+			return fmt.Errorf("explore: context count %d out of [1,%d]", n, config.MaxContexts)
+		}
+	}
+	for _, d := range s.RegionDuties {
+		if d <= 0 || d >= 1 {
+			return fmt.Errorf("explore: region duty %g outside (0,1)", d)
 		}
 	}
 	for _, x := range s.XScales {
@@ -172,11 +217,25 @@ func (s Space) Point(i int) (Point, error) {
 	fi := digit(len(s.FUScales))
 	si := digit(len(s.Staggers))
 	xi := digit(len(s.XScales))
+	gi := digit(len(s.RegionDuties))
+	ki := digit(len(s.Contexts))
+	li := digit(len(s.CheckerLanes))
 	bi := rem
 
 	m, err := config.ByName(s.Bases[bi])
 	if err != nil {
 		return Point{}, fmt.Errorf("explore: base %q: %w", s.Bases[bi], err)
+	}
+	if len(s.CheckerLanes) > 0 {
+		m = m.WithCheckerLanes(s.CheckerLanes[li])
+	}
+	if len(s.Contexts) > 0 && s.Contexts[ki] > 1 {
+		// An entry of 1 is the classic single-context checker: the base
+		// machine unchanged.
+		m = m.WithContexts(s.Contexts[ki])
+	}
+	if len(s.RegionDuties) > 0 {
+		m = m.WithRegionDuty(s.RegionDuties[gi])
 	}
 	if len(s.XScales) > 0 {
 		m = m.WithXScale(s.XScales[xi])
@@ -245,32 +304,15 @@ func (s Space) Points() ([]Point, error) {
 }
 
 // DecodeSpec parses a point's canonical specification string back into
-// its structural machine and fault rate — the inverse of Point.Spec.
+// its structural machine and fault rate — the inverse of Point.Spec. The
+// rate is stripped through the grammar (config.Machine.WithoutRate), so
+// any modifier order parses and the returned machine's name is canonical;
+// an earlier version excised the "+rate" substring by hand and broke
+// whenever another token rendered after it.
 func DecodeSpec(spec string) (config.Machine, float64, error) {
 	full, err := config.ByName(spec)
 	if err != nil {
 		return config.Machine{}, 0, fmt.Errorf("explore: %w", err)
 	}
-	rate := full.FaultRate
-	if rate == 0 {
-		return full, 0, nil
-	}
-	// Excise the "+rate" modifier from the canonical spec; the checkpoint
-	// modifiers render after it, so a simple truncation would drop them.
-	// A rate value never contains '+' or '@' (it is at most 1, so any
-	// scientific exponent is negative), which makes the next modifier
-	// marker the token's end.
-	canon := full.Spec()
-	if i := strings.LastIndex(strings.ToLower(canon), "+rate"); i >= 0 {
-		rest := ""
-		if j := strings.IndexAny(canon[i+1:], "+@"); j >= 0 {
-			rest = canon[i+1+j:]
-		}
-		canon = canon[:i] + rest
-	}
-	m, err := config.ByName(canon)
-	if err != nil {
-		return config.Machine{}, 0, fmt.Errorf("explore: stripping rate from %q: %w", spec, err)
-	}
-	return m, rate, nil
+	return full.WithoutRate(), full.FaultRate, nil
 }

@@ -24,7 +24,14 @@ func TestIntervalParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []config.Machine{config.SS1(), config.SHREC()} {
+	machines := []config.Machine{
+		config.SS1(),
+		config.SHREC(),
+		config.MEEK(2),
+		config.SHREC().WithContexts(4),
+		config.FlexMachine(512, 128),
+	}
+	for _, m := range machines {
 		t.Run(m.Name, func(t *testing.T) {
 			opt := Options{WarmupInstrs: 3000, MeasureInstrs: 20000, Intervals: 4}
 			seq := opt

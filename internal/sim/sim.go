@@ -453,12 +453,13 @@ func (s *Suite) shardFor(k string) *shard {
 // or edited configurations never collide across processes. Only the run
 // lengths and cycle budget of the options participate: Parallelism does
 // not affect results, and hashing it would make store lookups miss across
-// machines with different core counts. The schema label is v4: v3
-// results predate checkpoint recovery, which changed the Result schema
-// (the new machine fields already split the hash; the label bump keeps
-// the store free of entries missing the Recovery trace).
+// machines with different core counts. The schema label is v5: v3
+// results predate checkpoint recovery, v4 results predate the detection
+// mode zoo — the hashed machine grew the lane/context/region fields and
+// Stats grew the MEEK and FLEX counters, so v4 records would resolve to
+// Results missing those fields.
 func digest(m config.Machine, p trace.Profile, opt Options) string {
-	return store.Digest("sim.Result.v4", m, p, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
+	return store.Digest("sim.Result.v5", m, p, opt.WarmupInstrs, opt.MeasureInstrs, opt.MaxCycles,
 		opt.intervalCount())
 }
 
@@ -594,7 +595,9 @@ func (s *Suite) runFromWarmup(ctx context.Context, m config.Machine, p trace.Pro
 	base.FaultRate, base.FaultSeed = 0, 0
 	base.FaultWindowLo, base.FaultWindowHi = 0, 0
 	base.CkptInterval, base.CkptDepth = 0, 0
-	ck := store.Digest("sim.warmup.v2", base, p, opt.WarmupInstrs)
+	// v3: the machine hash gained the detection-mode-zoo fields, so v2
+	// checkpoint keys no longer correspond to any current machine.
+	ck := store.Digest("sim.warmup.v3", base, p, opt.WarmupInstrs)
 
 	s.cpMu.Lock()
 	entry, ok := s.cps[ck]
