@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full race bench bench-cycle bench-baseline bench-gate fmt vet examples crash-test docs docs-check ci
+.PHONY: build test test-full race bench bench-cycle bench-baseline bench-gate fmt vet examples crash-test obs-smoke docs docs-check ci
 
 build:
 	$(GO) build ./...
@@ -88,5 +88,15 @@ crash-test:
 	$(GO) test -count=1 -run 'TestCrashRecoverySIGKILL' -v ./cmd/shrecd/
 	$(GO) test -race -count=1 -run 'TestChaos|TestPutRollback|TestLegacyJSONLMigration|TestReopenPersists|TestCompaction|TestSyncAlways' ./internal/store/
 	$(GO) test -race -count=1 -run 'TestCrashRejoin|TestReplay|TestShedding|TestWatchdog' ./internal/shrecd/
+
+# Observability smoke: run the real shrecd binary with -pprof, drive a
+# tiny campaign through it, and assert the telemetry surface end to end
+# (/metrics passes the exposition lint and carries the request/job/stage
+# families, job status exposes its phase breakdown, pprof mounts); then
+# the in-process exposition lint suite.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestObsSmoke' -v ./cmd/shrecd/
+	$(GO) test -count=1 -run 'TestMetrics' ./internal/shrecd/
+	$(GO) test -count=1 -run 'TestLint|TestRenderPassesLint' ./internal/telemetry/
 
 ci: build vet fmt test examples docs-check

@@ -47,6 +47,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -222,6 +223,24 @@ type ClientMetrics struct {
 	RecoveryRuns uint64 `json:"recovery_runs"`
 	// Rollbacks counts checkpoint rollbacks across all recovery runs.
 	Rollbacks uint64 `json:"rollbacks"`
+	// Stages summarizes wall-clock time spent in each internal stage of
+	// serving simulations (cache_lookup, store_fetch, engine_run, ...),
+	// one entry per stage observed so far, in stage-name order.
+	Stages []StageSummary `json:"stages,omitempty"`
+}
+
+// StageSummary is the timing summary of one internal pipeline stage,
+// distilled from the suite's histogram (quantiles are interpolated
+// within exponential buckets, so they are estimates, not exact order
+// statistics).
+type StageSummary struct {
+	Stage        string  `json:"stage"`
+	Count        uint64  `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P90Seconds   float64 `json:"p90_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
 }
 
 // Client is the unified facade over the simulation driver and the
@@ -233,6 +252,7 @@ type Client struct {
 	sims *sim.Suite
 	exp  *experiments.Suite
 	st   *store.Store
+	reg  *telemetry.Registry
 }
 
 // NewClient builds a client. The zero configuration uses DefaultOptions,
@@ -245,7 +265,7 @@ func NewClient(opts ...ClientOption) (*Client, error) {
 	if cfg.concurrency > 0 {
 		cfg.opt.Parallelism = cfg.concurrency
 	}
-	c := &Client{cfg: cfg}
+	c := &Client{cfg: cfg, reg: telemetry.NewRegistry()}
 	if cfg.storePath != "" {
 		st, err := store.Open(cfg.storePath)
 		if err != nil {
@@ -260,9 +280,12 @@ func NewClient(opts ...ClientOption) (*Client, error) {
 	return c, nil
 }
 
-// newSuite builds a simulation suite honoring the client's store.
+// newSuite builds a simulation suite honoring the client's store. Every
+// suite — the shared one and cache-off transients — attaches the
+// client's registry, so stage timings accumulate in one place either
+// way (registration is idempotent; the suites share one histogram).
 func (c *Client) newSuite() *sim.Suite {
-	s := sim.NewSuite(c.cfg.opt)
+	s := sim.NewSuite(c.cfg.opt).WithTelemetry(c.reg)
 	if c.st != nil {
 		s.WithStore(c.st)
 	}
@@ -368,7 +391,30 @@ func (c *Client) Metrics() ClientMetrics {
 		IntervalRuns: c.sims.IntervalRuns(),
 		RecoveryRuns: c.sims.RecoveryRuns(),
 		Rollbacks:    c.sims.Rollbacks(),
+		Stages:       stageSummaries(c.sims.StageSnapshots()),
 	}
+}
+
+// stageSummaries distills the suite's per-stage histograms into the
+// ClientMetrics shape.
+func stageSummaries(snaps []telemetry.LabeledHistogram) []StageSummary {
+	out := make([]StageSummary, 0, len(snaps))
+	for _, lh := range snaps {
+		s := lh.Snapshot
+		sum := StageSummary{
+			Stage:        lh.Labels[0],
+			Count:        s.Count,
+			TotalSeconds: s.Sum,
+			P50Seconds:   s.Quantile(0.5),
+			P90Seconds:   s.Quantile(0.9),
+			P99Seconds:   s.Quantile(0.99),
+		}
+		if s.Count > 0 {
+			sum.MeanSeconds = s.Sum / float64(s.Count)
+		}
+		out = append(out, sum)
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -386,3 +386,32 @@ func TestClientExplore(t *testing.T) {
 		t.Fatalf("resume: resumed %d, executed %d", res2.Resumed, res2.Executed)
 	}
 }
+
+// TestClientMetricsStages pins that the client's telemetry registry is
+// threaded into its suite: after a simulation, Metrics().Stages reports
+// the engine_run stage (and cache_lookup from the request path) with
+// plausible timings.
+func TestClientMetricsStages(t *testing.T) {
+	c, err := NewClient(WithOptions(testClientOptions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Simulate(context.Background(), SHREC(), "swim"); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]StageSummary{}
+	for _, s := range c.Metrics().Stages {
+		stages[s.Stage] = s
+	}
+	run, ok := stages["engine_run"]
+	if !ok {
+		t.Fatalf("no engine_run stage in %+v", stages)
+	}
+	if run.Count != 1 || run.TotalSeconds <= 0 || run.MeanSeconds != run.TotalSeconds {
+		t.Fatalf("engine_run = %+v, want one timed run", run)
+	}
+	if _, ok := stages["cache_lookup"]; !ok {
+		t.Fatalf("no cache_lookup stage in %+v", stages)
+	}
+}

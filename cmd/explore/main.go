@@ -20,6 +20,7 @@
 //	        [-trials 24] [-n instrs] [-warmup instrs] [-seed N]
 //	        [-budget N] [-screendiv 8] [-store evals.db]
 //	        [-format text|json|csv] [-o file]
+//	        [-log-level info] [-log-format text]
 package main
 
 import (
@@ -39,6 +40,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // openStore opens the evaluation store with a short retry: a transiently
@@ -118,8 +120,16 @@ func main() {
 		format    = flag.String("format", "text", "output format: text, json, or csv")
 		out       = flag.String("o", "", "write output to file (default stdout)")
 		quiet     = flag.Bool("q", false, "suppress progress on stderr")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFmt    = flag.String("log-format", "text", "structured log format: text, json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
 
 	spec := explore.Spec{
 		Space: explore.Space{
@@ -144,7 +154,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	sims := sim.NewSuite(sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n})
+	reg := telemetry.NewRegistry()
+	sims := sim.NewSuite(sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n}).WithTelemetry(reg)
 	eng := explore.New(sims)
 	if *storeP != "" {
 		st, err := openStore(*storeP)
@@ -163,6 +174,11 @@ func main() {
 		}
 	}
 	res, err := eng.Run(ctx, spec, progress)
+	for _, st := range sims.StageSnapshots() {
+		logger.Debug("sim stage timing", "stage", st.Labels[0],
+			"count", st.Snapshot.Count, "total_s", st.Snapshot.Sum,
+			"p50_s", st.Snapshot.Quantile(0.5), "p99_s", st.Snapshot.Quantile(0.99))
+	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}

@@ -23,7 +23,7 @@
 //	faultstudy [-bench crafty] [-machines ss1,ss2+s,o3rs,shrec,diva]
 //	           [-rates 1e-5,1e-4,1e-3] [-trials 40] [-n instrs]
 //	           [-warmup instrs] [-seed N] [-recover ckpt@64k+depth2]
-//	           [-store trials.db]
+//	           [-store trials.db] [-log-level info] [-log-format text]
 package main
 
 import (
@@ -42,6 +42,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // openStore opens the trial store with a short retry: a transiently
@@ -69,8 +70,16 @@ func main() {
 		seed     = flag.Uint64("seed", 0xF00D, "campaign master seed")
 		recMode  = flag.String("recover", "", `checkpoint/rollback recovery mode, e.g. "ckpt@64k+depth2" (default: none)`)
 		storeP   = flag.String("store", "", "persist per-trial results in this store directory (resumable; a legacy JSON-lines file is imported once)")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "structured log format: text, json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultstudy:", err)
+		os.Exit(1)
+	}
 
 	var rates []float64
 	for _, s := range strings.Split(*rateList, ",") {
@@ -85,7 +94,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	sims := sim.NewSuite(sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n})
+	reg := telemetry.NewRegistry()
+	sims := sim.NewSuite(sim.Options{WarmupInstrs: *warm, MeasureInstrs: *n}).WithTelemetry(reg)
 	eng := campaign.New(sims)
 	if *storeP != "" {
 		st, err := openStore(*storeP)
@@ -170,5 +180,11 @@ func main() {
 	if *storeP != "" {
 		fmt.Fprintf(os.Stderr, "(%d simulated, %d store hits; store %s)\n",
 			sims.Runs(), sims.StoreHits(), *storeP)
+	}
+	// Stage timing summary at debug: where the sweep's wall-clock went.
+	for _, st := range sims.StageSnapshots() {
+		logger.Debug("sim stage timing", "stage", st.Labels[0],
+			"count", st.Snapshot.Count, "total_s", st.Snapshot.Sum,
+			"p50_s", st.Snapshot.Quantile(0.5), "p99_s", st.Snapshot.Quantile(0.99))
 	}
 }

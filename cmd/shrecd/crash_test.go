@@ -46,16 +46,19 @@ type shrecdProc struct {
 }
 
 // startShrecd launches the binary on ":0" against the given store and
-// journal directories and waits for the printed bound address.
-func startShrecd(t *testing.T, bin, storeDir, journalDir string) *shrecdProc {
+// journal directories and waits for the printed bound address. Extra
+// flags (e.g. -pprof for the observability smoke test) are appended.
+func startShrecd(t *testing.T, bin, storeDir, journalDir string, extra ...string) *shrecdProc {
 	t.Helper()
 	p := &shrecdProc{stderr: &bytes.Buffer{}}
-	p.cmd = exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-store", storeDir,
 		"-journal", journalDir,
 		"-warmup", "2000", "-n", "5000",
-	)
+	}
+	args = append(args, extra...)
+	p.cmd = exec.Command(bin, args...)
 	p.cmd.Stderr = p.stderr
 	stdout, err := p.cmd.StdoutPipe()
 	if err != nil {

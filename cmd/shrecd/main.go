@@ -4,7 +4,8 @@
 //
 //	shrecd [-addr :8080] [-n instrs] [-warmup instrs] [-workers N]
 //	       [-par N] [-store results.db] [-journal jobs.db]
-//	       [-watchdog 10m] [-shed 5s]
+//	       [-watchdog 10m] [-shed 5s] [-log-level info] [-log-format text]
+//	       [-pprof]
 //
 // Endpoints:
 //
@@ -22,8 +23,11 @@
 //	GET  /results             every cached result plus cache metrics
 //	GET  /healthz             liveness, store integrity, journal depth,
 //	                          cache counters
-//	GET  /metrics             Prometheus text: runs, hits, store errors,
-//	                          quarantined records, journal/readoption counters
+//	GET  /metrics             Prometheus text, rendered from the telemetry
+//	                          registry: cache/store/journal counters, HTTP
+//	                          route latency histograms, job duration and
+//	                          phase histograms, sim stage histograms
+//	GET  /debug/pprof/...     net/http/pprof profiles (only with -pprof)
 //
 // Duplicate in-flight requests for the same (machine, benchmark,
 // options) key share one simulation; results are cached in memory and,
@@ -34,6 +38,10 @@
 // killed server resumes its jobs with only in-flight trials re-executed.
 // SIGINT/SIGTERM drain in-flight requests before exiting; kill -9 is
 // recovered by the journal.
+//
+// Diagnostics are structured logs on stderr (-log-level debug|info|warn|
+// error, -log-format text|json); the "listening on" line stays on stdout
+// so scripts that parse it keep working.
 package main
 
 import (
@@ -52,6 +60,7 @@ import (
 	"repro/internal/shrecd"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // openStore opens a segmented store with a short retry, so a transiently
@@ -83,8 +92,17 @@ func main() {
 		watchdog  = flag.Duration("watchdog", 0, "fail running jobs that report no progress for this long (0 = disabled)")
 		shed      = flag.Duration("shed", 0, "shed POSTs queued longer than this with 429+Retry-After (0 = default 5s, negative = queue indefinitely)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "structured log format: text, json")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the server mux")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shrecd:", err)
+		os.Exit(1)
+	}
 
 	opt := sim.DefaultOptions()
 	if *n > 0 {
@@ -106,7 +124,7 @@ func main() {
 		}
 		defer st.Close()
 		sims.WithStore(st)
-		fmt.Printf("shrecd: store %s (%d results loaded)\n", *storePath, st.Len())
+		logger.Info("result store opened", "path", *storePath, "results", st.Len())
 	}
 	var journal *store.Store
 	if *journalP != "" {
@@ -131,6 +149,8 @@ func main() {
 		Journal:        journal,
 		Watchdog:       *watchdog,
 		ShedAfter:      *shed,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
 	}, sims)
 	defer srv.Close() // stop background campaigns; finished trials are persisted
 
@@ -151,8 +171,13 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+	// Scripts (and the crash-recovery tests) parse this exact stdout line
+	// for the bound address; structured diagnostics go to stderr instead.
 	fmt.Printf("shrecd: listening on %s (workers=%d, warmup=%d, measure=%d)\n",
 		ln.Addr(), *workers, opt.WarmupInstrs, opt.MeasureInstrs)
+	if *pprofOn {
+		logger.Info("pprof enabled", "url", "/debug/pprof/")
+	}
 
 	select {
 	case err := <-errCh:
@@ -162,7 +187,7 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C force-quits
-		fmt.Println("shrecd: draining...")
+		logger.Info("draining")
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -170,5 +195,5 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Println("shrecd: bye")
+	logger.Info("bye")
 }

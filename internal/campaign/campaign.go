@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/recovery"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -785,10 +787,12 @@ func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*
 	// trials must match and the cycle budget of the hang watchdog. Shared
 	// through the suite, so repeated campaigns (and ordinary experiments
 	// at the same scale) reuse it.
+	goldenStart := time.Now()
 	golden, err := e.sims.GetOpt(ctx, m, p, opt)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: golden run: %w", err)
 	}
+	telemetry.SpanFrom(ctx).Record("golden_run", time.Since(goldenStart))
 	budget := ns.MaxCycles
 	if budget == 0 {
 		budget = DefaultBudgetFactor * golden.Stats.Cycles
@@ -840,11 +844,13 @@ func (e *Engine) Run(ctx context.Context, spec Spec, progress func(Progress)) (*
 			mc.FaultWindowHi = ns.WarmupInstrs + ns.WindowHi
 			topt := opt
 			topt.MaxCycles = budget
+			trialStart := time.Now()
 			r, err := e.sims.GetOpt(ctx, mc, p, topt)
 			if err != nil {
 				errs[i] = fmt.Errorf("trial %d: %w", i, err)
 				return
 			}
+			telemetry.SpanFrom(ctx).Record("trial", time.Since(trialStart))
 			tr := Trial{
 				Index:           i,
 				Seed:            mc.FaultSeed,

@@ -38,6 +38,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/config"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -513,10 +515,12 @@ func (r *run) evalPoint(ctx context.Context, pt Point, opt sim.Options, screen b
 // have already been persisted).
 func (r *run) evalAll(ctx context.Context, points []Point, screen bool) ([]Eval, error) {
 	opt := r.options(screen)
+	baseStart := time.Now()
 	baseIPC, err := r.baselineIPC(ctx, opt)
 	if err != nil {
 		return nil, fmt.Errorf("explore: SS2 baseline: %w", err)
 	}
+	telemetry.SpanFrom(ctx).Record("baseline_run", time.Since(baseStart))
 	phase := "full"
 	if screen {
 		phase = "screen"
@@ -529,7 +533,9 @@ func (r *run) evalAll(ctx context.Context, points []Point, screen bool) ([]Eval,
 		wg.Add(1)
 		go func(i int, pt Point) {
 			defer wg.Done()
+			evalStart := time.Now()
 			ev, restored, err := r.evalPoint(ctx, pt, opt, screen, baseIPC)
+			telemetry.SpanFrom(ctx).Record(phase+"_eval", time.Since(evalStart))
 			r.mu.Lock()
 			defer r.mu.Unlock()
 			if err != nil {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Outcome classifies what recovery did about one detected fault.
@@ -212,7 +214,12 @@ func Run(ctx context.Context, e *core.Engine, n uint64, maxCycles int64, interva
 			tr.Rollbacks++
 			tr.LostWork += ev.LostWork
 			ring = ring[:idx+1]
+			// Wall-clock restore time goes to the context's telemetry (span
+			// + stage histograms), never into the Trace: traces are
+			// deterministic, compared byte-for-byte in tests, and persisted.
+			restore := time.Now()
 			e.Restore(ent.cp)
+			telemetry.ObserveStage(ctx, "recovery_rollback", time.Since(restore))
 			if det.seq+1 > lo {
 				lo = det.seq + 1
 			}

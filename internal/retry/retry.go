@@ -17,8 +17,25 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
+
+// Counters accumulates what a policy's retry loops actually did, for
+// observability at the call site (repro.Remote surfaces them as client
+// metrics). All fields are atomics, so one Counters value can be shared
+// by concurrent Do loops.
+type Counters struct {
+	// Attempts counts every op invocation, first tries included.
+	Attempts atomic.Uint64
+	// Retries counts re-invocations after a transient failure (attempts
+	// beyond each loop's first).
+	Retries atomic.Uint64
+	// Permanent counts loops that stopped on a Permanent error.
+	Permanent atomic.Uint64
+	// Exhausted counts loops that ran out of MaxAttempts.
+	Exhausted atomic.Uint64
+}
 
 // Policy configures the retry loop. The zero value is usable: Do fills
 // in the defaults below.
@@ -34,6 +51,9 @@ type Policy struct {
 	// [0, 1], so synchronized clients spread out instead of retrying in
 	// lockstep (0 means 0.5; negative disables jitter).
 	Jitter float64
+	// Counters, when non-nil, receives attempt/retry/outcome counts from
+	// every Do loop run under this policy.
+	Counters *Counters
 
 	// rand and sleep are test seams; nil means math/rand and a
 	// context-bounded timer.
@@ -127,6 +147,12 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 			if err := sleep(ctx, d); err != nil {
 				return errors.Join(err, last)
 			}
+			if p.Counters != nil {
+				p.Counters.Retries.Add(1)
+			}
+		}
+		if p.Counters != nil {
+			p.Counters.Attempts.Add(1)
 		}
 		err := op(ctx)
 		if err == nil {
@@ -134,9 +160,15 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 		}
 		var pe *permanentError
 		if errors.As(err, &pe) {
+			if p.Counters != nil {
+				p.Counters.Permanent.Add(1)
+			}
 			return pe.err
 		}
 		last = err
+	}
+	if p.Counters != nil {
+		p.Counters.Exhausted.Add(1)
 	}
 	return fmt.Errorf("retry: %d attempts exhausted: %w", attempts, last)
 }

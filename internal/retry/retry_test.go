@@ -150,3 +150,42 @@ func TestDefaultsAreFilledIn(t *testing.T) {
 		}
 	}
 }
+
+func TestCountersAccumulateOutcomes(t *testing.T) {
+	var c Counters
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Counters: &c}
+	p.sleep = func(context.Context, time.Duration) error { return nil }
+
+	// Two transient failures, then success: 3 attempts, 2 retries.
+	calls := 0
+	if err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	// A permanent failure on the first try: 1 attempt, no retries.
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return Permanent(errors.New("bad request"))
+	})
+	// Exhaustion: MaxAttempts transient failures.
+	_ = p.Do(context.Background(), func(context.Context) error {
+		return errors.New("down")
+	})
+
+	if got, want := c.Attempts.Load(), uint64(3+1+3); got != want {
+		t.Errorf("Attempts = %d, want %d", got, want)
+	}
+	if got, want := c.Retries.Load(), uint64(2+0+2); got != want {
+		t.Errorf("Retries = %d, want %d", got, want)
+	}
+	if got := c.Permanent.Load(); got != 1 {
+		t.Errorf("Permanent = %d, want 1", got)
+	}
+	if got := c.Exhausted.Load(); got != 1 {
+		t.Errorf("Exhausted = %d, want 1", got)
+	}
+}

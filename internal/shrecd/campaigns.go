@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Campaign job states (aliases of the shared job states, kept for
@@ -31,6 +32,10 @@ type campaignStatus struct {
 	// outcome counts, and the running Wilson-bounded coverage estimate.
 	Progress campaign.Progress `json:"progress"`
 	Error    string            `json:"error,omitempty"`
+	// Phases is the job's accumulated phase timing breakdown (queue wait,
+	// golden run, trials, and the sim stages underneath), in
+	// first-recorded order.
+	Phases []telemetry.PhaseStat `json:"phases,omitempty"`
 	// Report is the typed campaign report, present once the job is done.
 	Report    json.RawMessage `json:"report,omitempty"`
 	StartedAt time.Time       `json:"started_at"`
@@ -46,6 +51,7 @@ func campaignStatusOf(j *campaignJob, withReport bool) campaignStatus {
 		Spec:      j.spec,
 		Progress:  snap.Progress,
 		Error:     snap.Err,
+		Phases:    snap.Phases,
 		StartedAt: j.started,
 		ElapsedS:  snap.ElapsedS,
 	}
@@ -143,7 +149,9 @@ func (s *Server) runCampaign(job *campaignJob) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job.setCancel(cancel)
 	defer cancel()
+	ctx, done := s.startJobTelemetry(ctx, "campaign", job.id, job, job.started)
 	res, err := s.camp.Run(ctx, job.spec, job.setProgress)
+	done(err)
 	if job.finish(res, err) && !s.interrupted(err) {
 		s.journal.finish("campaign", job.id, err)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/explore"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // explorationJob is one asynchronous design-space exploration in the
@@ -25,6 +26,10 @@ type explorationStatus struct {
 	// done/total within it, and resume provenance.
 	Progress explore.Progress `json:"progress"`
 	Error    string           `json:"error,omitempty"`
+	// Phases is the job's accumulated phase timing breakdown (queue wait,
+	// baseline run, screen/full evaluations, and the sim stages
+	// underneath), in first-recorded order.
+	Phases []telemetry.PhaseStat `json:"phases,omitempty"`
 	// Frontier summarizes the result once done: the Pareto-efficient
 	// point specs in space order.
 	Frontier []string `json:"frontier,omitempty"`
@@ -43,6 +48,7 @@ func explorationStatusOf(j *explorationJob, withReport bool) explorationStatus {
 		Spec:      j.spec,
 		Progress:  snap.Progress,
 		Error:     snap.Err,
+		Phases:    snap.Phases,
 		StartedAt: j.started,
 		ElapsedS:  snap.ElapsedS,
 	}
@@ -143,7 +149,9 @@ func (s *Server) runExploration(job *explorationJob) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job.setCancel(cancel)
 	defer cancel()
+	ctx, done := s.startJobTelemetry(ctx, "exploration", job.id, job, job.started)
 	res, err := s.expl.Run(ctx, job.spec, job.setProgress)
+	done(err)
 	if job.finish(res, err) && !s.interrupted(err) {
 		s.journal.finish("exploration", job.id, err)
 	}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Shared asynchronous-job machinery behind POST /campaigns and
@@ -39,6 +41,7 @@ type asyncJob[S, P, R any] struct {
 	finished time.Time
 	lastBeat time.Time          // last progress report, for the watchdog
 	cancel   context.CancelFunc // stops the job's context (watchdog kill)
+	span     *telemetry.Span    // phase timings; nil until the run starts
 }
 
 // setProgress records a progress snapshot and refreshes the watchdog
@@ -55,6 +58,14 @@ func (j *asyncJob[S, P, R]) setProgress(p P) {
 func (j *asyncJob[S, P, R]) setCancel(c context.CancelFunc) {
 	j.mu.Lock()
 	j.cancel = c
+	j.mu.Unlock()
+}
+
+// setSpan attaches the job's telemetry span; status snapshots read its
+// phase breakdown from then on.
+func (j *asyncJob[S, P, R]) setSpan(sp *telemetry.Span) {
+	j.mu.Lock()
+	j.span = sp
 	j.mu.Unlock()
 }
 
@@ -86,23 +97,28 @@ type jobSnapshot[P, R any] struct {
 	Result   R
 	Err      string
 	ElapsedS float64
+	Phases   []telemetry.PhaseStat
 }
 
 // snapshot reads the job under its lock.
 func (j *asyncJob[S, P, R]) snapshot() jobSnapshot[P, R] {
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	span := j.span
 	end := j.finished
 	if end.IsZero() {
 		end = time.Now()
 	}
-	return jobSnapshot[P, R]{
+	snap := jobSnapshot[P, R]{
 		State:    j.state,
 		Progress: j.progress,
 		Result:   j.result,
 		Err:      j.errText,
 		ElapsedS: end.Sub(j.started).Seconds(),
 	}
+	j.mu.Unlock()
+	// Breakdown takes the span's own lock; nil spans return nil.
+	snap.Phases = span.Breakdown()
+	return snap
 }
 
 // jobTable is a bounded map of asynchronous jobs keyed by

@@ -155,13 +155,16 @@ func (s *Server) replayJournal() {
 			err = fmt.Errorf("unknown journal kind %q", e.Kind)
 		}
 		if errors.Is(err, errTableFull) {
+			s.log.Warn("journal replay deferred: job table full", "kind", e.Kind, "job_id", e.ID)
 			continue // stays pending; replays at the next startup
 		}
 		if err != nil {
 			// Journal the failure so the entry does not replay forever.
+			s.log.Warn("journal replay failed", "kind", e.Kind, "job_id", e.ID, "error", err.Error())
 			s.journal.finish(e.Kind, e.ID, fmt.Errorf("replay: %w", err))
 			continue
 		}
+		s.log.Info("re-adopted journaled job", "kind", e.Kind, "job_id", e.ID)
 		s.jobsReadopted.Add(1)
 	}
 }

@@ -24,7 +24,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -86,6 +89,20 @@ type Config struct {
 	// campaign/exploration job is cancelled and marked failed instead of
 	// occupying its table slot forever (<=0 disables the watchdog).
 	Watchdog time.Duration
+	// Registry, when non-nil, is the metrics registry the server renders
+	// at GET /metrics and attaches to the suite's stage histograms; nil
+	// builds a private one. Share a registry to merge the server's
+	// families with a host process's own.
+	Registry *telemetry.Registry
+	// Logger receives the server's structured logs (request access lines
+	// at debug, job lifecycle at info, watchdog kills at warn); nil
+	// discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ on the
+	// server's own mux (never the default mux), for CPU/heap profiling of
+	// a live server. Off by default: the endpoints expose internals and
+	// belong behind the -pprof flag.
+	EnablePprof bool
 }
 
 // Server serves simulation, experiment, and fault-campaign requests over
@@ -114,6 +131,18 @@ type Server struct {
 	jobsReadopted   atomic.Uint64 // journaled jobs restarted at startup
 	shedRequests    atomic.Uint64 // requests rejected for load (429)
 	jobsWedged      atomic.Uint64 // jobs the watchdog marked failed
+
+	// Telemetry: every family /metrics serves lives in reg (the counters
+	// above are exported through CounterFunc samplers, so the atomics stay
+	// the single source of truth); httpm wraps the mux with per-route
+	// request metrics and request IDs.
+	reg         *telemetry.Registry
+	log         *slog.Logger
+	httpm       *telemetry.HTTPMetrics
+	jobsRunning *telemetry.Gauge        // shrecd_jobs_running
+	jobsTotal   *telemetry.CounterVec   // shrecd_jobs_total{kind, outcome}
+	jobDur      *telemetry.HistogramVec // shrecd_job_duration_seconds{kind}
+	jobPhase    *telemetry.HistogramVec // shrecd_job_phase_seconds{kind, phase}
 }
 
 // New builds a server with a fresh sim.Suite.
@@ -162,6 +191,12 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 		camp.WithStore(cfg.Store)
 		expl.WithStore(cfg.Store)
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.NopLogger()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:          cfg,
@@ -176,7 +211,12 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 		campaigns:    newJobTable[campaign.Spec, campaign.Progress, *campaign.Result]("campaign", cfg.MaxCampaigns),
 		explorations: newJobTable[explore.Spec, explore.Progress, *explore.Result]("exploration", cfg.MaxExplorations),
 		journal:      newJobJournal(cfg.Journal),
+		reg:          cfg.Registry,
+		log:          cfg.Logger,
 	}
+	sims.WithTelemetry(s.reg)
+	s.registerMetrics()
+	s.httpm = telemetry.NewHTTPMetrics(s.reg, "shrecd", s.log)
 	// Crash recovery: re-adopt every journaled job a previous process
 	// never finished, before the listener can accept new work.
 	s.replayJournal()
@@ -184,6 +224,119 @@ func NewWith(cfg Config, sims *sim.Suite) *Server {
 		go s.watchdogLoop()
 	}
 	return s
+}
+
+// registerMetrics declares every /metrics family on the registry. The
+// pre-existing atomics are exported through Func samplers read at scrape
+// time, so the hot paths keep their plain atomic increments; the job and
+// HTTP histograms are registered here and observed by the job goroutines
+// and middleware.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.CounterFunc("shrecd_sim_runs_total",
+		"Simulations actually executed (cache misses).", s.sims.Runs)
+	r.CounterFunc("shrecd_sim_hits_total",
+		"Requests served from memory, store, or an in-flight duplicate.", s.sims.Hits)
+	r.CounterFunc("shrecd_sim_cache_hits_total",
+		"Requests served from the in-memory striped result cache.", s.sims.CacheHits)
+	r.CounterFunc("shrecd_sim_cache_misses_total",
+		"Requests that found neither a cached result nor an in-flight duplicate.", s.sims.CacheMisses)
+	r.CounterFunc("shrecd_sim_dedup_waits_total",
+		"Requests coalesced onto an in-flight duplicate run (singleflight).", s.sims.DedupWaits)
+	r.CounterFunc("shrecd_sim_store_hits_total",
+		"Cache misses served from the persistent store.", s.sims.StoreHits)
+	r.CounterFunc("shrecd_sim_store_errors_total",
+		"Failed persistent-store writes.", s.sims.StoreErrors)
+	r.CounterFunc("shrecd_sim_warmup_shares_total",
+		"Runs that resumed from a shared warmup checkpoint instead of re-warming.", s.sims.WarmupShares)
+	r.CounterFunc("shrecd_sim_interval_runs_total",
+		"Runs executed interval-parallel.", s.sims.IntervalRuns)
+	r.CounterFunc("shrecd_sim_recovery_runs_total",
+		"Runs executed under a checkpoint/rollback recovery policy.", s.sims.RecoveryRuns)
+	r.CounterFunc("shrecd_sim_rollbacks_total",
+		"Checkpoint rollbacks across all recovery runs.", s.sims.Rollbacks)
+	// Shard sizes are summed without copying any results, so scrapes stay
+	// cheap no matter how large the cache grows.
+	r.GaugeFunc("shrecd_results_cached",
+		"Results currently held in the in-memory cache.",
+		func() float64 { return float64(s.sims.Len()) })
+	r.GaugeFunc("shrecd_uptime_seconds",
+		"Seconds since server start.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.CounterFunc("shrecd_store_quarantined_total",
+		"Corrupt store records detected and quarantined (result store + journal).",
+		func() uint64 {
+			var q uint64
+			if s.cfg.Store != nil {
+				q += s.cfg.Store.Stats().Quarantined
+			}
+			if s.journal != nil {
+				q += s.journal.st.Stats().Quarantined
+			}
+			return q
+		})
+	r.CounterFunc("shrecd_journal_replayed_total",
+		"Pending journal entries replayed at startup.", s.journalReplayed.Load)
+	r.CounterFunc("shrecd_jobs_readopted_total",
+		"Journaled jobs successfully restarted at startup.", s.jobsReadopted.Load)
+	r.CounterFunc("shrecd_shed_requests_total",
+		"Requests rejected with 429 for load (queue-wait expired or job table saturated).", s.shedRequests.Load)
+	r.CounterFunc("shrecd_jobs_wedged_total",
+		"Jobs the watchdog cancelled for reporting no progress.", s.jobsWedged.Load)
+	r.GaugeFunc("shrecd_journal_depth",
+		"Journaled jobs not yet finished.",
+		func() float64 { return float64(s.journal.depth()) })
+	s.jobsRunning = r.Gauge("shrecd_jobs_running",
+		"Campaign and exploration jobs currently executing.")
+	s.jobsTotal = r.CounterVec("shrecd_jobs_total",
+		"Asynchronous jobs finished, by kind and outcome (done, failed, interrupted).",
+		"kind", "outcome")
+	s.jobDur = r.HistogramVec("shrecd_job_duration_seconds",
+		"Asynchronous job run durations by kind, from goroutine start to completion.",
+		telemetry.WideTimeBuckets(), "kind")
+	s.jobPhase = r.HistogramVec("shrecd_job_phase_seconds",
+		"Per-phase job timings by kind: queued, golden_run, trial, baseline_run, screen_eval, full_eval, and the sim stages recorded under the job span.",
+		telemetry.DefTimeBuckets(), "kind", "phase")
+}
+
+// startJobTelemetry instruments one job goroutine: a span attached to
+// the job (for the status JSON phase breakdown) and teed into
+// shrecd_job_phase_seconds, the queue wait as the first phase, the
+// running gauge, and the lifecycle log lines. It returns the context to
+// run under (span attached, so campaign/explore/sim layers record into
+// it) and a done hook for the job's terminal error.
+func (s *Server) startJobTelemetry(ctx context.Context, kind, id string, job interface {
+	setSpan(*telemetry.Span)
+},
+	queued time.Time) (context.Context, func(error)) {
+	span := telemetry.NewSpan().Tee(func(phase string, seconds float64) {
+		s.jobPhase.With(kind, phase).Observe(seconds)
+	})
+	span.Record("queued", time.Since(queued))
+	job.setSpan(span)
+	s.jobsRunning.Add(1)
+	s.log.Info("job started", "kind", kind, "job_id", id)
+	runStart := time.Now()
+	return telemetry.WithSpan(ctx, span), func(err error) {
+		elapsed := time.Since(runStart)
+		s.jobsRunning.Add(-1)
+		s.jobDur.With(kind).Observe(elapsed.Seconds())
+		outcome := "done"
+		lv := slog.LevelInfo
+		switch {
+		case s.interrupted(err):
+			outcome = "interrupted"
+		case err != nil:
+			outcome = "failed"
+			lv = slog.LevelWarn
+		}
+		s.jobsTotal.With(kind, outcome).Inc()
+		attrs := []any{"kind", kind, "job_id", id, "outcome", outcome, "elapsed_s", elapsed.Seconds()}
+		if err != nil {
+			attrs = append(attrs, "error", err.Error())
+		}
+		s.log.Log(context.Background(), lv, "job finished", attrs...)
+	}
 }
 
 // watchdogLoop periodically fails jobs that stopped reporting progress,
@@ -204,10 +357,12 @@ func (s *Server) watchdogLoop() {
 		case <-t.C:
 			for _, id := range s.campaigns.failWedged(s.cfg.Watchdog) {
 				s.jobsWedged.Add(1)
+				s.log.Warn("watchdog killed wedged job", "kind", "campaign", "job_id", id)
 				s.journal.finish("campaign", id, fmt.Errorf("watchdog: wedged"))
 			}
 			for _, id := range s.explorations.failWedged(s.cfg.Watchdog) {
 				s.jobsWedged.Add(1)
+				s.log.Warn("watchdog killed wedged job", "kind", "exploration", "job_id", id)
 				s.journal.finish("exploration", id, fmt.Errorf("watchdog: wedged"))
 			}
 		}
@@ -217,7 +372,13 @@ func (s *Server) watchdogLoop() {
 // Sims exposes the underlying suite (metrics, tests).
 func (s *Server) Sims() *sim.Suite { return s.sims }
 
-// Handler returns the server's routing table.
+// Registry exposes the server's metrics registry (embedders, tests).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler returns the server's routing table, wrapped in the HTTP
+// metrics middleware (per-route request counts, latency histograms,
+// in-flight gauge, request IDs, access log). With EnablePprof set, the
+// net/http/pprof endpoints mount under /debug/pprof/ on this mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
@@ -233,7 +394,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	if s.cfg.EnablePprof {
+		// Index serves the named profiles (heap, goroutine, ...) via the
+		// trailing-slash pattern; the four below need their own handlers.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.httpm.Wrap(mux)
 }
 
 // errShed marks a request rejected by load shedding (the bounded queue
@@ -541,75 +711,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, health)
 }
 
-// handleMetrics exposes the suite counters in Prometheus text format, so
-// cache effectiveness (and store write failures) are scrapeable in
-// production.
+// handleMetrics serves GET /metrics: the whole exposition is rendered
+// from the telemetry registry — suite counters, cache gauges, journal
+// state, HTTP route latencies, job durations and phases, and sim stage
+// histograms — in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "# HELP shrecd_sim_runs_total Simulations actually executed (cache misses).\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_runs_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_runs_total %d\n", s.sims.Runs())
-	fmt.Fprintf(w, "# HELP shrecd_sim_hits_total Requests served from memory, store, or an in-flight duplicate.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_hits_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_hits_total %d\n", s.sims.Hits())
-	fmt.Fprintf(w, "# HELP shrecd_sim_cache_hits_total Requests served from the in-memory striped result cache.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_cache_hits_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_cache_hits_total %d\n", s.sims.CacheHits())
-	fmt.Fprintf(w, "# HELP shrecd_sim_cache_misses_total Requests that found neither a cached result nor an in-flight duplicate.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_cache_misses_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_cache_misses_total %d\n", s.sims.CacheMisses())
-	fmt.Fprintf(w, "# HELP shrecd_sim_dedup_waits_total Requests coalesced onto an in-flight duplicate run (singleflight).\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_dedup_waits_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_dedup_waits_total %d\n", s.sims.DedupWaits())
-	fmt.Fprintf(w, "# HELP shrecd_sim_store_hits_total Cache misses served from the persistent store.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_store_hits_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_store_hits_total %d\n", s.sims.StoreHits())
-	fmt.Fprintf(w, "# HELP shrecd_sim_store_errors_total Failed persistent-store writes.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_store_errors_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_store_errors_total %d\n", s.sims.StoreErrors())
-	fmt.Fprintf(w, "# HELP shrecd_sim_warmup_shares_total Runs that resumed from a shared warmup checkpoint instead of re-warming.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_warmup_shares_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_warmup_shares_total %d\n", s.sims.WarmupShares())
-	fmt.Fprintf(w, "# HELP shrecd_sim_interval_runs_total Runs executed interval-parallel.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_interval_runs_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_interval_runs_total %d\n", s.sims.IntervalRuns())
-	fmt.Fprintf(w, "# HELP shrecd_sim_recovery_runs_total Runs executed under a checkpoint/rollback recovery policy.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_recovery_runs_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_recovery_runs_total %d\n", s.sims.RecoveryRuns())
-	fmt.Fprintf(w, "# HELP shrecd_sim_rollbacks_total Checkpoint rollbacks across all recovery runs.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_sim_rollbacks_total counter\n")
-	fmt.Fprintf(w, "shrecd_sim_rollbacks_total %d\n", s.sims.Rollbacks())
-	fmt.Fprintf(w, "# HELP shrecd_results_cached Results currently held in the in-memory cache.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_results_cached gauge\n")
-	fmt.Fprintf(w, "shrecd_results_cached %d\n", len(s.sims.Results()))
-	fmt.Fprintf(w, "# HELP shrecd_uptime_seconds Seconds since server start.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "shrecd_uptime_seconds %f\n", time.Since(s.start).Seconds())
-	var quarantined uint64
-	if s.cfg.Store != nil {
-		quarantined += s.cfg.Store.Stats().Quarantined
-	}
-	if s.journal != nil {
-		quarantined += s.journal.st.Stats().Quarantined
-	}
-	fmt.Fprintf(w, "# HELP shrecd_store_quarantined_total Corrupt store records detected and quarantined (result store + journal).\n")
-	fmt.Fprintf(w, "# TYPE shrecd_store_quarantined_total counter\n")
-	fmt.Fprintf(w, "shrecd_store_quarantined_total %d\n", quarantined)
-	fmt.Fprintf(w, "# HELP shrecd_journal_replayed_total Pending journal entries replayed at startup.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_journal_replayed_total counter\n")
-	fmt.Fprintf(w, "shrecd_journal_replayed_total %d\n", s.journalReplayed.Load())
-	fmt.Fprintf(w, "# HELP shrecd_jobs_readopted_total Journaled jobs successfully restarted at startup.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_jobs_readopted_total counter\n")
-	fmt.Fprintf(w, "shrecd_jobs_readopted_total %d\n", s.jobsReadopted.Load())
-	fmt.Fprintf(w, "# HELP shrecd_shed_requests_total Requests rejected with 429 for load (queue-wait expired or job table saturated).\n")
-	fmt.Fprintf(w, "# TYPE shrecd_shed_requests_total counter\n")
-	fmt.Fprintf(w, "shrecd_shed_requests_total %d\n", s.shedRequests.Load())
-	fmt.Fprintf(w, "# HELP shrecd_jobs_wedged_total Jobs the watchdog cancelled for reporting no progress.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_jobs_wedged_total counter\n")
-	fmt.Fprintf(w, "shrecd_jobs_wedged_total %d\n", s.jobsWedged.Load())
-	fmt.Fprintf(w, "# HELP shrecd_journal_depth Journaled jobs not yet finished.\n")
-	fmt.Fprintf(w, "# TYPE shrecd_journal_depth gauge\n")
-	fmt.Fprintf(w, "shrecd_journal_depth %d\n", s.journal.depth())
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -20,12 +20,14 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/recovery"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -344,6 +346,12 @@ type Suite struct {
 	intervalRuns atomic.Uint64 // executed runs that used the interval-parallel path
 	recoveryRuns atomic.Uint64 // executed runs simulated under checkpoint recovery
 	rollbacks    atomic.Uint64 // total rollbacks across all recovery runs
+
+	// stages, when telemetry is attached, holds the sim_stage_seconds{stage}
+	// histogram family. All stage timing rides run boundaries — cache
+	// lookups, store round-trips, whole engine runs — never the cycle
+	// loop, so the engine core stays allocation-free.
+	stages *telemetry.HistogramVec
 }
 
 // cpEntry is one warmup checkpoint, built once by the first requester
@@ -373,6 +381,38 @@ func NewSuite(opt Options) *Suite {
 func (s *Suite) WithStore(st *store.Store) *Suite {
 	s.disk = st
 	return s
+}
+
+// WithTelemetry attaches a metrics registry: the suite registers
+// sim_stage_seconds{stage} and times each pipeline stage into it —
+// cache_lookup, dedup_wait, store_fetch, store_write, warmup_share,
+// engine_run, and (via the context observer threaded into recovery)
+// recovery_rollback. Returns s for chaining.
+func (s *Suite) WithTelemetry(reg *telemetry.Registry) *Suite {
+	s.stages = reg.HistogramVec("sim_stage_seconds",
+		"Simulation pipeline stage durations: cache_lookup, dedup_wait, store_fetch, store_write, warmup_share, engine_run, recovery_rollback.",
+		telemetry.DefTimeBuckets(), "stage")
+	return s
+}
+
+// StageSnapshots returns the per-stage histogram snapshots (nil when no
+// telemetry is attached), for facades that summarize stage timing.
+func (s *Suite) StageSnapshots() []telemetry.LabeledHistogram {
+	if s.stages == nil {
+		return nil
+	}
+	return s.stages.Snapshots()
+}
+
+// observeStage records one stage duration into the registry histogram
+// (when telemetry is attached) and the context's span (when one rides the
+// request), so job status JSON and /metrics see the same timings.
+func (s *Suite) observeStage(ctx context.Context, stage string, start time.Time) {
+	d := time.Since(start)
+	if s.stages != nil {
+		s.stages.With(stage).Observe(d.Seconds())
+	}
+	telemetry.SpanFrom(ctx).Record(stage, d)
 }
 
 // Options returns the suite's run options.
@@ -475,16 +515,21 @@ func (s *Suite) GetOpt(ctx context.Context, m config.Machine, p trace.Profile, o
 	k := key(m, p, opt)
 	sh := s.shardFor(k)
 	for {
+		look := time.Now()
 		sh.mu.Lock()
 		if res, ok := sh.results[k]; ok {
 			sh.mu.Unlock()
+			s.observeStage(ctx, "cache_lookup", look)
 			s.cacheHits.Add(1)
 			return res, nil
 		}
 		if c, ok := sh.inflight[k]; ok {
 			sh.mu.Unlock()
+			s.observeStage(ctx, "cache_lookup", look)
+			wait := time.Now()
 			select {
 			case <-c.done:
+				s.observeStage(ctx, "dedup_wait", wait)
 				if c.err == nil {
 					s.dedupWaits.Add(1)
 					return c.res, nil
@@ -505,6 +550,7 @@ func (s *Suite) GetOpt(ctx context.Context, m config.Machine, p trace.Profile, o
 		c := &call{done: make(chan struct{})}
 		sh.inflight[k] = c
 		sh.mu.Unlock()
+		s.observeStage(ctx, "cache_lookup", look)
 		s.cacheMiss.Add(1)
 
 		c.res, c.err = s.execute(ctx, m, p, opt)
@@ -525,8 +571,11 @@ func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, 
 	var dk string
 	if s.disk != nil {
 		dk = digest(m, p, opt)
+		fetch := time.Now()
 		var res Result
-		if ok, err := s.disk.Get(dk, &res); err == nil && ok {
+		ok, err := s.disk.Get(dk, &res)
+		s.observeStage(ctx, "store_fetch", fetch)
+		if err == nil && ok {
 			s.storeHits.Add(1)
 			return res, nil
 		}
@@ -536,6 +585,14 @@ func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, 
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
+	}
+	if s.stages != nil {
+		// Layers below the suite (recovery rollbacks) report through the
+		// context observer so they feed sim_stage_seconds without importing
+		// this package.
+		ctx = telemetry.WithStageObserver(ctx, func(stage string, seconds float64) {
+			s.stages.With(stage).Observe(seconds)
+		})
 	}
 	res, err := s.simulate(ctx, m, p, opt)
 	if err != nil {
@@ -553,9 +610,11 @@ func (s *Suite) execute(ctx context.Context, m config.Machine, p trace.Profile, 
 		// A persistence failure (disk full, closed store) must not discard
 		// a successfully computed result: keep serving it from memory and
 		// count the failure for observability.
+		write := time.Now()
 		if err := s.disk.Put(dk, res); err != nil {
 			s.storeErrs.Add(1)
 		}
+		s.observeStage(ctx, "store_write", write)
 	}
 	return res, nil
 }
@@ -575,7 +634,10 @@ func (s *Suite) simulate(ctx context.Context, m config.Machine, p trace.Profile,
 			return res, err
 		}
 	}
-	return RunContext(ctx, m, p, opt)
+	run := time.Now()
+	res, err := RunContext(ctx, m, p, opt)
+	s.observeStage(ctx, "engine_run", run)
+	return res, err
 }
 
 // runFromWarmup serves one fault trial from the shared warmup checkpoint.
@@ -599,6 +661,7 @@ func (s *Suite) runFromWarmup(ctx context.Context, m config.Machine, p trace.Pro
 	// checkpoint keys no longer correspond to any current machine.
 	ck := store.Digest("sim.warmup.v3", base, p, opt.WarmupInstrs)
 
+	share := time.Now()
 	s.cpMu.Lock()
 	entry, ok := s.cps[ck]
 	if !ok {
@@ -627,10 +690,13 @@ func (s *Suite) runFromWarmup(ctx context.Context, m config.Machine, p trace.Pro
 	if m.FaultWindowLo < entry.cp.FetchSeq() {
 		return Result{}, false, nil
 	}
+	s.observeStage(ctx, "warmup_share", share)
 
+	run := time.Now()
 	e := entry.cp.NewEngine()
 	e.SetFaultConfig(m.FaultRate, m.FaultSeed, m.FaultWindowLo, m.FaultWindowHi)
 	st, tr, hung, err := measureOrRecover(ctx, e, m, opt.MeasureInstrs, opt.MaxCycles)
+	s.observeStage(ctx, "engine_run", run)
 	if err != nil {
 		return Result{}, false, err
 	}
@@ -716,6 +782,20 @@ func (s *Suite) Lookup(m config.Machine, p trace.Profile) (Result, bool) {
 	res, ok := sh.results[k]
 	sh.mu.Unlock()
 	return res, ok
+}
+
+// Len reports how many results are cached, summing shard sizes without
+// copying any entries — the cheap gauge behind shrecd_results_cached
+// (Results would copy the whole cache on every scrape).
+func (s *Suite) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.results)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Results returns a snapshot of every cached result, sorted by machine

@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint parses Prometheus text exposition line-by-line and returns every
+// format violation found (nil when clean): HELP/TYPE present and paired
+// before any sample of the family, valid metric-name and label charsets,
+// parseable values, no duplicate series, and — for histogram families —
+// strictly increasing le bounds, monotone nondecreasing cumulative
+// bucket counts, a closing +Inf bucket that equals _count, and a _sum
+// sample. The shrecd renderer is pinned by this in tests and in the
+// observability smoke job, so malformed exposition text can never ship.
+func Lint(r io.Reader) error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type famState struct {
+		help, typed bool
+		kind        string
+		sampled     bool
+	}
+	fams := make(map[string]*famState)
+	fam := func(name string) *famState {
+		f, ok := fams[name]
+		if !ok {
+			f = &famState{}
+			fams[name] = f
+		}
+		return f
+	}
+	// histogram bucket/series bookkeeping, keyed by family then by the
+	// series' non-le labels.
+	type histSeries struct {
+		les     []float64
+		counts  []float64
+		sum     bool
+		count   float64
+		hasCnt  bool
+		anyLine int
+	}
+	hists := make(map[string]map[string]*histSeries)
+	seen := make(map[string]int) // full sample key -> line (duplicate detection)
+
+	// baseFamily resolves a sample name to its declared family: histogram
+	// samples are name_bucket/_sum/_count of a TYPE histogram family.
+	baseFamily := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := fams[base]; ok && f.kind == "histogram" {
+					return base, suf
+				}
+			}
+		}
+		return name, ""
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comments are legal
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.help {
+					fail(n, "duplicate HELP for %s", name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typed {
+					fail(n, "duplicate TYPE for %s", name)
+				}
+				if f.sampled {
+					fail(n, "TYPE for %s after its samples", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(n, "unknown TYPE %q for %s", rest, name)
+				}
+				f.typed = true
+				f.kind = rest
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		if !nameRE.MatchString(name) {
+			fail(n, "invalid metric name %q", name)
+		}
+		le := ""
+		var restLabels []string
+		for _, l := range labels {
+			k, v, _ := strings.Cut(l, "=")
+			if !labelRE.MatchString(k) {
+				fail(n, "invalid label name %q", k)
+			}
+			if k == "le" {
+				le = v
+			} else {
+				restLabels = append(restLabels, l)
+			}
+		}
+		sort.Strings(restLabels)
+		seriesKey := name + "{" + strings.Join(labels, ",") + "}"
+		if prev, dup := seen[seriesKey]; dup {
+			fail(n, "duplicate series %s (first at line %d)", seriesKey, prev)
+		}
+		seen[seriesKey] = n
+
+		base, suffix := baseFamily(name)
+		f := fam(base)
+		f.sampled = true
+		if !f.help {
+			fail(n, "sample of %s before (or without) its HELP", base)
+		}
+		if !f.typed {
+			fail(n, "sample of %s before (or without) its TYPE", base)
+		}
+		if f.kind == "histogram" {
+			hk := strings.Join(restLabels, ",")
+			hm := hists[base]
+			if hm == nil {
+				hm = make(map[string]*histSeries)
+				hists[base] = hm
+			}
+			hs := hm[hk]
+			if hs == nil {
+				hs = &histSeries{}
+				hm[hk] = hs
+			}
+			hs.anyLine = n
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					fail(n, "histogram bucket of %s without le label", base)
+					continue
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					fail(n, "histogram %s: bad le %q", base, le)
+					continue
+				}
+				hs.les = append(hs.les, bound)
+				hs.counts = append(hs.counts, value)
+			case "_sum":
+				hs.sum = true
+			case "_count":
+				hs.hasCnt = true
+				hs.count = value
+			default:
+				fail(n, "histogram family %s has plain sample %s", base, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Histogram series invariants, checked after the full scan.
+	for base, hm := range hists {
+		for hk, hs := range hm {
+			at := func(format string, args ...any) {
+				errs = append(errs, fmt.Errorf("histogram %s{%s} (near line %d): %s",
+					base, hk, hs.anyLine, fmt.Sprintf(format, args...)))
+			}
+			if len(hs.les) == 0 {
+				at("no buckets")
+				continue
+			}
+			for i := 1; i < len(hs.les); i++ {
+				if !(hs.les[i] > hs.les[i-1]) {
+					at("le bounds not strictly increasing (%g after %g)", hs.les[i], hs.les[i-1])
+				}
+				if hs.counts[i] < hs.counts[i-1] {
+					at("cumulative bucket counts decrease (%g after %g at le=%g)",
+						hs.counts[i], hs.counts[i-1], hs.les[i])
+				}
+			}
+			last := hs.les[len(hs.les)-1]
+			if !math.IsInf(last, 1) {
+				at("missing +Inf bucket")
+			} else if hs.hasCnt && hs.counts[len(hs.counts)-1] != hs.count {
+				at("_count %g != +Inf bucket %g", hs.count, hs.counts[len(hs.counts)-1])
+			}
+			if !hs.hasCnt {
+				at("missing _count")
+			}
+			if !hs.sum {
+				at("missing _sum")
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest" comments.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSample splits one sample line into name, raw "k=v" labels (values
+// still quoted-unescaped), and value.
+func parseSample(line string) (name string, labels []string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unclosed label braces in %q", line)
+		}
+		inner := rest[i+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+		for inner != "" {
+			eq := strings.IndexByte(inner, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("label without '=' in %q", line)
+			}
+			k := inner[:eq]
+			if eq+1 >= len(inner) || inner[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			v, w, verr := unquoteLabel(inner[eq+1:])
+			if verr != nil {
+				return "", nil, 0, fmt.Errorf("bad label value in %q: %v", line, verr)
+			}
+			labels = append(labels, k+"="+v)
+			inner = inner[eq+1+w:]
+			inner = strings.TrimPrefix(inner, ",")
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value in %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	return name, labels, value, nil
+}
+
+// unquoteLabel reads one quoted label value starting at the opening
+// quote, returning the unescaped value and the width consumed.
+func unquoteLabel(s string) (val string, width int, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", 0, fmt.Errorf("missing opening quote")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quote")
+}
+
+// parseLe parses a bucket bound, accepting "+Inf".
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseValue parses a sample value, accepting the exposition spellings
+// of the non-finite floats.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErr(t *testing.T, text string) string {
+	t.Helper()
+	err := Lint(strings.NewReader(text))
+	if err == nil {
+		t.Fatalf("lint passed, want failure:\n%s", text)
+	}
+	return err.Error()
+}
+
+func TestLintClean(t *testing.T) {
+	clean := `# HELP a_total counter
+# TYPE a_total counter
+a_total 3
+# HELP h_seconds histogram
+# TYPE h_seconds histogram
+h_seconds_bucket{stage="x",le="0.1"} 1
+h_seconds_bucket{stage="x",le="+Inf"} 2
+h_seconds_sum{stage="x"} 1.5
+h_seconds_count{stage="x"} 2
+`
+	if err := Lint(strings.NewReader(clean)); err != nil {
+		t.Fatalf("clean text failed lint: %v", err)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := map[string]struct {
+		text string
+		want string
+	}{
+		"sample without HELP/TYPE": {
+			text: "orphan_total 1\n",
+			want: "without",
+		},
+		"TYPE after samples": {
+			text: "# HELP x h\nx 1\n# TYPE x counter\n",
+			want: "after its samples",
+		},
+		"unknown TYPE": {
+			text: "# HELP x h\n# TYPE x widget\nx 1\n",
+			want: "unknown TYPE",
+		},
+		"bad metric name": {
+			text: "# HELP x h\n# TYPE x counter\nx 1\n0bad 2\n",
+			want: "invalid metric name",
+		},
+		"duplicate series": {
+			text: "# HELP x h\n# TYPE x counter\nx 1\nx 2\n",
+			want: "duplicate series",
+		},
+		"bad value": {
+			text: "# HELP x h\n# TYPE x counter\nx banana\n",
+			want: "bad value",
+		},
+		"unquoted label": {
+			text: "# HELP x h\n# TYPE x counter\nx{a=b} 1\n",
+			want: "unquoted label value",
+		},
+		"non-monotone histogram counts": {
+			text: "# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" +
+				`h_bucket{le="+Inf"} 3` + "\n" +
+				"h_sum 1\nh_count 3\n",
+			want: "counts decrease",
+		},
+		"non-increasing le bounds": {
+			text: "# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="2"} 1` + "\n" +
+				`h_bucket{le="1"} 2` + "\n" +
+				`h_bucket{le="+Inf"} 2` + "\n" +
+				"h_sum 1\nh_count 2\n",
+			want: "strictly increasing",
+		},
+		"missing +Inf bucket": {
+			text: "# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 1` + "\n" +
+				"h_sum 1\nh_count 1\n",
+			want: "missing +Inf",
+		},
+		"count mismatch": {
+			text: "# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 2` + "\n" +
+				"h_sum 1\nh_count 3\n",
+			want: "_count",
+		},
+		"missing _sum": {
+			text: "# HELP h h\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 1` + "\n" +
+				"h_count 1\n",
+			want: "missing _sum",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if msg := lintErr(t, tc.text); !strings.Contains(msg, tc.want) {
+				t.Fatalf("error %q does not mention %q", msg, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in text exposition format:
+// families sorted by name, one HELP/TYPE pair each, series sorted by
+// label values, histograms as cumulative _bucket/_sum/_count. The output
+// always satisfies Lint — the renderer's tests pin that.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		series := f.sorted()
+		if len(series) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range series {
+			switch {
+			case s.counter != nil:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", float64(s.counter.Value()))
+			case s.counterFn != nil:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", float64(s.counterFn()))
+			case s.gauge != nil:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", s.gauge.Value())
+			case s.gaugeFn != nil:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", s.gaugeFn())
+			case s.hist != nil:
+				snap := s.hist.Snapshot()
+				for _, b := range snap.Buckets {
+					writeSample(bw, f.name+"_bucket", f.labels, s.labelValues, "le", formatLe(b.UpperBound), float64(b.Count))
+				}
+				writeSample(bw, f.name+"_sum", f.labels, s.labelValues, "", "", snap.Sum)
+				writeSample(bw, f.name+"_count", f.labels, s.labelValues, "", "", float64(snap.Count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry's exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one sample line; extraLabel ("le") is appended after
+// the family's own labels.
+func writeSample(w io.Writer, name string, labels, values []string, extraLabel, extraValue string, v float64) {
+	io.WriteString(w, name)
+	if len(labels) > 0 || extraLabel != "" {
+		io.WriteString(w, "{")
+		first := true
+		for i, l := range labels {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "%s=%q", l, values[i])
+		}
+		if extraLabel != "" {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", extraLabel, extraValue)
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatValue(v))
+	io.WriteString(w, "\n")
+}
+
+// formatLe renders a bucket bound ("+Inf" for the catch-all).
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatValue renders a sample value.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text. Label
+// values need no helper: Go's %q produces exactly the \\ \" \n escaping
+// the exposition format defines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := reg.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+	// Re-registration with the same shape returns the same metric.
+	if reg.Counter("test_total", "help").Value() != 5 {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+}
+
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad name":       func() { NewRegistry().Counter("0bad", "h") },
+		"bad label":      func() { NewRegistry().CounterVec("ok_total", "h", "0bad") },
+		"kind conflict":  func() { r := NewRegistry(); r.Counter("x", "h"); r.Gauge("x", "h") },
+		"label conflict": func() { r := NewRegistry(); r.CounterVec("x", "h", "a"); r.CounterVec("x", "h", "b") },
+		"arity mismatch": func() { NewRegistry().CounterVec("x", "h", "a").With("1", "2") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if got, want := s.Sum, 56.05; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	wantCum := []uint64{1, 3, 4, 5}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Fatal("last bucket is not +Inf")
+	}
+	// Median falls in the (0.1, 1] bucket; interpolation keeps it there.
+	if q := s.Quantile(0.5); q <= 0.1 || q > 1 {
+		t.Fatalf("p50 = %g, want in (0.1, 1]", q)
+	}
+	// A quantile in the +Inf bucket clamps to the last finite bound.
+	if q := s.Quantile(0.99); q != 10 {
+		t.Fatalf("p99 = %g, want 10", q)
+	}
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile is not NaN")
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("req_total", "help", "route", "code")
+	v.With("/a", "2xx").Add(3)
+	v.With("/a", "5xx").Inc()
+	v.With("/a", "2xx").Inc()
+	if got := v.With("/a", "2xx").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	hv := reg.HistogramVec("stage_seconds", "help", []float64{1}, "stage")
+	hv.With("run").Observe(0.5)
+	hv.With("fetch").Observe(2)
+	snaps := hv.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	// Sorted by label value: fetch before run.
+	if snaps[0].Labels[0] != "fetch" || snaps[1].Labels[0] != "run" {
+		t.Fatalf("snapshot order: %v, %v", snaps[0].Labels, snaps[1].Labels)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+}
+
+// TestRenderPassesLint pins the renderer against the linter: a registry
+// exercising every metric shape (funcs, vecs, histograms, exotic label
+// values) must render clean exposition text.
+func TestRenderPassesLint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("plain_total", "plain counter").Add(7)
+	reg.CounterFunc("sampled_total", "sampled counter", func() uint64 { return 42 })
+	reg.Gauge("plain_gauge", "plain gauge").Set(-1.25)
+	reg.GaugeFunc("sampled_gauge", "sampled gauge", func() float64 { return 0.5 })
+	v := reg.CounterVec("labeled_total", "labeled counter", "route", "code")
+	v.With(`GET /x/{id}`, "2xx").Inc()
+	v.With("quote\"and\\slash\nnewline", "5xx").Inc()
+	h := reg.HistogramVec("lat_seconds", "latency", DefTimeBuckets(), "stage")
+	h.With("run").Observe(0.01)
+	h.With("run").Observe(3)
+	h.With("fetch").Observe(0.2)
+	reg.Histogram("unlabeled_seconds", "unlabeled histogram", []float64{1, 2}).Observe(1.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("renderer output fails lint:\n%v\n--- output ---\n%s", err, out)
+	}
+	for _, want := range []string{
+		"plain_total 7",
+		"sampled_total 42",
+		`labeled_total{route="GET /x/{id}",code="2xx"} 1`,
+		`lat_seconds_bucket{stage="run",le="+Inf"} 2`,
+		`lat_seconds_count{stage="run"} 2`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.HistogramVec("c_seconds", "h", []float64{1}, "stage")
+	c := reg.CounterVec("c_total", "h", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.With("s").Observe(0.5)
+				c.With("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.With("x").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := h.With("s").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -23,10 +23,11 @@ import (
 // immediately. It lets a driver script treat a remote shrecd like the
 // in-process Client: submit a campaign, poll or wait, read the report.
 type Remote struct {
-	base   *url.URL
-	hc     *http.Client
-	policy retry.Policy
-	poll   time.Duration
+	base     *url.URL
+	hc       *http.Client
+	policy   retry.Policy
+	poll     time.Duration
+	counters retry.Counters
 }
 
 // RemoteOption configures a Remote.
@@ -71,7 +72,33 @@ func NewRemote(baseURL string, opts ...RemoteOption) (*Remote, error) {
 	for _, o := range opts {
 		o(r)
 	}
+	// Attach the counters after the options ran: WithRetryPolicy replaces
+	// the whole policy value, and the counters must survive that.
+	r.policy.Counters = &r.counters
 	return r, nil
+}
+
+// RemoteMetrics is a snapshot of what the client's retry loops did
+// across every request this Remote issued: how many HTTP attempts went
+// out, how many were retries of a transient failure, and how many
+// requests gave up (on a permanent 4xx-class error, or by exhausting
+// the policy's attempts).
+type RemoteMetrics struct {
+	Attempts          uint64 `json:"attempts"`
+	Retries           uint64 `json:"retries"`
+	PermanentFailures uint64 `json:"permanent_failures"`
+	Exhausted         uint64 `json:"exhausted"`
+}
+
+// Metrics reads the client's cumulative retry counters. Safe to call
+// concurrently with in-flight requests.
+func (r *Remote) Metrics() RemoteMetrics {
+	return RemoteMetrics{
+		Attempts:          r.counters.Attempts.Load(),
+		Retries:           r.counters.Retries.Load(),
+		PermanentFailures: r.counters.Permanent.Load(),
+		Exhausted:         r.counters.Exhausted.Load(),
+	}
 }
 
 // do issues one retried request: body (when non-nil) is sent as JSON,

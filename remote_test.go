@@ -155,3 +155,51 @@ func TestNewRemoteValidatesURL(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteMetricsCountRetryOutcomes pins that the client's retry
+// counters survive WithRetryPolicy (which replaces the policy value)
+// and classify outcomes: transient 500s count as retried attempts, a
+// 400 counts as a permanent failure, and running out of attempts
+// counts as exhausted.
+func TestRemoteMetricsCountRetryOutcomes(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/healthz" && calls.Add(1) <= 2:
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`{"error":"boom"}`))
+		case r.URL.Path == "/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok"}`))
+		default: // POST /simulate
+			w.WriteHeader(http.StatusBadRequest)
+			_, _ = w.Write([]byte(`{"error":"unknown machine"}`))
+		}
+	}))
+	t.Cleanup(ts.Close)
+
+	r, err := NewRemote(ts.URL, WithRetryPolicy(5, time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Health(context.Background()); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if _, err := r.Simulate(context.Background(), "nope", "swim"); err == nil {
+		t.Fatal("Simulate accepted an unknown machine")
+	}
+
+	m := r.Metrics()
+	if m.Attempts != 4 { // 3 for /healthz + 1 for /simulate
+		t.Errorf("Attempts = %d, want 4", m.Attempts)
+	}
+	if m.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", m.Retries)
+	}
+	if m.PermanentFailures != 1 {
+		t.Errorf("PermanentFailures = %d, want 1", m.PermanentFailures)
+	}
+	if m.Exhausted != 0 {
+		t.Errorf("Exhausted = %d, want 0", m.Exhausted)
+	}
+}
